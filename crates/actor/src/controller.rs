@@ -1,0 +1,58 @@
+//! The interface between the actor runtime and an elasticity manager.
+//!
+//! The EMR (in `plasma-emr`) and all baseline policies implement
+//! [`ElasticityController`]. The runtime invokes the controller at every
+//! elasticity period, when servers finish booting, and when applications
+//! create actors (initial placement, §4.2). The controller acts back on the
+//! runtime through its public API: profiling snapshots, migrations,
+//! pinning, and provisioning.
+
+use plasma_cluster::ServerId;
+
+use crate::ids::ActorTypeId;
+use crate::runtime::Runtime;
+
+/// An elasticity manager driven by the runtime's periodic ticks.
+///
+/// All methods have no-op defaults so simple baselines only override what
+/// they need.
+pub trait ElasticityController: Send {
+    /// Called once per elasticity period (set by
+    /// [`RuntimeConfig::elasticity_period`](crate::RuntimeConfig)).
+    fn on_elasticity_tick(&mut self, rt: &mut Runtime) {
+        let _ = rt;
+    }
+
+    /// Called when a deferred control action scheduled through
+    /// [`Runtime::schedule_control`] fires. Used by the EMR to model
+    /// LEM-GEM round-trip latency.
+    fn on_control(&mut self, rt: &mut Runtime, token: u64) {
+        let _ = (rt, token);
+    }
+
+    /// Picks the initial server for a newly created actor.
+    ///
+    /// `creator` is the server of the creating actor (or `None` when the
+    /// harness spawns directly). Returning `None` falls back to the
+    /// creator's server, matching a runtime without placement advice.
+    fn place_new_actor(
+        &mut self,
+        rt: &Runtime,
+        type_id: ActorTypeId,
+        creator: Option<ServerId>,
+    ) -> Option<ServerId> {
+        let _ = (rt, type_id, creator);
+        None
+    }
+
+    /// Called when a provisioned server finishes booting.
+    fn on_server_ready(&mut self, rt: &mut Runtime, server: ServerId) {
+        let _ = (rt, server);
+    }
+}
+
+/// A controller that never intervenes: the paper's "no elasticity" setup.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullController;
+
+impl ElasticityController for NullController {}

@@ -1,0 +1,417 @@
+//! A *live* (multi-threaded) mini cluster runtime.
+//!
+//! The discrete-event [`runtime`](crate::runtime) is where the paper's
+//! experiments run, because it is deterministic and models physical costs.
+//! This module is its real-concurrency counterpart: each server is an OS
+//! thread with a crossbeam channel as its message queue, actor placement
+//! lives in a shared [`parking_lot`] directory, payloads are [`bytes::Bytes`],
+//! and **live actor migration** works exactly like the simulated protocol —
+//! ownership moves between threads while in-flight messages are forwarded
+//! through the directory, so no request is ever lost.
+//!
+//! It exists to demonstrate that the runtime architecture (directory,
+//! mailbox ownership, forwarding, migration hand-off) is implementable over
+//! real threads with the same API shape, and it backs the stress tests in
+//! `tests/live_cluster.rs`.
+//!
+//! # Examples
+//!
+//! ```
+//! use bytes::Bytes;
+//! use plasma_actor::live::{LiveActor, LiveCluster, LiveCtx};
+//!
+//! struct Echo;
+//! impl LiveActor for Echo {
+//!     fn on_message(&mut self, _ctx: &mut LiveCtx<'_>, _fname: &str, payload: &Bytes)
+//!         -> Option<Bytes>
+//!     {
+//!         Some(payload.clone())
+//!     }
+//! }
+//!
+//! let cluster = LiveCluster::start(2);
+//! let echo = cluster.spawn(0, Box::new(Echo));
+//! let reply = cluster.request(echo, "ping", Bytes::from_static(b"hi")).unwrap();
+//! assert_eq!(&reply[..], b"hi");
+//! cluster.shutdown();
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use crate::ids::ActorId;
+
+/// Behavior of an actor in the live cluster.
+///
+/// Returning `Some(bytes)` replies to the requester (when the message was a
+/// [`LiveCluster::request`]).
+pub trait LiveActor: Send {
+    /// Handles one message.
+    fn on_message(&mut self, ctx: &mut LiveCtx<'_>, fname: &str, payload: &Bytes) -> Option<Bytes>;
+}
+
+/// Context handed to [`LiveActor::on_message`].
+pub struct LiveCtx<'a> {
+    me: ActorId,
+    server: usize,
+    router: &'a Router,
+}
+
+impl LiveCtx<'_> {
+    /// Returns the handling actor's id.
+    pub fn me(&self) -> ActorId {
+        self.me
+    }
+
+    /// Returns the index of the server thread running this handler.
+    pub fn server(&self) -> usize {
+        self.server
+    }
+
+    /// Sends a fire-and-forget message to another actor.
+    pub fn send(&self, to: ActorId, fname: &str, payload: Bytes) {
+        self.router.route(Envelope {
+            to,
+            fname: fname.to_string(),
+            payload,
+            reply: None,
+            hops: 0,
+        });
+    }
+}
+
+/// A message traveling between server threads.
+struct Envelope {
+    to: ActorId,
+    fname: String,
+    payload: Bytes,
+    reply: Option<Sender<Bytes>>,
+    hops: u32,
+}
+
+/// Control and data messages a server thread processes.
+enum ServerMsg {
+    Deliver(Envelope),
+    /// Install an actor cell (spawn or migration arrival).
+    Install(ActorId, Box<dyn LiveActor>),
+    /// Hand the actor off to another server.
+    Migrate(ActorId, usize),
+    /// Report and reset the per-actor message counts of this window.
+    Sample(Sender<HashMap<ActorId, u64>>),
+    Shutdown,
+}
+
+/// Shared routing state: the actor directory plus every server's inbox.
+struct Router {
+    directory: RwLock<HashMap<ActorId, usize>>,
+    inboxes: Vec<Sender<ServerMsg>>,
+    dropped: AtomicU64,
+    forwarded: AtomicU64,
+}
+
+impl Router {
+    /// Routes an envelope to its target's current server; envelopes whose
+    /// target is unknown (or that bounced too often) are dropped.
+    fn route(&self, mut env: Envelope) {
+        if env.hops > 16 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if env.hops > 0 {
+            self.forwarded.fetch_add(1, Ordering::Relaxed);
+        }
+        env.hops += 1;
+        let server = { self.directory.read().get(&env.to).copied() };
+        match server {
+            Some(s) => {
+                if self.inboxes[s].send(ServerMsg::Deliver(env)).is_err() {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Per-server statistics returned by [`LiveCluster::shutdown`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Messages dispatched to local actors.
+    pub processed: u64,
+    /// Actors received via migration.
+    pub migrations_in: u64,
+}
+
+/// Cluster-wide statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LiveStats {
+    /// Per-server counters.
+    pub processed: u64,
+    /// Total messages that paid at least one forwarding hop.
+    pub forwarded: u64,
+    /// Messages dropped (unknown actor or shutdown race).
+    pub dropped: u64,
+    /// Total migrations completed.
+    pub migrations: u64,
+}
+
+/// A running multi-threaded cluster.
+pub struct LiveCluster {
+    router: Arc<Router>,
+    handles: Vec<JoinHandle<ServerStats>>,
+    next_actor: AtomicU64,
+}
+
+impl LiveCluster {
+    /// Starts `servers` server threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0`.
+    pub fn start(servers: usize) -> Self {
+        assert!(servers > 0, "need at least one server");
+        let mut inboxes = Vec::with_capacity(servers);
+        let mut receivers: Vec<Receiver<ServerMsg>> = Vec::with_capacity(servers);
+        for _ in 0..servers {
+            let (tx, rx) = unbounded();
+            inboxes.push(tx);
+            receivers.push(rx);
+        }
+        let router = Arc::new(Router {
+            directory: RwLock::new(HashMap::new()),
+            inboxes,
+            dropped: AtomicU64::new(0),
+            forwarded: AtomicU64::new(0),
+        });
+        let handles = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(index, rx)| {
+                let router = Arc::clone(&router);
+                std::thread::Builder::new()
+                    .name(format!("plasma-live-{index}"))
+                    .spawn(move || server_loop(index, rx, &router))
+                    .expect("spawn server thread")
+            })
+            .collect();
+        LiveCluster {
+            router,
+            handles,
+            next_actor: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the number of server threads.
+    pub fn servers(&self) -> usize {
+        self.router.inboxes.len()
+    }
+
+    /// Spawns an actor on server `server` and returns its id.
+    pub fn spawn(&self, server: usize, logic: Box<dyn LiveActor>) -> ActorId {
+        let id = ActorId(self.next_actor.fetch_add(1, Ordering::Relaxed));
+        self.router.directory.write().insert(id, server);
+        self.router.inboxes[server]
+            .send(ServerMsg::Install(id, logic))
+            .expect("server alive");
+        id
+    }
+
+    /// Returns the server currently owning `actor` (per the directory).
+    pub fn actor_server(&self, actor: ActorId) -> Option<usize> {
+        self.router.directory.read().get(&actor).copied()
+    }
+
+    /// Requests a live migration of `actor` to server `dst`.
+    ///
+    /// The hand-off is asynchronous; messages racing the move are forwarded
+    /// through the directory.
+    pub fn migrate(&self, actor: ActorId, dst: usize) {
+        let src = match self.actor_server(actor) {
+            Some(s) => s,
+            None => return,
+        };
+        if src == dst {
+            return;
+        }
+        let _ = self.router.inboxes[src].send(ServerMsg::Migrate(actor, dst));
+    }
+
+    /// Sends a fire-and-forget message.
+    pub fn send(&self, to: ActorId, fname: &str, payload: Bytes) {
+        self.router.route(Envelope {
+            to,
+            fname: fname.to_string(),
+            payload,
+            reply: None,
+            hops: 0,
+        });
+    }
+
+    /// Sends a request and waits up to 5 seconds for the reply.
+    ///
+    /// Returns `None` on timeout, if the actor does not reply, or if it
+    /// does not exist.
+    pub fn request(&self, to: ActorId, fname: &str, payload: Bytes) -> Option<Bytes> {
+        let (tx, rx) = bounded(1);
+        self.router.route(Envelope {
+            to,
+            fname: fname.to_string(),
+            payload,
+            reply: Some(tx),
+            hops: 0,
+        });
+        rx.recv_timeout(Duration::from_secs(5)).ok()
+    }
+
+    /// Samples (and resets) per-actor processed-message counts on every
+    /// server: the live analogue of the EPR's profiling window.
+    pub fn sample_counts(&self) -> Vec<HashMap<ActorId, u64>> {
+        let mut receivers = Vec::with_capacity(self.router.inboxes.len());
+        for tx in &self.router.inboxes {
+            let (stx, srx) = bounded(1);
+            if tx.send(ServerMsg::Sample(stx)).is_ok() {
+                receivers.push(Some(srx));
+            } else {
+                receivers.push(None);
+            }
+        }
+        receivers
+            .into_iter()
+            .map(|rx| {
+                rx.and_then(|rx| rx.recv_timeout(Duration::from_secs(5)).ok())
+                    .unwrap_or_default()
+            })
+            .collect()
+    }
+
+    /// One round of throughput-driven rebalancing: samples the profiling
+    /// counters and migrates the busiest actor of the busiest server to
+    /// the least-busy server - a live-threaded miniature of the EMR's
+    /// `balance` behavior. Returns whether a migration was requested.
+    pub fn rebalance_by_throughput(&self) -> bool {
+        let samples = self.sample_counts();
+        let loads: Vec<u64> = samples.iter().map(|m| m.values().sum()).collect();
+        let (busiest, &max) = match loads.iter().enumerate().max_by_key(|&(_, &l)| l) {
+            Some(x) => x,
+            None => return false,
+        };
+        let (idlest, &min) = match loads.iter().enumerate().min_by_key(|&(_, &l)| l) {
+            Some(x) => x,
+            None => return false,
+        };
+        if busiest == idlest || max == 0 || max - min <= max / 4 {
+            return false;
+        }
+        // Move the heaviest actor that keeps the ordering (at most half
+        // the gap), mirroring the simulated planner's no-oscillation rule.
+        let gap = max - min;
+        let candidate = samples[busiest]
+            .iter()
+            .filter(|&(_, &count)| count <= gap / 2)
+            .max_by_key(|&(_, &count)| count)
+            .map(|(&id, _)| id);
+        match candidate {
+            Some(actor) => {
+                self.migrate(actor, idlest);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Stops every server thread and returns aggregate statistics.
+    pub fn shutdown(self) -> LiveStats {
+        for tx in &self.router.inboxes {
+            let _ = tx.send(ServerMsg::Shutdown);
+        }
+        let mut stats = LiveStats {
+            forwarded: self.router.forwarded.load(Ordering::Relaxed),
+            dropped: self.router.dropped.load(Ordering::Relaxed),
+            ..LiveStats::default()
+        };
+        for handle in self.handles {
+            if let Ok(s) = handle.join() {
+                stats.processed += s.processed;
+                stats.migrations += s.migrations_in;
+            }
+        }
+        stats
+    }
+}
+
+/// The body of one server thread.
+fn server_loop(index: usize, rx: Receiver<ServerMsg>, router: &Router) -> ServerStats {
+    let mut cells: HashMap<ActorId, Box<dyn LiveActor>> = HashMap::new();
+    // Messages for actors announced (directory points here) but whose cell
+    // has not arrived yet - drained on Install.
+    let mut pending: HashMap<ActorId, Vec<Envelope>> = HashMap::new();
+    let mut stats = ServerStats::default();
+    // Per-actor message counts for the current profiling window.
+    let mut window: HashMap<ActorId, u64> = HashMap::new();
+
+    let dispatch = |cell: &mut Box<dyn LiveActor>,
+                    env: Envelope,
+                    stats: &mut ServerStats,
+                    window: &mut HashMap<ActorId, u64>| {
+        let mut ctx = LiveCtx {
+            me: env.to,
+            server: index,
+            router,
+        };
+        *window.entry(env.to).or_insert(0) += 1;
+        let reply = cell.on_message(&mut ctx, &env.fname, &env.payload);
+        stats.processed += 1;
+        if let (Some(tx), Some(bytes)) = (env.reply, reply) {
+            let _ = tx.send(bytes);
+        }
+    };
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ServerMsg::Deliver(env) => {
+                if let Some(cell) = cells.get_mut(&env.to) {
+                    dispatch(cell, env, &mut stats, &mut window);
+                } else if router.directory.read().get(&env.to) == Some(&index) {
+                    // The cell is still in transit to this server: stash.
+                    pending.entry(env.to).or_default().push(env);
+                } else {
+                    // The actor moved (or died): forward via the directory.
+                    router.route(env);
+                }
+            }
+            ServerMsg::Install(id, logic) => {
+                stats.migrations_in += 1;
+                cells.insert(id, logic);
+                if let Some(backlog) = pending.remove(&id) {
+                    let cell = cells.get_mut(&id).expect("just inserted");
+                    for env in backlog {
+                        dispatch(cell, env, &mut stats, &mut window);
+                    }
+                }
+            }
+            ServerMsg::Sample(reply) => {
+                let _ = reply.send(std::mem::take(&mut window));
+            }
+            ServerMsg::Migrate(id, dst) => {
+                if let Some(cell) = cells.remove(&id) {
+                    // Flip the directory first so new senders target `dst`;
+                    // anything already queued here gets forwarded by the
+                    // Deliver arm above.
+                    router.directory.write().insert(id, dst);
+                    let _ = router.inboxes[dst].send(ServerMsg::Install(id, cell));
+                }
+            }
+            ServerMsg::Shutdown => break,
+        }
+    }
+    stats
+}

@@ -1,0 +1,296 @@
+//! Application programming interfaces: actor and client logic traits.
+//!
+//! Applications implement [`ActorLogic`] per actor type and [`ClientLogic`]
+//! per workload generator. Logic runs *inside* the simulation: it declares
+//! its CPU cost via [`ActorCtx::work`], emits messages via
+//! [`ActorCtx::send`], and may maintain real state (the PageRank app, for
+//! example, multiplies real rank vectors). Everything observable — service
+//! time, network traffic, reference topology — flows through these contexts
+//! so the profiling runtime sees it.
+
+use plasma_cluster::ServerId;
+use plasma_sim::{DetRng, SimDuration, SimTime};
+
+use crate::ids::{ActorId, ClientId, FnId};
+use crate::message::{Correlation, Message, Payload};
+use crate::runtime::Runtime;
+
+/// Behavior of one actor type, invoked once per received message.
+///
+/// The handler may mutate its own state, consume CPU (`ctx.work`), send
+/// messages, spawn actors, and manipulate reference properties. Sends and
+/// replies take effect when the message's service time elapses, matching a
+/// real runtime where output is flushed after the handler returns.
+pub trait ActorLogic: Send {
+    /// Handles one message.
+    fn on_message(&mut self, ctx: &mut ActorCtx<'_>, msg: &mut Message);
+}
+
+/// Behavior of one external client (workload generator).
+pub trait ClientLogic: Send {
+    /// Called once when the client is started.
+    fn on_start(&mut self, ctx: &mut ClientCtx<'_>);
+
+    /// Called when a reply to `request` arrives; `latency` is end-to-end
+    /// and `payload` is whatever the replying actor attached via
+    /// [`ActorCtx::reply_with`].
+    fn on_reply(
+        &mut self,
+        ctx: &mut ClientCtx<'_>,
+        request: u64,
+        latency: SimDuration,
+        payload: Option<Payload>,
+    );
+
+    /// Called when a timer set via [`ClientCtx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut ClientCtx<'_>, token: u64) {
+        let _ = (ctx, token);
+    }
+}
+
+/// A buffered outgoing message, released at service completion.
+pub(crate) struct PendingSend {
+    pub to: ActorId,
+    pub fname: FnId,
+    pub bytes: u64,
+    pub corr: Option<Correlation>,
+    pub payload: Option<Payload>,
+}
+
+/// Execution context handed to [`ActorLogic::on_message`].
+pub struct ActorCtx<'a> {
+    pub(crate) rt: &'a mut Runtime,
+    pub(crate) me: ActorId,
+    pub(crate) corr: Option<Correlation>,
+    pub(crate) work: f64,
+    pub(crate) sends: Vec<PendingSend>,
+    pub(crate) replies: Vec<(Correlation, u64, Option<Payload>)>,
+}
+
+impl ActorCtx<'_> {
+    /// Returns the id of the actor handling the message.
+    pub fn me(&self) -> ActorId {
+        self.me
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.rt.now()
+    }
+
+    /// Returns the server currently hosting this actor.
+    pub fn server(&self) -> ServerId {
+        self.rt.actor_server(self.me)
+    }
+
+    /// Returns the deterministic RNG.
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rt.rng()
+    }
+
+    /// Interns a function name for comparison against `msg.fname`.
+    ///
+    /// ```ignore
+    /// if msg.fname == ctx.fn_id("open") { ... }
+    /// ```
+    pub fn fn_id(&mut self, name: &str) -> FnId {
+        self.rt.intern_fn(name)
+    }
+
+    /// Declares `units` of CPU work for handling this message.
+    ///
+    /// One unit is one second on a speed-1.0 vCPU; see
+    /// [`InstanceType::service_time`](plasma_cluster::InstanceType::service_time).
+    pub fn work(&mut self, units: f64) {
+        if units.is_finite() && units > 0.0 {
+            self.work += units;
+        }
+    }
+
+    /// Sends a message carrying this message's client correlation (if any),
+    /// so the reply can be issued further down the actor chain.
+    pub fn send(&mut self, to: ActorId, fname: &str, bytes: u64) {
+        let fname = self.rt.intern_fn(fname);
+        self.sends.push(PendingSend {
+            to,
+            fname,
+            bytes,
+            corr: self.corr,
+            payload: None,
+        });
+    }
+
+    /// Like [`ActorCtx::send`] with an application payload attached.
+    pub fn send_with(&mut self, to: ActorId, fname: &str, bytes: u64, payload: Payload) {
+        let fname = self.rt.intern_fn(fname);
+        self.sends.push(PendingSend {
+            to,
+            fname,
+            bytes,
+            corr: self.corr,
+            payload: Some(payload),
+        });
+    }
+
+    /// Sends a message that does *not* carry the client correlation
+    /// (background traffic such as state synchronization).
+    pub fn send_detached(&mut self, to: ActorId, fname: &str, bytes: u64) {
+        let fname = self.rt.intern_fn(fname);
+        self.sends.push(PendingSend {
+            to,
+            fname,
+            bytes,
+            corr: None,
+            payload: None,
+        });
+    }
+
+    /// Like [`ActorCtx::send_detached`] with a payload.
+    pub fn send_detached_with(&mut self, to: ActorId, fname: &str, bytes: u64, payload: Payload) {
+        let fname = self.rt.intern_fn(fname);
+        self.sends.push(PendingSend {
+            to,
+            fname,
+            bytes,
+            corr: None,
+            payload: Some(payload),
+        });
+    }
+
+    /// Replies to the client request this message belongs to.
+    ///
+    /// No-op (with a diagnostic counter) if the message carries no
+    /// correlation.
+    pub fn reply(&mut self, bytes: u64) {
+        match self.corr {
+            Some(corr) => self.replies.push((corr, bytes, None)),
+            None => self.rt.count_orphan_reply(),
+        }
+    }
+
+    /// Like [`ActorCtx::reply`] with an application payload the client
+    /// receives in [`ClientLogic::on_reply`].
+    pub fn reply_with(&mut self, bytes: u64, payload: Payload) {
+        match self.corr {
+            Some(corr) => self.replies.push((corr, bytes, Some(payload))),
+            None => self.rt.count_orphan_reply(),
+        }
+    }
+
+    /// Creates a new actor. Placement is decided by the elasticity
+    /// controller (the paper's "new actor creation" path, §4.2); without a
+    /// controller decision the actor starts on the creator's server.
+    pub fn spawn(
+        &mut self,
+        type_name: &str,
+        logic: Box<dyn ActorLogic>,
+        state_size: u64,
+    ) -> ActorId {
+        let creator_server = self.rt.actor_server(self.me);
+        self.rt
+            .spawn_placed(type_name, logic, state_size, Some(creator_server))
+    }
+
+    /// Adds `target` to this actor's reference property `prop`.
+    pub fn add_ref(&mut self, prop: &str, target: ActorId) {
+        self.rt.actor_add_ref(self.me, prop, target);
+    }
+
+    /// Removes `target` from this actor's reference property `prop`.
+    pub fn remove_ref(&mut self, prop: &str, target: ActorId) {
+        self.rt.actor_remove_ref(self.me, prop, target);
+    }
+
+    /// Returns the actors referenced by property `prop`.
+    pub fn refs(&self, prop: &str) -> Vec<ActorId> {
+        self.rt.actor_refs(self.me, prop)
+    }
+
+    /// Updates this actor's serialized-state size (drives `mem` usage and
+    /// migration cost).
+    pub fn set_state_size(&mut self, bytes: u64) {
+        self.rt.set_actor_state_size(self.me, bytes);
+    }
+
+    /// Removes an actor (possibly this one); see
+    /// [`Runtime::remove_actor`].
+    pub fn despawn(&mut self, actor: ActorId) -> bool {
+        self.rt.remove_actor(actor)
+    }
+
+    /// Records an application-level observation (e.g., a PageRank iteration
+    /// time) into the run report.
+    pub fn record(&mut self, series: &str, value: f64) {
+        self.rt.record_custom(series, value);
+    }
+
+    /// Records a named scalar result into the run report.
+    pub fn record_scalar(&mut self, name: &str, value: f64) {
+        self.rt.record_scalar(name, value);
+    }
+
+    /// Requests the whole simulation to stop (batch jobs use this on
+    /// convergence).
+    pub fn stop_simulation(&mut self) {
+        self.rt.stop();
+    }
+}
+
+/// Execution context handed to [`ClientLogic`] callbacks.
+pub struct ClientCtx<'a> {
+    pub(crate) rt: &'a mut Runtime,
+    pub(crate) me: ClientId,
+}
+
+impl ClientCtx<'_> {
+    /// Returns this client's id.
+    pub fn me(&self) -> ClientId {
+        self.me
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.rt.now()
+    }
+
+    /// Returns the deterministic RNG.
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rt.rng()
+    }
+
+    /// Issues a request to `actor`, returning the request id.
+    ///
+    /// Latency is measured from now until some actor in the processing chain
+    /// calls [`ActorCtx::reply`].
+    pub fn request(&mut self, actor: ActorId, fname: &str, bytes: u64) -> u64 {
+        self.rt.client_request(self.me, actor, fname, bytes, None)
+    }
+
+    /// Like [`ClientCtx::request`] with an application payload.
+    pub fn request_with(
+        &mut self,
+        actor: ActorId,
+        fname: &str,
+        bytes: u64,
+        payload: Payload,
+    ) -> u64 {
+        self.rt
+            .client_request(self.me, actor, fname, bytes, Some(payload))
+    }
+
+    /// Schedules [`ClientLogic::on_timer`] after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.rt.client_timer(self.me, delay, token);
+    }
+
+    /// Records an observation into a free-form report series (e.g. marking
+    /// when this client finished its workload).
+    pub fn record(&mut self, series: &str, value: f64) {
+        self.rt.record_custom(series, value);
+    }
+
+    /// Requests the whole simulation to stop.
+    pub fn stop_simulation(&mut self) {
+        self.rt.stop();
+    }
+}

@@ -1,0 +1,134 @@
+//! Measurement record of one simulation run.
+//!
+//! Every experiment harness reads its figure data from here: end-to-end
+//! latency (global, bucketed, and per-client), per-server CPU and actor
+//! count series, migration events, message locality counters, and free-form
+//! application series (e.g., PageRank iteration times).
+
+use std::collections::BTreeMap;
+
+use plasma_cluster::ServerId;
+use plasma_sim::metrics::{BucketedSeries, Histogram, TimeSeries};
+use plasma_sim::{SimDuration, SimTime};
+
+use crate::ids::{ActorId, ClientId};
+
+/// One completed actor migration.
+#[derive(Clone, Copy, Debug)]
+pub struct MigrationRecord {
+    /// When the actor resumed on the destination.
+    pub at: SimTime,
+    /// The migrated actor.
+    pub actor: ActorId,
+    /// Source server.
+    pub src: ServerId,
+    /// Destination server.
+    pub dst: ServerId,
+    /// How long the transfer took.
+    pub transfer_time: SimDuration,
+}
+
+/// Aggregated measurements of one run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// End-to-end request latency distribution (milliseconds).
+    pub latency: Histogram,
+    /// Mean latency per time bucket (milliseconds) — the paper's latency plots.
+    pub latency_series: BucketedSeries,
+    /// Per-client mean latency per bucket (Fig. 11b).
+    pub client_latency: BTreeMap<ClientId, BucketedSeries>,
+    /// Per-server CPU utilization over time (Figs. 7b, 8b).
+    pub server_cpu: BTreeMap<ServerId, TimeSeries>,
+    /// Per-server resident actor count over time (Figs. 7c, 8c).
+    pub server_actors: BTreeMap<ServerId, TimeSeries>,
+    /// Completed migrations in order.
+    pub migrations: Vec<MigrationRecord>,
+    /// Messages delivered between actors on the same server.
+    pub local_messages: u64,
+    /// Messages delivered across servers.
+    pub remote_messages: u64,
+    /// Messages that paid a forwarding hop because the target migrated
+    /// mid-flight.
+    pub forwarded_messages: u64,
+    /// Messages addressed to unknown actors (should stay 0 in our apps).
+    pub dropped_messages: u64,
+    /// Replies issued without a client correlation (app bug indicator).
+    pub orphan_replies: u64,
+    /// Client requests issued.
+    pub requests: u64,
+    /// Client replies delivered.
+    pub replies: u64,
+    /// Free-form application series keyed by name.
+    pub custom: BTreeMap<String, TimeSeries>,
+    /// Free-form scalar results keyed by name.
+    pub scalars: BTreeMap<String, f64>,
+}
+
+impl RunReport {
+    /// Creates an empty report with the given latency bucket width.
+    pub fn new(latency_bucket: SimDuration) -> Self {
+        RunReport {
+            latency: Histogram::new(),
+            latency_series: BucketedSeries::new(latency_bucket),
+            client_latency: BTreeMap::new(),
+            server_cpu: BTreeMap::new(),
+            server_actors: BTreeMap::new(),
+            migrations: Vec::new(),
+            local_messages: 0,
+            remote_messages: 0,
+            forwarded_messages: 0,
+            dropped_messages: 0,
+            orphan_replies: 0,
+            requests: 0,
+            replies: 0,
+            custom: BTreeMap::new(),
+            scalars: BTreeMap::new(),
+        }
+    }
+
+    /// Returns the mean end-to-end latency in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Returns the named custom series, if recorded.
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.custom.get(name)
+    }
+
+    /// Returns the named scalar, if recorded.
+    pub fn scalar(&self, name: &str) -> Option<f64> {
+        self.scalars.get(name).copied()
+    }
+
+    /// Returns the fraction of inter-actor messages that stayed local.
+    pub fn locality(&self) -> f64 {
+        let total = self.local_messages + self.remote_messages;
+        if total == 0 {
+            return 0.0;
+        }
+        self.local_messages as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_sane() {
+        let r = RunReport::new(SimDuration::from_secs(1));
+        assert_eq!(r.mean_latency_ms(), 0.0);
+        assert_eq!(r.locality(), 0.0);
+        assert!(r.series("x").is_none());
+        assert!(r.scalar("x").is_none());
+    }
+
+    #[test]
+    fn locality_fraction() {
+        let mut r = RunReport::new(SimDuration::from_secs(1));
+        r.local_messages = 3;
+        r.remote_messages = 1;
+        assert!((r.locality() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,1071 @@
+//! The discrete-event driver: scheduling, delivery, migration, profiling.
+//!
+//! One [`Runtime`] hosts a cluster, its actors, external clients, and an
+//! optional [`ElasticityController`]. The event loop models:
+//!
+//! - **CPU**: each server has `vcpus` lanes; an actor's message handler
+//!   occupies one lane for `work / speed` seconds (round-robin across actors
+//!   with queued mail).
+//! - **Network**: local vs. remote delivery latency plus wire time, NIC byte
+//!   accounting on both ends, and a forwarding hop when a message races a
+//!   migration.
+//! - **Live migration**: finish the in-flight message, freeze, transfer
+//!   state bytes, resume on the destination; the mailbox travels with the
+//!   actor and residency/pinning rules gate when a migration may start.
+//! - **Profiling (EPR)**: per-window actor counters and server utilization
+//!   snapshots, plus an optional per-message profiling tax so the *cost* of
+//!   profiling itself is measurable (Table 3).
+//! - **Elasticity (EER)**: periodic controller ticks and deferred control
+//!   callbacks for modeling LEM/GEM round-trips.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use plasma_cluster::topology::ClusterLimits;
+use plasma_cluster::{Cluster, InstanceType, NetworkModel, ServerId};
+use plasma_sim::{DetRng, EventQueue, SimDuration, SimTime};
+
+use crate::controller::ElasticityController;
+use crate::entry::{ActorEntry, MigrationBlocked, MigrationState};
+use crate::ids::{ActorId, ActorTypeId, ClientId, FnId, NameRegistry};
+use crate::logic::{ActorCtx, ActorLogic, ClientCtx, ClientLogic, PendingSend};
+use crate::message::{CallerKind, Correlation, Message, Payload};
+use crate::report::{MigrationRecord, RunReport};
+use crate::stats::{ActorWindowStats, ProfileSnapshot, ServerWindowStats};
+
+/// Tunable parameters of a simulation run.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Seed for the deterministic RNG.
+    pub seed: u64,
+    /// Interconnect model.
+    pub network: NetworkModel,
+    /// Cluster growth limits.
+    pub limits: ClusterLimits,
+    /// Width of the profiling window (EPR sampling period).
+    pub profile_window: SimDuration,
+    /// Elasticity period: how often the controller ticks (user-set, §2.2).
+    pub elasticity_period: SimDuration,
+    /// Minimum time an actor must stay on a server before migrating again.
+    /// Defaults to the elasticity period per §4.3.
+    pub min_residency: SimDuration,
+    /// Whether the profiling runtime is enabled (Table 3 compares on/off).
+    pub epr_enabled: bool,
+    /// Fixed CPU work added to every message service by profiling.
+    pub epr_tax_fixed: f64,
+    /// Fractional CPU work added per unit of application work by profiling.
+    pub epr_tax_frac: f64,
+    /// Bucket width for latency series in the report.
+    pub latency_bucket: SimDuration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        let elasticity_period = SimDuration::from_secs(60);
+        RuntimeConfig {
+            seed: 0x504C_4153_4D41, // "PLASMA"
+            network: NetworkModel::default(),
+            limits: ClusterLimits::default(),
+            profile_window: SimDuration::from_secs(1),
+            elasticity_period,
+            min_residency: elasticity_period,
+            epr_enabled: true,
+            // Calibrated so a saturated chat-room server loses ~0.5-2% of
+            // throughput to profiling, matching Table 3's 0.1-2.3% band:
+            // ~2us of bookkeeping per message plus 0.4% of handler work.
+            epr_tax_fixed: 2e-6,
+            epr_tax_frac: 0.004,
+            latency_bucket: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// Buffered output of an in-service message handler.
+#[derive(Default)]
+struct ServiceEffects {
+    sends: Vec<PendingSend>,
+    replies: Vec<(Correlation, u64, Option<Payload>)>,
+}
+
+struct ClientEntry {
+    logic: Option<Box<dyn ClientLogic>>,
+}
+
+enum Event {
+    DeliverActor(Message),
+    DeliverReply {
+        client: ClientId,
+        request: u64,
+        sent_at: SimTime,
+        payload: Option<Payload>,
+    },
+    ServiceDone {
+        server: ServerId,
+        actor: ActorId,
+    },
+    MigrationArrive {
+        actor: ActorId,
+        dst: ServerId,
+        started: SimTime,
+    },
+    ServerReady(ServerId),
+    ClientStart(ClientId),
+    ClientTimer {
+        client: ClientId,
+        token: u64,
+    },
+    ProfileWindow,
+    ElasticityTick,
+    Control {
+        token: u64,
+    },
+}
+
+/// The simulation runtime. See the [module docs](self) for the model.
+pub struct Runtime {
+    cfg: RuntimeConfig,
+    now: SimTime,
+    events: EventQueue<Event>,
+    cluster: Cluster,
+    names: NameRegistry,
+    actors: Vec<Option<ActorEntry>>,
+    actors_by_server: Vec<BTreeSet<ActorId>>,
+    free_lanes: Vec<u32>,
+    runq: Vec<VecDeque<ActorId>>,
+    in_service: BTreeMap<ActorId, ServiceEffects>,
+    clients: Vec<ClientEntry>,
+    controller: Option<Box<dyn ElasticityController>>,
+    rng: DetRng,
+    stopped: bool,
+    snapshot: ProfileSnapshot,
+    report: RunReport,
+    next_request: u64,
+    orphan_replies: u64,
+}
+
+impl Runtime {
+    /// Creates a runtime and schedules the periodic profiling and
+    /// elasticity events.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        let cluster = Cluster::new(cfg.network.clone(), cfg.limits.clone());
+        let mut events = EventQueue::new();
+        events.push(SimTime::ZERO + cfg.profile_window, Event::ProfileWindow);
+        events.push(SimTime::ZERO + cfg.elasticity_period, Event::ElasticityTick);
+        let rng = DetRng::new(cfg.seed);
+        let report = RunReport::new(cfg.latency_bucket);
+        Runtime {
+            cfg,
+            now: SimTime::ZERO,
+            events,
+            cluster,
+            names: NameRegistry::new(),
+            actors: Vec::new(),
+            actors_by_server: Vec::new(),
+            free_lanes: Vec::new(),
+            runq: Vec::new(),
+            in_service: BTreeMap::new(),
+            clients: Vec::new(),
+            controller: None,
+            rng,
+            stopped: false,
+            snapshot: ProfileSnapshot::default(),
+            report,
+            next_request: 0,
+            orphan_replies: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Construction-time API (harness side).
+    // ------------------------------------------------------------------
+
+    /// Installs the elasticity controller.
+    pub fn set_controller(&mut self, controller: Box<dyn ElasticityController>) {
+        self.controller = Some(controller);
+    }
+
+    /// Adds a server that is usable immediately (initial deployment).
+    pub fn add_server(&mut self, itype: InstanceType) -> ServerId {
+        let id = self.cluster.add_running_server(itype, self.now);
+        self.ensure_server_slots(id);
+        id
+    }
+
+    /// Requests a new server; it becomes usable after its boot delay and the
+    /// controller is notified via
+    /// [`ElasticityController::on_server_ready`].
+    pub fn request_server(&mut self, itype: InstanceType) -> Option<ServerId> {
+        let (id, ready_at) = self.cluster.request_server(itype, self.now)?;
+        self.ensure_server_slots(id);
+        self.events.push(ready_at, Event::ServerReady(id));
+        Some(id)
+    }
+
+    /// Stops an empty running server. Fails if actors are resident or
+    /// migrating toward it, or if `min_servers` would be violated.
+    pub fn decommission_server(&mut self, id: ServerId) -> bool {
+        if !self.actors_by_server[id.0 as usize].is_empty() {
+            return false;
+        }
+        let inbound = self.actors.iter().flatten().any(|e| {
+            matches!(
+                e.migration,
+                Some(MigrationState::Pending { dst } | MigrationState::InTransit { dst })
+                    if dst == id
+            )
+        });
+        if inbound {
+            return false;
+        }
+        self.cluster.decommission(id, self.now)
+    }
+
+    /// Creates an actor on an explicit server (initial deployment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is not running.
+    pub fn spawn_actor(
+        &mut self,
+        type_name: &str,
+        logic: Box<dyn ActorLogic>,
+        state_size: u64,
+        server: ServerId,
+    ) -> ActorId {
+        assert!(
+            self.cluster.server(server).is_running(),
+            "spawn on non-running {server:?}"
+        );
+        let type_id = self.names.actor_type(type_name);
+        self.insert_actor(type_id, logic, state_size, server)
+    }
+
+    /// Creates an actor, asking the controller for placement (the paper's
+    /// new-actor-creation path). Falls back to the creator's server, then to
+    /// the first running server.
+    pub fn spawn_placed(
+        &mut self,
+        type_name: &str,
+        logic: Box<dyn ActorLogic>,
+        state_size: u64,
+        creator: Option<ServerId>,
+    ) -> ActorId {
+        let type_id = self.names.actor_type(type_name);
+        let mut controller = self.controller.take();
+        let choice = controller
+            .as_mut()
+            .and_then(|c| c.place_new_actor(self, type_id, creator));
+        self.controller = controller;
+        let fallback = creator.or_else(|| self.cluster.running_ids().first().copied());
+        let server = choice
+            .filter(|&s| self.cluster.server(s).is_running())
+            .or(fallback)
+            .expect("no running server to place actor on");
+        self.insert_actor(type_id, logic, state_size, server)
+    }
+
+    fn insert_actor(
+        &mut self,
+        type_id: ActorTypeId,
+        logic: Box<dyn ActorLogic>,
+        state_size: u64,
+        server: ServerId,
+    ) -> ActorId {
+        let id = ActorId(self.actors.len() as u64);
+        let entry = ActorEntry::new(id, type_id, server, logic, state_size, self.now);
+        self.actors.push(Some(entry));
+        self.actors_by_server[server.0 as usize].insert(id);
+        self.cluster.server_mut(server).add_mem(state_size);
+        id
+    }
+
+    /// Removes an actor from the system (the application-level "this
+    /// entity is gone" operation, e.g. a user leaving a service).
+    ///
+    /// If the actor is mid-service, removal completes when the current
+    /// message finishes. Queued and in-flight messages to it are dropped
+    /// (counted in the report). Returns `false` if the actor is unknown or
+    /// already removed.
+    pub fn remove_actor(&mut self, actor: ActorId) -> bool {
+        let Some(entry) = self
+            .actors
+            .get_mut(actor.0 as usize)
+            .and_then(|e| e.as_mut())
+        else {
+            return false;
+        };
+        if entry.tombstone {
+            return false;
+        }
+        entry.tombstone = true;
+        if !entry.servicing {
+            self.reap_actor(actor);
+        }
+        true
+    }
+
+    fn reap_actor(&mut self, actor: ActorId) {
+        let Some(entry) = self.actors.get_mut(actor.0 as usize).and_then(|e| e.take()) else {
+            return;
+        };
+        let server = entry.server;
+        self.actors_by_server[server.0 as usize].remove(&actor);
+        // Mid-transit state was already deducted from the source server.
+        if !matches!(entry.migration, Some(MigrationState::InTransit { .. })) {
+            self.cluster.server_mut(server).remove_mem(entry.state_size);
+        }
+        if entry.in_runq {
+            self.runq[server.0 as usize].retain(|&a| a != actor);
+        }
+        self.report.dropped_messages += entry.mailbox.len() as u64;
+    }
+
+    /// Registers a client and schedules its `on_start` immediately.
+    pub fn add_client(&mut self, logic: Box<dyn ClientLogic>) -> ClientId {
+        let id = ClientId(self.clients.len() as u32);
+        self.clients.push(ClientEntry { logic: Some(logic) });
+        self.events.push(self.now, Event::ClientStart(id));
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection API (controller and harness side).
+    // ------------------------------------------------------------------
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Overrides the placement-stability residency requirement.
+    pub fn set_min_residency(&mut self, d: SimDuration) {
+        self.cfg.min_residency = d;
+    }
+
+    /// Returns the deterministic RNG.
+    pub fn rng(&mut self) -> &mut DetRng {
+        &mut self.rng
+    }
+
+    /// Returns the cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Returns the name registry.
+    pub fn names(&self) -> &NameRegistry {
+        &self.names
+    }
+
+    /// Returns the name registry mutably (for interning).
+    pub fn names_mut(&mut self) -> &mut NameRegistry {
+        &mut self.names
+    }
+
+    /// Interns a function name.
+    pub fn intern_fn(&mut self, name: &str) -> FnId {
+        self.names.function(name)
+    }
+
+    /// Returns the most recent profiling snapshot.
+    pub fn snapshot(&self) -> &ProfileSnapshot {
+        &self.snapshot
+    }
+
+    /// Returns the server currently hosting `actor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the actor does not exist.
+    pub fn actor_server(&self, actor: ActorId) -> ServerId {
+        self.entry(actor).server
+    }
+
+    /// Returns the type of `actor`.
+    pub fn actor_type(&self, actor: ActorId) -> ActorTypeId {
+        self.entry(actor).type_id
+    }
+
+    /// Returns the ids of actors resident on `server`, in id order.
+    pub fn actors_on(&self, server: ServerId) -> Vec<ActorId> {
+        self.actors_by_server[server.0 as usize]
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Returns the number of actors resident on `server`.
+    pub fn actor_count_on(&self, server: ServerId) -> usize {
+        self.actors_by_server[server.0 as usize].len()
+    }
+
+    /// Returns every live actor id.
+    pub fn all_actors(&self) -> Vec<ActorId> {
+        self.actors.iter().flatten().map(|e| e.id).collect()
+    }
+
+    /// Returns whether `actor` is pinned (false for removed actors).
+    pub fn is_pinned(&self, actor: ActorId) -> bool {
+        self.try_entry(actor).map(|e| e.pinned).unwrap_or(false)
+    }
+
+    /// Pins or unpins an actor (the `pin` behavior). No-op for removed
+    /// actors.
+    pub fn set_pinned(&mut self, actor: ActorId, pinned: bool) {
+        if let Some(e) = self.try_entry_mut(actor) {
+            e.pinned = pinned;
+        }
+    }
+
+    /// Returns the referenced actors of `actor.prop` (empty for removed
+    /// actors).
+    pub fn actor_refs(&self, actor: ActorId, prop: &str) -> Vec<ActorId> {
+        self.try_entry(actor)
+            .and_then(|e| e.refs.get(prop).cloned())
+            .unwrap_or_default()
+    }
+
+    /// Adds a reference `actor.prop += target`. No-op for removed actors.
+    pub fn actor_add_ref(&mut self, actor: ActorId, prop: &str, target: ActorId) {
+        if let Some(e) = self.try_entry_mut(actor) {
+            e.add_ref(prop, target);
+        }
+    }
+
+    /// Removes a reference. No-op for removed actors.
+    pub fn actor_remove_ref(&mut self, actor: ActorId, prop: &str, target: ActorId) {
+        if let Some(e) = self.try_entry_mut(actor) {
+            e.remove_ref(prop, target);
+        }
+    }
+
+    /// Updates an actor's state size, adjusting server memory accounting.
+    /// No-op for removed actors.
+    pub fn set_actor_state_size(&mut self, actor: ActorId, bytes: u64) {
+        let Some((server, old)) = self.try_entry(actor).map(|e| (e.server, e.state_size)) else {
+            return;
+        };
+        if let Some(e) = self.try_entry_mut(actor) {
+            e.state_size = bytes;
+        }
+        let s = self.cluster.server_mut(server);
+        s.remove_mem(old);
+        s.add_mem(bytes);
+    }
+
+    /// Returns whether the actor is still alive.
+    pub fn actor_alive(&self, actor: ActorId) -> bool {
+        self.try_entry(actor).is_some()
+    }
+
+    /// Records a point in a free-form application series.
+    pub fn record_custom(&mut self, series: &str, value: f64) {
+        self.report
+            .custom
+            .entry(series.to_string())
+            .or_default()
+            .push(self.now, value);
+    }
+
+    /// Records a named scalar result.
+    pub fn record_scalar(&mut self, name: &str, value: f64) {
+        self.report.scalars.insert(name.to_string(), value);
+    }
+
+    pub(crate) fn count_orphan_reply(&mut self) {
+        self.orphan_replies += 1;
+    }
+
+    /// Requests the event loop to stop at the current instant.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Returns whether the run was stopped via [`Runtime::stop`].
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    // ------------------------------------------------------------------
+    // Elasticity actions.
+    // ------------------------------------------------------------------
+
+    /// Starts a live migration of `actor` to `dst`.
+    ///
+    /// Respects pinning, residency, in-flight migrations, and destination
+    /// liveness. If the actor is mid-service, the migration starts when the
+    /// current message completes.
+    pub fn migrate(&mut self, actor: ActorId, dst: ServerId) -> Result<(), MigrationBlocked> {
+        if !self.cluster.server(dst).is_running() {
+            return Err(MigrationBlocked::DestinationDown);
+        }
+        let min_res = self.cfg.min_residency;
+        let now = self.now;
+        let entry = self.try_entry(actor).ok_or(MigrationBlocked::Gone)?;
+        entry.check_migratable(dst, now, min_res)?;
+        if self.entry(actor).servicing {
+            self.entry_mut(actor).migration = Some(MigrationState::Pending { dst });
+        } else {
+            self.begin_transit(actor, dst);
+        }
+        Ok(())
+    }
+
+    /// Schedules [`ElasticityController::on_control`] after `delay`,
+    /// used by the EMR to model LEM-GEM message latency.
+    pub fn schedule_control(&mut self, delay: SimDuration, token: u64) {
+        self.events.push(self.now + delay, Event::Control { token });
+    }
+
+    /// Returns the one-way control-plane latency from the network model.
+    pub fn control_latency(&self) -> SimDuration {
+        self.cfg.network.control_latency
+    }
+
+    // ------------------------------------------------------------------
+    // Client-side internals (called from ClientCtx).
+    // ------------------------------------------------------------------
+
+    pub(crate) fn client_request(
+        &mut self,
+        client: ClientId,
+        actor: ActorId,
+        fname: &str,
+        bytes: u64,
+        payload: Option<Payload>,
+    ) -> u64 {
+        let request = self.next_request;
+        self.next_request += 1;
+        // Requests to removed actors vanish (no reply), like a connection
+        // to a decommissioned endpoint.
+        let Some(dest_server) = self.try_entry(actor).map(|e| e.server) else {
+            self.report.dropped_messages += 1;
+            return request;
+        };
+        let fname = self.names.function(fname);
+        let corr = Correlation {
+            client,
+            request,
+            sent_at: self.now,
+        };
+        let bps = self.cluster.server(dest_server).instance().net_bps;
+        let delay = self.cfg.network.client_delay(bytes, bps);
+        let msg = Message {
+            to: actor,
+            fname,
+            from: CallerKind::Client,
+            from_actor: None,
+            bytes,
+            corr: Some(corr),
+            payload,
+            dest_server_at_send: Some(dest_server),
+            forwarded: false,
+            was_remote: true,
+        };
+        self.report.requests += 1;
+        self.events.push(self.now + delay, Event::DeliverActor(msg));
+        request
+    }
+
+    /// Injects a message to an actor from outside the cluster, without
+    /// client correlation or latency accounting. Useful for bootstrapping
+    /// self-driving workloads (e.g. kicking off a batch job) and in tests.
+    pub fn inject(&mut self, to: ActorId, fname: &str, bytes: u64, payload: Option<Payload>) {
+        let fname = self.names.function(fname);
+        let Some(dest_server) = self.try_entry(to).map(|e| e.server) else {
+            self.report.dropped_messages += 1;
+            return;
+        };
+        let msg = Message {
+            to,
+            fname,
+            from: CallerKind::Client,
+            from_actor: None,
+            bytes,
+            corr: None,
+            payload,
+            dest_server_at_send: Some(dest_server),
+            forwarded: false,
+            was_remote: false,
+        };
+        self.events.push(self.now, Event::DeliverActor(msg));
+    }
+
+    pub(crate) fn client_timer(&mut self, client: ClientId, delay: SimDuration, token: u64) {
+        self.events
+            .push(self.now + delay, Event::ClientTimer { client, token });
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop.
+    // ------------------------------------------------------------------
+
+    /// Runs the simulation until `end` (inclusive) or until stopped.
+    pub fn run_until(&mut self, end: SimTime) {
+        while !self.stopped {
+            let Some(t) = self.events.peek_time() else {
+                break;
+            };
+            if t > end {
+                break;
+            }
+            let (t, event) = self.events.pop().expect("peeked");
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.handle(event);
+        }
+        if !self.stopped && self.now < end {
+            self.now = end;
+        }
+        self.finalize_report();
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::DeliverActor(msg) => self.on_deliver(msg),
+            Event::DeliverReply {
+                client,
+                request,
+                sent_at,
+                payload,
+            } => self.on_reply(client, request, sent_at, payload),
+            Event::ServiceDone { server, actor } => self.on_service_done(server, actor),
+            Event::MigrationArrive {
+                actor,
+                dst,
+                started,
+            } => self.on_migration_arrive(actor, dst, started),
+            Event::ServerReady(id) => self.on_server_ready(id),
+            Event::ClientStart(id) => self.with_client(id, |logic, ctx| logic.on_start(ctx)),
+            Event::ClientTimer { client, token } => {
+                self.with_client(client, |logic, ctx| logic.on_timer(ctx, token))
+            }
+            Event::ProfileWindow => self.on_profile_window(),
+            Event::ElasticityTick => self.on_elasticity_tick(),
+            Event::Control { token } => {
+                let mut controller = self.controller.take();
+                if let Some(c) = controller.as_mut() {
+                    c.on_control(self, token);
+                }
+                if self.controller.is_none() {
+                    self.controller = controller;
+                }
+            }
+        }
+    }
+
+    fn on_deliver(&mut self, mut msg: Message) {
+        let Some(entry) = self.actors.get(msg.to.0 as usize).and_then(|e| e.as_ref()) else {
+            self.report.dropped_messages += 1;
+            return;
+        };
+        let here = entry.server;
+        // The actor migrated while the message was in flight: pay one
+        // forwarding hop to its new home, once.
+        if msg.dest_server_at_send.is_some_and(|s| s != here) && !msg.forwarded {
+            msg.forwarded = true;
+            msg.dest_server_at_send = Some(here);
+            self.report.forwarded_messages += 1;
+            let delay = self.cfg.network.remote_latency;
+            self.events.push(self.now + delay, Event::DeliverActor(msg));
+            return;
+        }
+        if msg.was_remote {
+            self.cluster.server_mut(here).add_net_bytes(msg.bytes);
+            self.report.remote_messages += 1;
+        } else {
+            self.report.local_messages += 1;
+        }
+        let entry = self.entry_mut(msg.to);
+        entry.mailbox.push_back(msg);
+        let id = entry.id;
+        if entry.runnable() {
+            entry.in_runq = true;
+            self.runq[here.0 as usize].push_back(id);
+            self.try_dispatch(here);
+        }
+    }
+
+    fn try_dispatch(&mut self, server: ServerId) {
+        let sidx = server.0 as usize;
+        while self.free_lanes[sidx] > 0 {
+            let Some(actor) = self.runq[sidx].pop_front() else {
+                break;
+            };
+            let Some(entry) = self.actors[actor.0 as usize].as_mut() else {
+                continue;
+            };
+            entry.in_runq = false;
+            if entry.server != server
+                || entry.servicing
+                || matches!(entry.migration, Some(MigrationState::InTransit { .. }))
+            {
+                continue;
+            }
+            let Some(mut msg) = entry.mailbox.pop_front() else {
+                continue;
+            };
+            entry
+                .counters
+                .record_call(msg.from, msg.from_actor, msg.fname, msg.bytes);
+            entry.servicing = true;
+            let me = entry.id;
+            let corr = msg.corr;
+            let mut logic = entry.logic.take().expect("logic present outside dispatch");
+            let mut ctx = ActorCtx {
+                rt: self,
+                me,
+                corr,
+                work: 0.0,
+                sends: Vec::new(),
+                replies: Vec::new(),
+            };
+            logic.on_message(&mut ctx, &mut msg);
+            let ActorCtx {
+                work,
+                sends,
+                replies,
+                ..
+            } = ctx;
+            let tax = if self.cfg.epr_enabled {
+                self.cfg.epr_tax_fixed + work * self.cfg.epr_tax_frac
+            } else {
+                0.0
+            };
+            let service = self
+                .cluster
+                .server(server)
+                .instance()
+                .service_time(work + tax);
+            let entry = self.actors[actor.0 as usize]
+                .as_mut()
+                .expect("entry stable during dispatch");
+            entry.logic = Some(logic);
+            entry.counters.record_cpu(service);
+            self.cluster.server_mut(server).add_cpu_busy(service);
+            self.free_lanes[sidx] -= 1;
+            self.in_service
+                .insert(actor, ServiceEffects { sends, replies });
+            self.events
+                .push(self.now + service, Event::ServiceDone { server, actor });
+        }
+    }
+
+    fn on_service_done(&mut self, server: ServerId, actor: ActorId) {
+        self.free_lanes[server.0 as usize] += 1;
+        let effects = self.in_service.remove(&actor).unwrap_or_default();
+        let entry = self.entry_mut(actor);
+        entry.servicing = false;
+        let from_type = entry.type_id;
+        // Flush buffered sends from the (still-source) server.
+        for send in effects.sends {
+            self.do_send(actor, from_type, server, send);
+        }
+        let mut reply_bytes = 0u64;
+        for (corr, bytes, payload) in effects.replies {
+            reply_bytes += bytes;
+            let bps = self.cluster.server(server).instance().net_bps;
+            self.cluster.server_mut(server).add_net_bytes(bytes);
+            let delay = self.cfg.network.client_delay(bytes, bps);
+            self.events.push(
+                self.now + delay,
+                Event::DeliverReply {
+                    client: corr.client,
+                    request: corr.request,
+                    sent_at: corr.sent_at,
+                    payload,
+                },
+            );
+        }
+        let entry = self.entry_mut(actor);
+        entry.counters.bytes_sent += reply_bytes;
+        if entry.tombstone {
+            self.reap_actor(actor);
+        } else if let Some(MigrationState::Pending { dst }) = entry.migration {
+            self.begin_transit(actor, dst);
+        } else if entry.runnable() {
+            entry.in_runq = true;
+            self.runq[server.0 as usize].push_back(actor);
+        }
+        self.try_dispatch(server);
+    }
+
+    fn do_send(
+        &mut self,
+        from_actor: ActorId,
+        from_type: ActorTypeId,
+        from_server: ServerId,
+        send: PendingSend,
+    ) {
+        let Some(dest_entry) = self.actors.get(send.to.0 as usize).and_then(|e| e.as_ref()) else {
+            self.report.dropped_messages += 1;
+            return;
+        };
+        let dest_server = dest_entry.server;
+        let same = dest_server == from_server;
+        let bps = self.cluster.server(from_server).instance().net_bps;
+        let delay = self.cfg.network.delivery_delay(same, send.bytes, bps);
+        if !same {
+            self.cluster
+                .server_mut(from_server)
+                .add_net_bytes(send.bytes);
+        }
+        self.entry_mut(from_actor).counters.bytes_sent += send.bytes;
+        let msg = Message {
+            to: send.to,
+            fname: send.fname,
+            from: CallerKind::Actor(from_type),
+            from_actor: Some(from_actor),
+            bytes: send.bytes,
+            corr: send.corr,
+            payload: send.payload,
+            dest_server_at_send: Some(dest_server),
+            forwarded: false,
+            was_remote: !same,
+        };
+        self.events.push(self.now + delay, Event::DeliverActor(msg));
+    }
+
+    fn begin_transit(&mut self, actor: ActorId, dst: ServerId) {
+        let (src, state_size) = {
+            let e = self.entry(actor);
+            (e.server, e.state_size)
+        };
+        // Remove from the source run queue eagerly so the flag discipline
+        // (queued iff in_runq) holds.
+        if self.entry(actor).in_runq {
+            self.runq[src.0 as usize].retain(|&a| a != actor);
+            self.entry_mut(actor).in_runq = false;
+        }
+        self.entry_mut(actor).migration = Some(MigrationState::InTransit { dst });
+        self.cluster.server_mut(src).remove_mem(state_size);
+        self.cluster.server_mut(src).add_net_bytes(state_size);
+        let src_bps = self.cluster.server(src).instance().net_bps;
+        let dst_bps = self.cluster.server(dst).instance().net_bps;
+        let delay = self
+            .cfg
+            .network
+            .transfer_delay(state_size, src_bps.min(dst_bps));
+        self.events.push(
+            self.now + delay,
+            Event::MigrationArrive {
+                actor,
+                dst,
+                started: self.now,
+            },
+        );
+    }
+
+    fn on_migration_arrive(&mut self, actor: ActorId, dst: ServerId, started: SimTime) {
+        // The actor may have been removed while its state was in transit.
+        if self
+            .actors
+            .get(actor.0 as usize)
+            .and_then(|e| e.as_ref())
+            .is_none()
+        {
+            return;
+        }
+        let src = self.entry(actor).server;
+        let state_size = self.entry(actor).state_size;
+        self.actors_by_server[src.0 as usize].remove(&actor);
+        self.actors_by_server[dst.0 as usize].insert(actor);
+        self.cluster.server_mut(dst).add_mem(state_size);
+        self.cluster.server_mut(dst).add_net_bytes(state_size);
+        let now = self.now;
+        let entry = self.entry_mut(actor);
+        entry.server = dst;
+        entry.arrived_at = now;
+        entry.migration = None;
+        self.report.migrations.push(MigrationRecord {
+            at: now,
+            actor,
+            src,
+            dst,
+            transfer_time: now.saturating_since(started),
+        });
+        let entry = self.entry_mut(actor);
+        if entry.runnable() {
+            entry.in_runq = true;
+            self.runq[dst.0 as usize].push_back(actor);
+            self.try_dispatch(dst);
+        }
+    }
+
+    fn on_reply(
+        &mut self,
+        client: ClientId,
+        request: u64,
+        sent_at: SimTime,
+        payload: Option<Payload>,
+    ) {
+        let latency_ms = self.now.saturating_since(sent_at).as_millis_f64();
+        self.report.replies += 1;
+        self.report.latency.record(latency_ms);
+        self.report.latency_series.record(self.now, latency_ms);
+        let bucket = self.cfg.latency_bucket;
+        self.report
+            .client_latency
+            .entry(client)
+            .or_insert_with(|| plasma_sim::metrics::BucketedSeries::new(bucket))
+            .record(self.now, latency_ms);
+        let latency = self.now.saturating_since(sent_at);
+        self.with_client(client, |logic, ctx| {
+            logic.on_reply(ctx, request, latency, payload)
+        });
+    }
+
+    fn on_server_ready(&mut self, id: ServerId) {
+        self.cluster.mark_running(id, self.now);
+        self.free_lanes[id.0 as usize] = self.cluster.server(id).instance().vcpus;
+        let mut controller = self.controller.take();
+        if let Some(c) = controller.as_mut() {
+            c.on_server_ready(self, id);
+        }
+        if self.controller.is_none() {
+            self.controller = controller;
+        }
+    }
+
+    fn on_profile_window(&mut self) {
+        let window = self.cfg.profile_window;
+        let mut servers = Vec::new();
+        for sid in self.cluster.running_ids() {
+            let usage = self.cluster.server_mut(sid).roll_usage(self.now);
+            let actor_count = self.actors_by_server[sid.0 as usize].len();
+            servers.push(ServerWindowStats {
+                server: sid,
+                usage,
+                actor_count,
+            });
+            self.report
+                .server_cpu
+                .entry(sid)
+                .or_default()
+                .push(self.now, usage.cpu());
+            self.report
+                .server_actors
+                .entry(sid)
+                .or_default()
+                .push(self.now, actor_count as f64);
+        }
+        let mut actor_stats = Vec::new();
+        if self.cfg.epr_enabled {
+            for entry in self.actors.iter_mut().flatten() {
+                let server = entry.server;
+                let vcpus = self.cluster.server(server).instance().vcpus;
+                // Busy time is charged to the dispatch window, so a service
+                // spanning a window boundary can overshoot; clamp like the
+                // server-side meter does.
+                let cpu_share = if window.is_zero() || vcpus == 0 {
+                    0.0
+                } else {
+                    (entry.counters.cpu_busy.as_secs_f64() / (window.as_secs_f64() * vcpus as f64))
+                        .min(1.0)
+                };
+                actor_stats.push(ActorWindowStats {
+                    actor: entry.id,
+                    type_id: entry.type_id,
+                    server,
+                    state_size: entry.state_size,
+                    pinned: entry.pinned,
+                    cpu_share,
+                    counters: entry.counters.clone(),
+                    refs: entry.refs.clone(),
+                });
+                entry.counters.reset();
+            }
+        } else {
+            for entry in self.actors.iter_mut().flatten() {
+                entry.counters.reset();
+            }
+        }
+        self.snapshot = ProfileSnapshot {
+            at: self.now,
+            window,
+            actors: actor_stats,
+            servers,
+        };
+        self.events.push(self.now + window, Event::ProfileWindow);
+    }
+
+    fn on_elasticity_tick(&mut self) {
+        let mut controller = self.controller.take();
+        if let Some(c) = controller.as_mut() {
+            c.on_elasticity_tick(self);
+        }
+        if self.controller.is_none() {
+            self.controller = controller;
+        }
+        self.events
+            .push(self.now + self.cfg.elasticity_period, Event::ElasticityTick);
+    }
+
+    fn with_client(
+        &mut self,
+        id: ClientId,
+        f: impl FnOnce(&mut Box<dyn ClientLogic>, &mut ClientCtx<'_>),
+    ) {
+        let Some(mut logic) = self
+            .clients
+            .get_mut(id.0 as usize)
+            .and_then(|c| c.logic.take())
+        else {
+            return;
+        };
+        let mut ctx = ClientCtx { rt: self, me: id };
+        f(&mut logic, &mut ctx);
+        self.clients[id.0 as usize].logic = Some(logic);
+    }
+
+    fn ensure_server_slots(&mut self, id: ServerId) {
+        let idx = id.0 as usize;
+        if idx >= self.actors_by_server.len() {
+            self.actors_by_server.resize_with(idx + 1, BTreeSet::new);
+            self.runq.resize_with(idx + 1, VecDeque::new);
+            self.free_lanes.resize(idx + 1, 0);
+        }
+        self.free_lanes[idx] = self.cluster.server(id).instance().vcpus;
+    }
+
+    fn finalize_report(&mut self) {
+        self.report.orphan_replies = self.orphan_replies;
+    }
+
+    /// Returns the run report.
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// Consumes the runtime, returning the report plus the cluster for cost
+    /// queries.
+    pub fn into_report(self) -> (RunReport, Cluster) {
+        (self.report, self.cluster)
+    }
+
+    fn entry(&self, actor: ActorId) -> &ActorEntry {
+        self.actors[actor.0 as usize]
+            .as_ref()
+            .expect("actor exists")
+    }
+
+    fn try_entry(&self, actor: ActorId) -> Option<&ActorEntry> {
+        self.actors.get(actor.0 as usize).and_then(|e| e.as_ref())
+    }
+
+    fn try_entry_mut(&mut self, actor: ActorId) -> Option<&mut ActorEntry> {
+        self.actors
+            .get_mut(actor.0 as usize)
+            .and_then(|e| e.as_mut())
+    }
+
+    fn entry_mut(&mut self, actor: ActorId) -> &mut ActorEntry {
+        self.actors[actor.0 as usize]
+            .as_mut()
+            .expect("actor exists")
+    }
+}

@@ -1,0 +1,255 @@
+//! Profiling counters — what the EPR collects each window.
+//!
+//! The paper's EPR "tracks information on all messages (e.g., type, size,
+//! number) and the times for actors to process them" (§5.2). The runtime
+//! accumulates these raw counters per actor; every profiling window they are
+//! snapshotted into [`ActorWindowStats`]/[`ServerWindowStats`] and reset.
+//! The EMR evaluates EPL conditions against those snapshots.
+
+use std::collections::BTreeMap;
+
+use plasma_cluster::{ResourceUsage, ServerId};
+use plasma_sim::{SimDuration, SimTime};
+
+use crate::ids::{ActorId, ActorTypeId, FnId};
+use crate::message::CallerKind;
+
+/// Per-`(caller, function)` message counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CallStat {
+    /// Number of messages received.
+    pub count: u64,
+    /// Total payload bytes received.
+    pub bytes: u64,
+}
+
+/// Key of a received-call counter.
+///
+/// Tracking the concrete `caller` instance (not just its type) is what lets
+/// pairwise interaction rules such as
+/// `VideoStream(v).call(UserInfo(u).track).count > 0 => colocate(v, u)` bind
+/// *which* caller talks to *which* callee.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct CallKey {
+    /// Caller classification (client or actor type).
+    pub caller_kind: CallerKind,
+    /// Concrete calling actor, when the caller is an actor.
+    pub caller: Option<ActorId>,
+    /// The invoked function.
+    pub fname: FnId,
+}
+
+/// Counters an actor accumulates during one profiling window.
+#[derive(Clone, Debug, Default)]
+pub struct ActorCounters {
+    /// CPU time this actor consumed.
+    pub cpu_busy: SimDuration,
+    /// Messages received, keyed by caller and function.
+    pub calls: BTreeMap<CallKey, CallStat>,
+    /// Bytes sent by this actor.
+    pub bytes_sent: u64,
+}
+
+impl ActorCounters {
+    /// Records a received message.
+    pub fn record_call(
+        &mut self,
+        from: CallerKind,
+        caller: Option<ActorId>,
+        fname: FnId,
+        bytes: u64,
+    ) {
+        let key = CallKey {
+            caller_kind: from,
+            caller,
+            fname,
+        };
+        let stat = self.calls.entry(key).or_default();
+        stat.count += 1;
+        stat.bytes += bytes;
+    }
+
+    /// Sums counters over every caller instance of `kind` invoking `fname`.
+    pub fn calls_from_kind(&self, kind: CallerKind, fname: FnId) -> CallStat {
+        let mut total = CallStat::default();
+        for (key, stat) in &self.calls {
+            if key.caller_kind == kind && key.fname == fname {
+                total.count += stat.count;
+                total.bytes += stat.bytes;
+            }
+        }
+        total
+    }
+
+    /// Returns the counter for one concrete caller instance and function.
+    pub fn calls_from_actor(&self, caller: ActorId, fname: FnId) -> CallStat {
+        self.calls
+            .iter()
+            .find(|(k, _)| k.caller == Some(caller) && k.fname == fname)
+            .map(|(_, s)| *s)
+            .unwrap_or_default()
+    }
+
+    /// Records CPU time consumed by one message service.
+    pub fn record_cpu(&mut self, d: SimDuration) {
+        self.cpu_busy += d;
+    }
+
+    /// Returns the total messages received in this window.
+    pub fn total_received(&self) -> u64 {
+        self.calls.values().map(|s| s.count).sum()
+    }
+
+    /// Resets all counters for the next window.
+    pub fn reset(&mut self) {
+        self.cpu_busy = SimDuration::ZERO;
+        self.calls.clear();
+        self.bytes_sent = 0;
+    }
+}
+
+/// Snapshot of one actor's activity over the last profiling window.
+#[derive(Clone, Debug)]
+pub struct ActorWindowStats {
+    /// The actor.
+    pub actor: ActorId,
+    /// Its type.
+    pub type_id: ActorTypeId,
+    /// The server hosting it at snapshot time.
+    pub server: ServerId,
+    /// State size in bytes (for `mem` features and migration cost).
+    pub state_size: u64,
+    /// Whether a `pin` behavior currently protects it.
+    pub pinned: bool,
+    /// CPU share of the hosting server consumed by this actor, in `[0, 1]`.
+    pub cpu_share: f64,
+    /// Raw counters for the window.
+    pub counters: ActorCounters,
+    /// Reference fields: property name to referenced actors.
+    pub refs: BTreeMap<String, Vec<ActorId>>,
+}
+
+/// Snapshot of one server's utilization over the last profiling window.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerWindowStats {
+    /// The server.
+    pub server: ServerId,
+    /// Utilization fractions for CPU/mem/net.
+    pub usage: ResourceUsage,
+    /// Number of actors resident at snapshot time.
+    pub actor_count: usize,
+}
+
+/// A complete profiling snapshot: what every LEM ships to its GEM.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileSnapshot {
+    /// When the window closed.
+    pub at: SimTime,
+    /// Length of the window.
+    pub window: SimDuration,
+    /// Per-actor stats, ordered by actor id.
+    pub actors: Vec<ActorWindowStats>,
+    /// Per-server stats, ordered by server id.
+    pub servers: Vec<ServerWindowStats>,
+}
+
+impl ProfileSnapshot {
+    /// Returns the stats of actors hosted on `server`.
+    pub fn actors_on(&self, server: ServerId) -> impl Iterator<Item = &ActorWindowStats> {
+        self.actors.iter().filter(move |a| a.server == server)
+    }
+
+    /// Returns the stats for one server, if present.
+    pub fn server(&self, server: ServerId) -> Option<&ServerWindowStats> {
+        self.servers.iter().find(|s| s.server == server)
+    }
+
+    /// Returns the stats for one actor, if present.
+    pub fn actor(&self, actor: ActorId) -> Option<&ActorWindowStats> {
+        self.actors.iter().find(|a| a.actor == actor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let mut c = ActorCounters::default();
+        c.record_call(CallerKind::Client, None, FnId(0), 100);
+        c.record_call(CallerKind::Client, None, FnId(0), 50);
+        c.record_call(
+            CallerKind::Actor(ActorTypeId(2)),
+            Some(ActorId(9)),
+            FnId(1),
+            10,
+        );
+        c.record_cpu(SimDuration::from_millis(3));
+        assert_eq!(c.total_received(), 3);
+        let stat = c.calls_from_kind(CallerKind::Client, FnId(0));
+        assert_eq!(
+            stat,
+            CallStat {
+                count: 2,
+                bytes: 150
+            }
+        );
+        c.reset();
+        assert_eq!(c.total_received(), 0);
+        assert_eq!(c.cpu_busy, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn per_instance_and_kind_aggregation() {
+        let mut c = ActorCounters::default();
+        let t = ActorTypeId(1);
+        c.record_call(CallerKind::Actor(t), Some(ActorId(1)), FnId(0), 10);
+        c.record_call(CallerKind::Actor(t), Some(ActorId(1)), FnId(0), 10);
+        c.record_call(CallerKind::Actor(t), Some(ActorId(2)), FnId(0), 10);
+        assert_eq!(c.calls_from_actor(ActorId(1), FnId(0)).count, 2);
+        assert_eq!(c.calls_from_actor(ActorId(2), FnId(0)).count, 1);
+        assert_eq!(c.calls_from_actor(ActorId(3), FnId(0)).count, 0);
+        assert_eq!(c.calls_from_kind(CallerKind::Actor(t), FnId(0)).count, 3);
+    }
+
+    #[test]
+    fn snapshot_filters() {
+        let snap = ProfileSnapshot {
+            at: SimTime::from_secs(10),
+            window: SimDuration::from_secs(1),
+            actors: vec![
+                ActorWindowStats {
+                    actor: ActorId(1),
+                    type_id: ActorTypeId(0),
+                    server: ServerId(0),
+                    state_size: 10,
+                    pinned: false,
+                    cpu_share: 0.5,
+                    counters: ActorCounters::default(),
+                    refs: BTreeMap::new(),
+                },
+                ActorWindowStats {
+                    actor: ActorId(2),
+                    type_id: ActorTypeId(0),
+                    server: ServerId(1),
+                    state_size: 10,
+                    pinned: true,
+                    cpu_share: 0.1,
+                    counters: ActorCounters::default(),
+                    refs: BTreeMap::new(),
+                },
+            ],
+            servers: vec![ServerWindowStats {
+                server: ServerId(0),
+                usage: ResourceUsage::new(0.9, 0.1, 0.2),
+                actor_count: 1,
+            }],
+        };
+        assert_eq!(snap.actors_on(ServerId(0)).count(), 1);
+        assert_eq!(snap.actors_on(ServerId(1)).count(), 1);
+        assert!(snap.server(ServerId(0)).is_some());
+        assert!(snap.server(ServerId(9)).is_none());
+        assert!(snap.actor(ActorId(2)).unwrap().pinned);
+    }
+}

@@ -1,0 +1,291 @@
+//! A distributed B+ tree (Table 1).
+//!
+//! Inner nodes and leaf nodes are actors; a lookup descends root -> inner ->
+//! leaf. The Table-1 rules keep the hot upper levels of the tree together
+//! (lookups always traverse them) while spreading the leaf nodes — which
+//! hold the data and absorb the per-key work — across the cluster:
+//!
+//! 1. colocate parent-child inner nodes,
+//! 2. put leaf nodes on separate servers.
+
+use plasma::prelude::*;
+use plasma_sim::SimTime;
+
+/// Schema for the B+ tree policy.
+pub fn schema() -> ActorSchema {
+    let mut schema = ActorSchema::new();
+    schema.actor_type("Inner").prop("children").func("lookup");
+    schema.actor_type("Leaf").func("get");
+    schema
+}
+
+/// The Table-1 B+ tree rules.
+pub fn policy() -> &'static str {
+    "Inner(c) in ref(Inner(p).children) => colocate(c, p);\n\
+     true => separate(Leaf(a), Leaf(b));"
+}
+
+/// An inner node routing lookups by key.
+struct Inner {
+    /// Child nodes in key order (inner nodes or leaves).
+    children: Vec<ActorId>,
+    /// Keyspace width this node covers.
+    span: u64,
+}
+
+/// Lookup payload: the key.
+struct Key(u64);
+
+impl ActorLogic for Inner {
+    fn on_message(&mut self, ctx: &mut ActorCtx<'_>, msg: &mut Message) {
+        ctx.work(0.0003);
+        let Some(key) = msg.take_payload::<Key>() else {
+            return;
+        };
+        let per_child = (self.span / self.children.len() as u64).max(1);
+        let idx = ((key.0 / per_child) as usize).min(self.children.len() - 1);
+        let child = self.children[idx];
+        let next_fname = "lookup"; // Inner children re-route; leaves answer any fname.
+        ctx.send_with(child, next_fname, 64, Box::new(Key(key.0 % per_child)));
+    }
+}
+
+/// A leaf node holding real key-value data.
+struct Leaf {
+    data: std::collections::BTreeMap<u64, u64>,
+}
+
+impl ActorLogic for Leaf {
+    fn on_message(&mut self, ctx: &mut ActorCtx<'_>, msg: &mut Message) {
+        ctx.work(0.002);
+        let value = msg
+            .take_payload::<Key>()
+            .and_then(|k| self.data.get(&k.0).copied())
+            .unwrap_or(0);
+        ctx.reply_with(128, Box::new(value));
+    }
+}
+
+/// B+ tree configuration.
+#[derive(Clone, Debug)]
+pub struct BptreeConfig {
+    /// Fanout of the root (number of mid-level inner nodes).
+    pub fanout: usize,
+    /// Leaves per mid-level inner node.
+    pub leaves_per_inner: usize,
+    /// Keys per leaf.
+    pub keys_per_leaf: u64,
+    /// Servers.
+    pub servers: usize,
+    /// Clients issuing lookups.
+    pub clients: usize,
+    /// Run length.
+    pub run_for: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BptreeConfig {
+    fn default() -> Self {
+        BptreeConfig {
+            fanout: 4,
+            leaves_per_inner: 4,
+            keys_per_leaf: 64,
+            servers: 4,
+            clients: 12,
+            run_for: SimDuration::from_secs(160),
+            seed: 37,
+        }
+    }
+}
+
+/// The built tree's actor ids, for assertions and lookups.
+#[derive(Debug)]
+pub struct TreeIds {
+    /// The root inner node.
+    pub root: ActorId,
+    /// Mid-level inner nodes.
+    pub inners: Vec<ActorId>,
+    /// Leaf nodes.
+    pub leaves: Vec<ActorId>,
+    /// Total keyspace width.
+    pub span: u64,
+}
+
+/// Builds the tree on the first server of `rt` and wires references.
+pub fn build_tree(rt: &mut Runtime, cfg: &BptreeConfig, home: ServerId) -> TreeIds {
+    let leaves_total = cfg.fanout * cfg.leaves_per_inner;
+    let span = leaves_total as u64 * cfg.keys_per_leaf;
+    let mut leaves = Vec::new();
+    let mut inners = Vec::new();
+    let mut key = 0u64;
+    for _ in 0..cfg.fanout {
+        let mut children = Vec::new();
+        for _ in 0..cfg.leaves_per_inner {
+            let data: std::collections::BTreeMap<u64, u64> =
+                (0..cfg.keys_per_leaf).map(|k| (k, key + k)).collect();
+            key += cfg.keys_per_leaf;
+            let leaf = rt.spawn_actor("Leaf", Box::new(Leaf { data }), 4 << 20, home);
+            children.push(leaf);
+            leaves.push(leaf);
+        }
+        let inner = rt.spawn_actor(
+            "Inner",
+            Box::new(Inner {
+                children: children.clone(),
+                span: cfg.keys_per_leaf * cfg.leaves_per_inner as u64,
+            }),
+            256 << 10,
+            home,
+        );
+        for c in children {
+            rt.actor_add_ref(inner, "children", c);
+        }
+        inners.push(inner);
+    }
+    let root = rt.spawn_actor(
+        "Inner",
+        Box::new(Inner {
+            children: inners.clone(),
+            span,
+        }),
+        256 << 10,
+        home,
+    );
+    for &i in &inners {
+        rt.actor_add_ref(root, "children", i);
+    }
+    TreeIds {
+        root,
+        inners,
+        leaves,
+        span,
+    }
+}
+
+/// A client looking up uniformly random keys.
+struct LookupClient {
+    root: ActorId,
+    span: u64,
+    think: SimDuration,
+}
+
+impl LookupClient {
+    fn fire(&mut self, ctx: &mut ClientCtx<'_>) {
+        let key = ctx.rng().below(self.span);
+        ctx.request_with(self.root, "lookup", 64, Box::new(Key(key)));
+    }
+}
+
+impl ClientLogic for LookupClient {
+    fn on_start(&mut self, ctx: &mut ClientCtx<'_>) {
+        self.fire(ctx);
+    }
+
+    fn on_reply(
+        &mut self,
+        ctx: &mut ClientCtx<'_>,
+        _request: u64,
+        _latency: SimDuration,
+        _payload: Option<Payload>,
+    ) {
+        ctx.set_timer(self.think, 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ClientCtx<'_>, _token: u64) {
+        self.fire(ctx);
+    }
+}
+
+/// Results of one B+ tree run.
+#[derive(Debug)]
+pub struct BptreeReport {
+    /// Distinct servers hosting leaves at the end.
+    pub leaf_servers: usize,
+    /// Whether all inner nodes ended on the root's server.
+    pub inners_with_root: bool,
+    /// Mean lookup latency (ms).
+    pub mean_ms: f64,
+    /// Lookups completed.
+    pub lookups: u64,
+}
+
+/// Runs the B+ tree under the Table-1 policy.
+pub fn run(cfg: &BptreeConfig) -> BptreeReport {
+    let mut app = Plasma::builder()
+        .runtime_config(RuntimeConfig {
+            seed: cfg.seed,
+            elasticity_period: SimDuration::from_secs(30),
+            min_residency: SimDuration::from_secs(30),
+            profile_window: SimDuration::from_secs(5),
+            ..RuntimeConfig::default()
+        })
+        .policy(policy(), &schema())
+        .build()
+        .expect("bptree policy compiles");
+    let rt = app.runtime_mut();
+    let servers: Vec<ServerId> = (0..cfg.servers)
+        .map(|_| rt.add_server(InstanceType::m1_small()))
+        .collect();
+    let tree = build_tree(rt, cfg, servers[0]);
+    for _ in 0..cfg.clients {
+        rt.add_client(Box::new(LookupClient {
+            root: tree.root,
+            span: tree.span,
+            think: SimDuration::from_millis(40),
+        }));
+    }
+    app.run_until(SimTime::ZERO + cfg.run_for);
+    let rt = app.runtime();
+    let root_home = rt.actor_server(tree.root);
+    let inners_with_root = tree.inners.iter().all(|&i| rt.actor_server(i) == root_home);
+    let leaf_servers = tree
+        .leaves
+        .iter()
+        .map(|&l| rt.actor_server(l))
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+    BptreeReport {
+        leaf_servers,
+        inners_with_root,
+        mean_ms: rt.report().mean_latency_ms(),
+        lookups: rt.report().replies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups_return_real_values() {
+        // Without elasticity: verify the data plane itself.
+        let mut rt = Runtime::new(RuntimeConfig {
+            seed: 1,
+            ..RuntimeConfig::default()
+        });
+        let s = rt.add_server(InstanceType::m1_medium());
+        let cfg = BptreeConfig::default();
+        let tree = build_tree(&mut rt, &cfg, s);
+        rt.add_client(Box::new(LookupClient {
+            root: tree.root,
+            span: tree.span,
+            think: SimDuration::from_millis(10),
+        }));
+        rt.run_until(SimTime::from_secs(5));
+        assert!(rt.report().replies > 50);
+        assert_eq!(rt.report().dropped_messages, 0);
+    }
+
+    #[test]
+    fn policy_spreads_leaves_and_keeps_inners_together() {
+        let report = run(&BptreeConfig::default());
+        assert!(report.inners_with_root, "inner nodes colocated with root");
+        assert!(
+            report.leaf_servers >= 3,
+            "leaves spread over servers: {}",
+            report.leaf_servers
+        );
+        assert!(report.lookups > 100);
+    }
+}

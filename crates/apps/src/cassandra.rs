@@ -1,0 +1,235 @@
+//! Cassandra-style replica placement (Table 1).
+//!
+//! Tables are replicated for fault tolerance; replicas of the same table
+//! must not share a server, or one machine failure takes out multiple
+//! copies. The Table-1 rule expresses exactly that with `separate` over the
+//! table's replica references — a purely structural policy (no resource
+//! condition at all).
+
+use plasma::prelude::*;
+use plasma_sim::SimTime;
+
+/// Schema for the Cassandra policy.
+pub fn schema() -> ActorSchema {
+    let mut schema = ActorSchema::new();
+    schema
+        .actor_type("TableMeta")
+        .prop("replicas")
+        .func("locate");
+    schema.actor_type("Replica").func("read").func("write");
+    schema
+}
+
+/// The Table-1 Cassandra rule: replicas of one table on different servers.
+pub fn policy() -> &'static str {
+    "Replica(r1) in ref(TableMeta(t).replicas) and \
+     Replica(r2) in ref(t.replicas) => separate(r1, r2);"
+}
+
+/// Table metadata: routes reads to one replica, writes to all.
+struct TableMeta {
+    replicas: Vec<ActorId>,
+    next: usize,
+}
+
+impl ActorLogic for TableMeta {
+    fn on_message(&mut self, ctx: &mut ActorCtx<'_>, msg: &mut Message) {
+        ctx.work(0.0004);
+        if self.replicas.is_empty() {
+            ctx.reply(64);
+            return;
+        }
+        if msg.bytes > 512 {
+            // A write: fan out to every replica; the primary acknowledges.
+            for (i, &r) in self.replicas.clone().iter().enumerate() {
+                if i == 0 {
+                    ctx.send(r, "write", msg.bytes);
+                } else {
+                    ctx.send_detached(r, "write", msg.bytes);
+                }
+            }
+        } else {
+            let r = self.replicas[self.next % self.replicas.len()];
+            self.next += 1;
+            ctx.send(r, "read", 64);
+        }
+    }
+}
+
+/// A data replica.
+struct Replica {
+    rows: u64,
+}
+
+impl ActorLogic for Replica {
+    fn on_message(&mut self, ctx: &mut ActorCtx<'_>, msg: &mut Message) {
+        if msg.fname == ctx.fn_id("write") {
+            ctx.work(0.002);
+            self.rows += 1;
+            ctx.set_state_size((8 << 20) + self.rows / 1024);
+        } else {
+            ctx.work(0.001);
+        }
+        if msg.corr.is_some() {
+            ctx.reply(256);
+        }
+    }
+}
+
+/// Cassandra experiment configuration.
+#[derive(Clone, Debug)]
+pub struct CassandraConfig {
+    /// Number of tables.
+    pub tables: usize,
+    /// Replication factor.
+    pub replication: usize,
+    /// Servers.
+    pub servers: usize,
+    /// Clients.
+    pub clients: usize,
+    /// Run length.
+    pub run_for: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CassandraConfig {
+    fn default() -> Self {
+        CassandraConfig {
+            tables: 6,
+            replication: 3,
+            servers: 5,
+            clients: 10,
+            run_for: SimDuration::from_secs(150),
+            seed: 47,
+        }
+    }
+}
+
+/// A client mixing reads (80%) and writes (20%).
+struct KvClient {
+    tables: Vec<ActorId>,
+    think: SimDuration,
+}
+
+impl KvClient {
+    fn fire(&mut self, ctx: &mut ClientCtx<'_>) {
+        let table = *ctx.rng().choose(&self.tables.clone());
+        if ctx.rng().chance(0.2) {
+            ctx.request(table, "locate", 2 << 10);
+        } else {
+            ctx.request(table, "locate", 96);
+        }
+    }
+}
+
+impl ClientLogic for KvClient {
+    fn on_start(&mut self, ctx: &mut ClientCtx<'_>) {
+        self.fire(ctx);
+    }
+
+    fn on_reply(
+        &mut self,
+        ctx: &mut ClientCtx<'_>,
+        _request: u64,
+        _latency: SimDuration,
+        _payload: Option<Payload>,
+    ) {
+        ctx.set_timer(self.think, 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ClientCtx<'_>, _token: u64) {
+        self.fire(ctx);
+    }
+}
+
+/// Results of one Cassandra run.
+#[derive(Debug)]
+pub struct CassandraReport {
+    /// Tables whose replicas all ended on distinct servers.
+    pub fully_separated_tables: usize,
+    /// Total tables.
+    pub tables: usize,
+    /// Migrations performed.
+    pub migrations: usize,
+}
+
+/// Runs the replica-placement experiment: all replicas start piled onto
+/// one server (the worst deployment) and the policy untangles them.
+pub fn run(cfg: &CassandraConfig) -> CassandraReport {
+    let mut app = Plasma::builder()
+        .runtime_config(RuntimeConfig {
+            seed: cfg.seed,
+            elasticity_period: SimDuration::from_secs(25),
+            min_residency: SimDuration::from_secs(25),
+            profile_window: SimDuration::from_secs(5),
+            ..RuntimeConfig::default()
+        })
+        .policy(policy(), &schema())
+        .build()
+        .expect("cassandra policy compiles");
+    let rt = app.runtime_mut();
+    let servers: Vec<ServerId> = (0..cfg.servers)
+        .map(|_| rt.add_server(InstanceType::m1_medium()))
+        .collect();
+    let mut metas = Vec::new();
+    let mut replica_sets = Vec::new();
+    for i in 0..cfg.tables {
+        let home = servers[i % 2]; // Piled onto two servers initially.
+        let replicas: Vec<ActorId> = (0..cfg.replication)
+            .map(|_| rt.spawn_actor("Replica", Box::new(Replica { rows: 0 }), 8 << 20, home))
+            .collect();
+        let meta = rt.spawn_actor(
+            "TableMeta",
+            Box::new(TableMeta {
+                replicas: replicas.clone(),
+                next: 0,
+            }),
+            1 << 20,
+            home,
+        );
+        for &r in &replicas {
+            rt.actor_add_ref(meta, "replicas", r);
+        }
+        metas.push(meta);
+        replica_sets.push(replicas);
+    }
+    for _ in 0..cfg.clients {
+        rt.add_client(Box::new(KvClient {
+            tables: metas.clone(),
+            think: SimDuration::from_millis(60),
+        }));
+    }
+    app.run_until(SimTime::ZERO + cfg.run_for);
+    let rt = app.runtime();
+    let fully_separated_tables = replica_sets
+        .iter()
+        .filter(|replicas| {
+            let servers: std::collections::BTreeSet<ServerId> =
+                replicas.iter().map(|&r| rt.actor_server(r)).collect();
+            servers.len() == replicas.len()
+        })
+        .count();
+    CassandraReport {
+        fully_separated_tables,
+        tables: cfg.tables,
+        migrations: rt.report().migrations.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicas_end_on_distinct_servers() {
+        let report = run(&CassandraConfig::default());
+        assert!(report.migrations > 0);
+        assert!(
+            report.fully_separated_tables * 3 >= report.tables * 2,
+            "most tables fully separated: {}/{}",
+            report.fully_separated_tables,
+            report.tables
+        );
+    }
+}

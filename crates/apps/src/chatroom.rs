@@ -1,0 +1,211 @@
+//! The chat-room microbenchmark (§5.2, Table 3).
+//!
+//! Users, each represented by an actor, exchange messages within one room:
+//! a `say` request costs CPU at the speaking user and fans out to every
+//! other user in the room, whose `recv` handlers cost CPU too. All actors
+//! sit on a single server and clients saturate it, so the measured makespan
+//! is CPU-bound — exactly the regime in which Table 3 quantifies the EPR's
+//! profiling tax.
+
+use plasma::prelude::*;
+use plasma_sim::SimTime;
+
+use crate::common::ClosedLoop;
+
+/// The EPL-visible schema (no rules are attached in the overhead study;
+/// actors must stay stationary as in the paper).
+pub fn schema() -> ActorSchema {
+    let mut schema = ActorSchema::new();
+    schema.actor_type("ChatUser").func("say").func("recv");
+    schema
+}
+
+/// Chat-room experiment configuration.
+#[derive(Clone, Debug)]
+pub struct ChatConfig {
+    /// Number of users (8/16/32 in Table 3).
+    pub users: usize,
+    /// Hosting instance (`m1.small` = `s`, `m1.medium` = `m` in Table 3).
+    pub instance: InstanceType,
+    /// Messages each user sends before finishing.
+    pub messages_per_user: u64,
+    /// Whether the profiling runtime (EPR) is enabled.
+    pub epr_enabled: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChatConfig {
+    fn default() -> Self {
+        ChatConfig {
+            users: 8,
+            instance: InstanceType::m1_small(),
+            messages_per_user: 200,
+            epr_enabled: true,
+            seed: 1,
+        }
+    }
+}
+
+/// Results of one chat-room run.
+#[derive(Clone, Copy, Debug)]
+pub struct ChatReport {
+    /// Time until every user finished sending and receiving replies.
+    pub makespan: SimDuration,
+    /// Mean end-to-end `say` latency in milliseconds.
+    pub mean_latency_ms: f64,
+}
+
+struct ChatUser {
+    peers: Vec<ActorId>,
+    say_work: f64,
+    recv_work: f64,
+}
+
+impl ActorLogic for ChatUser {
+    fn on_message(&mut self, ctx: &mut ActorCtx<'_>, msg: &mut Message) {
+        if msg.fname == ctx.fn_id("say") {
+            ctx.work(self.say_work);
+            for &p in &self.peers {
+                ctx.send_detached(p, "recv", 48);
+            }
+            ctx.reply(16);
+        } else {
+            ctx.work(self.recv_work);
+        }
+    }
+}
+
+/// A chat client that marks its completion time in the report.
+struct ChatClient {
+    inner: ClosedLoop,
+}
+
+impl ClientLogic for ChatClient {
+    fn on_start(&mut self, ctx: &mut ClientCtx<'_>) {
+        self.inner.on_start(ctx);
+    }
+
+    fn on_reply(
+        &mut self,
+        ctx: &mut ClientCtx<'_>,
+        request: u64,
+        latency: SimDuration,
+        payload: Option<Payload>,
+    ) {
+        self.inner.on_reply(ctx, request, latency, payload);
+        if self.inner.sent == self.inner.max_requests {
+            ctx.record("chat.client_done", ctx.now().as_secs_f64());
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ClientCtx<'_>, token: u64) {
+        self.inner.on_timer(ctx, token);
+    }
+}
+
+/// Runs the chat room and returns its makespan and mean latency.
+pub fn run(cfg: &ChatConfig) -> ChatReport {
+    let mut rt = Runtime::new(RuntimeConfig {
+        seed: cfg.seed,
+        epr_enabled: cfg.epr_enabled,
+        ..RuntimeConfig::default()
+    });
+    let server = rt.add_server(cfg.instance.clone());
+    // Actor ids are assigned sequentially from zero, so the full room
+    // membership is known before the first spawn.
+    let ids: Vec<ActorId> = (0..cfg.users as u64).map(ActorId).collect();
+    for i in 0..cfg.users {
+        let peers: Vec<ActorId> = ids
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &p)| p)
+            .collect();
+        let id = rt.spawn_actor(
+            "ChatUser",
+            Box::new(ChatUser {
+                peers: peers.clone(),
+                say_work: 0.0015,
+                recv_work: 0.0002,
+            }),
+            16 << 10,
+            server,
+        );
+        assert_eq!(id, ids[i], "deterministic id assignment");
+        for p in peers {
+            rt.actor_add_ref(id, "room", p);
+        }
+    }
+    for &u in &ids {
+        rt.add_client(Box::new(ChatClient {
+            inner: ClosedLoop {
+                target: u,
+                fname: "say",
+                bytes: 128,
+                think: SimDuration::ZERO,
+                max_requests: cfg.messages_per_user,
+                sent: 0,
+            },
+        }));
+    }
+    rt.run_until(SimTime::from_secs(3_600));
+    let makespan = rt
+        .report()
+        .series("chat.client_done")
+        .and_then(|s| s.points().iter().map(|&(t, _)| t).max())
+        .map(|t| t.saturating_since(SimTime::ZERO))
+        .unwrap_or(SimDuration::MAX);
+    ChatReport {
+        makespan,
+        mean_latency_ms: rt.report().mean_latency_ms(),
+    }
+}
+
+/// Runs the Table-3 comparison: normalized execution time with profiling
+/// enabled over profiling disabled (1.0 = no overhead).
+pub fn normalized_overhead(users: usize, instance: InstanceType, seed: u64) -> f64 {
+    let base = ChatConfig {
+        users,
+        instance,
+        messages_per_user: 150,
+        epr_enabled: false,
+        seed,
+    };
+    let with_epr = ChatConfig {
+        epr_enabled: true,
+        ..base.clone()
+    };
+    let t_off = run(&base).makespan.as_secs_f64();
+    let t_on = run(&with_epr).makespan.as_secs_f64();
+    t_on / t_off
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chat_room_completes() {
+        let report = run(&ChatConfig {
+            users: 4,
+            messages_per_user: 20,
+            ..ChatConfig::default()
+        });
+        assert!(report.makespan < SimDuration::from_secs(3_600));
+        assert!(report.mean_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn overhead_is_small_but_positive() {
+        let ratio = normalized_overhead(8, InstanceType::m1_small(), 7);
+        assert!(ratio > 1.0, "profiling must cost something: {ratio}");
+        assert!(ratio < 1.03, "Table 3 band is <= 2.3%: {ratio}");
+    }
+
+    #[test]
+    fn more_users_still_bounded_overhead() {
+        let ratio = normalized_overhead(16, InstanceType::m1_medium(), 9);
+        assert!((1.0..1.03).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Shared building blocks for the application suite.
+
+use plasma::prelude::*;
+
+/// A generic CPU-burning actor: `work` units per request, then a reply.
+pub struct WorkActor {
+    /// CPU work per request, in work units.
+    pub work: f64,
+    /// Reply payload size in bytes.
+    pub reply_bytes: u64,
+}
+
+impl ActorLogic for WorkActor {
+    fn on_message(&mut self, ctx: &mut ActorCtx<'_>, _msg: &mut Message) {
+        ctx.work(self.work);
+        ctx.reply(self.reply_bytes);
+    }
+}
+
+/// An open-loop client: one request to `target` every `period`, forever.
+pub struct Pulse {
+    /// Request destination.
+    pub target: ActorId,
+    /// Invoked function name.
+    pub fname: &'static str,
+    /// Request payload size.
+    pub bytes: u64,
+    /// Inter-request period.
+    pub period: SimDuration,
+}
+
+impl ClientLogic for Pulse {
+    fn on_start(&mut self, ctx: &mut ClientCtx<'_>) {
+        ctx.set_timer(SimDuration::ZERO, 0);
+    }
+
+    fn on_reply(
+        &mut self,
+        _ctx: &mut ClientCtx<'_>,
+        _request: u64,
+        _latency: SimDuration,
+        _payload: Option<Payload>,
+    ) {
+    }
+
+    fn on_timer(&mut self, ctx: &mut ClientCtx<'_>, _token: u64) {
+        ctx.request(self.target, self.fname, self.bytes);
+        ctx.set_timer(self.period, 0);
+    }
+}
+
+/// A closed-loop client: next request fires when the reply lands (after an
+/// optional think time), up to `max_requests`.
+pub struct ClosedLoop {
+    /// Request destination.
+    pub target: ActorId,
+    /// Invoked function name.
+    pub fname: &'static str,
+    /// Request payload size.
+    pub bytes: u64,
+    /// Pause between reply and next request.
+    pub think: SimDuration,
+    /// Total requests to issue (`u64::MAX` for unbounded).
+    pub max_requests: u64,
+    /// Requests issued so far.
+    pub sent: u64,
+}
+
+impl ClosedLoop {
+    /// Creates an unbounded closed-loop client with zero think time.
+    pub fn saturating(target: ActorId, fname: &'static str, bytes: u64) -> Self {
+        ClosedLoop {
+            target,
+            fname,
+            bytes,
+            think: SimDuration::ZERO,
+            max_requests: u64::MAX,
+            sent: 0,
+        }
+    }
+}
+
+impl ClientLogic for ClosedLoop {
+    fn on_start(&mut self, ctx: &mut ClientCtx<'_>) {
+        if self.max_requests > 0 {
+            self.sent += 1;
+            ctx.request(self.target, self.fname, self.bytes);
+        }
+    }
+
+    fn on_reply(
+        &mut self,
+        ctx: &mut ClientCtx<'_>,
+        _request: u64,
+        _latency: SimDuration,
+        _payload: Option<Payload>,
+    ) {
+        if self.sent < self.max_requests {
+            if self.think.is_zero() {
+                self.sent += 1;
+                ctx.request(self.target, self.fname, self.bytes);
+            } else {
+                ctx.set_timer(self.think, 1);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ClientCtx<'_>, token: u64) {
+        if token == 1 && self.sent < self.max_requests {
+            self.sent += 1;
+            ctx.request(self.target, self.fname, self.bytes);
+        }
+    }
+}
+
+/// Splits `total` items as evenly as possible over `k` buckets
+/// (first `total % k` buckets get one extra).
+pub fn spread(total: usize, k: usize) -> Vec<usize> {
+    let base = total / k;
+    let extra = total % k;
+    (0..k).map(|i| base + usize::from(i < extra)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_is_fair_and_total() {
+        assert_eq!(spread(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(spread(8, 4), vec![2, 2, 2, 2]);
+        assert_eq!(spread(3, 5), vec![1, 1, 1, 0, 0]);
+        assert_eq!(spread(10, 4).iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn closed_loop_respects_max() {
+        let mut rt = Runtime::new(RuntimeConfig {
+            seed: 1,
+            ..RuntimeConfig::default()
+        });
+        let s = rt.add_server(InstanceType::m1_small());
+        let worker = rt.spawn_actor(
+            "W",
+            Box::new(WorkActor {
+                work: 0.001,
+                reply_bytes: 8,
+            }),
+            64,
+            s,
+        );
+        rt.add_client(Box::new(ClosedLoop {
+            target: worker,
+            fname: "run",
+            bytes: 32,
+            think: SimDuration::from_millis(5),
+            max_requests: 7,
+            sent: 0,
+        }));
+        rt.run_until(SimTime::from_secs(10));
+        assert_eq!(rt.report().requests, 7);
+        assert_eq!(rt.report().replies, 7);
+    }
+
+    #[test]
+    fn pulse_is_open_loop() {
+        let mut rt = Runtime::new(RuntimeConfig {
+            seed: 1,
+            ..RuntimeConfig::default()
+        });
+        let s = rt.add_server(InstanceType::m1_small());
+        let worker = rt.spawn_actor(
+            "W",
+            Box::new(WorkActor {
+                work: 0.5, // Heavily backlogged on purpose.
+                reply_bytes: 8,
+            }),
+            64,
+            s,
+        );
+        rt.add_client(Box::new(Pulse {
+            target: worker,
+            fname: "run",
+            bytes: 32,
+            period: SimDuration::from_millis(100),
+        }));
+        rt.run_until(SimTime::from_secs(10));
+        // Open loop keeps sending even though replies lag far behind.
+        assert!(rt.report().requests >= 99);
+        assert!(rt.report().replies < 25);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! The PLASMA application suite.
+//!
+//! Table 1 of the paper lists ten applications ported to PLASMA; the first
+//! five are evaluated in §5 and the chat-room microbenchmark drives the
+//! overhead study of §5.2. This crate implements all of them against the
+//! actor runtime, each exposing:
+//!
+//! - `schema()` — the actor types/properties/functions the EPL compiles
+//!   against,
+//! - `policy()` — the paper's elasticity rules, verbatim in EPL syntax,
+//! - a config struct and a `run(...)` entry point returning the
+//!   measurements its paper figure needs.
+//!
+//! | module | application | paper section |
+//! |---|---|---|
+//! | [`chatroom`] | chat-room microbenchmark | §5.2, Table 3 |
+//! | [`metadata`] | Metadata Server | §5.3, Fig. 5 |
+//! | [`pagerank`] | distributed PageRank (+ Mizan baseline) | §5.4, Figs. 6-8 |
+//! | [`estore`] | E-Store elastic OLTP partitioning | §5.5, Fig. 9 |
+//! | [`media`] | Media Service microservices | §5.6, Fig. 10 |
+//! | [`halo`] | Halo 4 Presence Service | §5.7, Fig. 11 |
+//! | [`bptree`] | distributed B+ tree | Table 1 |
+//! | [`piccolo`] | Piccolo-style partitioned tables | Table 1 |
+//! | [`zexpander`] | zExpander-style key-value cache | Table 1 |
+//! | [`cassandra`] | Cassandra-style replica placement | Table 1 |
+
+pub mod bptree;
+pub mod cassandra;
+pub mod chatroom;
+pub mod common;
+pub mod estore;
+pub mod halo;
+pub mod media;
+pub mod metadata;
+pub mod pagerank;
+pub mod piccolo;
+pub mod table1;
+pub mod zexpander;

@@ -1,0 +1,201 @@
+//! Piccolo-style partitioned-table computation (Table 1).
+//!
+//! Piccolo programs are kernels running on `Worker` actors that read and
+//! accumulate into partitioned in-memory `Table` actors. The Table-1 rules:
+//!
+//! 1. balance CPU workload for Workers,
+//! 2. colocate each Worker with the Table partition it reads from.
+
+use plasma::prelude::*;
+use plasma_sim::SimTime;
+
+/// Schema for the Piccolo policy.
+pub fn schema() -> ActorSchema {
+    let mut schema = ActorSchema::new();
+    schema.actor_type("Worker").func("kernel");
+    schema.actor_type("Table").func("get").func("put");
+    schema
+}
+
+/// The Table-1 Piccolo rules.
+pub fn policy() -> &'static str {
+    "server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);\n\
+     Worker(w).call(Table(t).get).count > 0 => colocate(t, w);"
+}
+
+/// A self-driving kernel worker: each round it reads its table, computes,
+/// and writes back, then schedules the next round via a self-message.
+struct Worker {
+    table: ActorId,
+    compute_work: f64,
+}
+
+impl ActorLogic for Worker {
+    fn on_message(&mut self, ctx: &mut ActorCtx<'_>, msg: &mut Message) {
+        if msg.fname == ctx.fn_id("kernel") {
+            ctx.work(self.compute_work);
+            ctx.send_detached(self.table, "get", 4 << 10);
+            ctx.send_detached(self.table, "put", 8 << 10);
+            // Next round.
+            let me = ctx.me();
+            ctx.send_detached(me, "kernel", 16);
+        }
+    }
+}
+
+/// A table partition: cheap gets/puts over real storage.
+struct Table {
+    entries: std::collections::BTreeMap<u64, f64>,
+    cursor: u64,
+}
+
+impl ActorLogic for Table {
+    fn on_message(&mut self, ctx: &mut ActorCtx<'_>, msg: &mut Message) {
+        ctx.work(0.0005);
+        if msg.fname == ctx.fn_id("put") {
+            self.cursor += 1;
+            let k = self.cursor % 1024;
+            *self.entries.entry(k).or_insert(0.0) += 1.0;
+        }
+    }
+}
+
+/// Piccolo experiment configuration.
+#[derive(Clone, Debug)]
+pub struct PiccoloConfig {
+    /// Number of workers (and tables).
+    pub workers: usize,
+    /// Servers.
+    pub servers: usize,
+    /// Per-round compute work of worker `i` is
+    /// `base_work * (1 + i * skew)` — heterogeneous kernels.
+    pub base_work: f64,
+    /// Work skew across workers.
+    pub skew: f64,
+    /// Run length.
+    pub run_for: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PiccoloConfig {
+    fn default() -> Self {
+        PiccoloConfig {
+            workers: 12,
+            servers: 4,
+            base_work: 0.015,
+            skew: 0.25,
+            run_for: SimDuration::from_secs(200),
+            seed: 41,
+        }
+    }
+}
+
+/// Results of one Piccolo run.
+#[derive(Debug)]
+pub struct PiccoloReport {
+    /// Workers colocated with their table at the end.
+    pub colocated: usize,
+    /// Total workers.
+    pub workers: usize,
+    /// Max/min per-server CPU over the last window.
+    pub cpu_spread: (f64, f64),
+    /// Migrations performed.
+    pub migrations: usize,
+}
+
+/// Runs Piccolo under the Table-1 policy.
+pub fn run(cfg: &PiccoloConfig) -> PiccoloReport {
+    let mut app = Plasma::builder()
+        .runtime_config(RuntimeConfig {
+            seed: cfg.seed,
+            elasticity_period: SimDuration::from_secs(20),
+            min_residency: SimDuration::from_secs(20),
+            profile_window: SimDuration::from_secs(20),
+            ..RuntimeConfig::default()
+        })
+        .policy(policy(), &schema())
+        .build()
+        .expect("piccolo policy compiles");
+    let rt = app.runtime_mut();
+    let servers: Vec<ServerId> = (0..cfg.servers)
+        .map(|_| rt.add_server(InstanceType::m1_medium()))
+        .collect();
+    let mut pairs = Vec::new();
+    for i in 0..cfg.workers {
+        // Workers start clustered on the first half of the cluster; their
+        // tables start on the second half (worst-case locality).
+        let ws = servers[i % (cfg.servers / 2).max(1)];
+        let ts = servers[cfg.servers / 2 + i % (cfg.servers - cfg.servers / 2)];
+        let table = rt.spawn_actor(
+            "Table",
+            Box::new(Table {
+                entries: Default::default(),
+                cursor: 0,
+            }),
+            24 << 20,
+            ts,
+        );
+        let work = cfg.base_work * (1.0 + i as f64 * cfg.skew);
+        let worker = rt.spawn_actor(
+            "Worker",
+            Box::new(Worker {
+                table,
+                compute_work: work,
+            }),
+            2 << 20,
+            ws,
+        );
+        rt.inject(worker, "kernel", 16, None);
+        pairs.push((worker, table));
+    }
+    app.run_until(SimTime::ZERO + cfg.run_for);
+    let rt = app.runtime();
+    let colocated = pairs
+        .iter()
+        .filter(|&&(w, t)| rt.actor_server(w) == rt.actor_server(t))
+        .count();
+    let mut cpus: Vec<f64> = rt
+        .cluster()
+        .running_ids()
+        .into_iter()
+        .filter_map(|s| rt.snapshot().server(s).map(|x| x.usage.cpu()))
+        .collect();
+    cpus.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    PiccoloReport {
+        colocated,
+        workers: cfg.workers,
+        cpu_spread: (
+            cpus.first().copied().unwrap_or(0.0),
+            cpus.last().copied().unwrap_or(0.0),
+        ),
+        migrations: rt.report().migrations.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_follow_their_workers() {
+        let report = run(&PiccoloConfig::default());
+        assert!(report.migrations > 0);
+        assert!(
+            report.colocated * 3 >= report.workers * 2,
+            "most worker-table pairs colocated: {}/{}",
+            report.colocated,
+            report.workers
+        );
+    }
+
+    #[test]
+    fn cpu_balanced_within_reasonable_spread() {
+        let report = run(&PiccoloConfig::default());
+        let (min, max) = report.cpu_spread;
+        assert!(
+            max - min < 0.45,
+            "cpu spread after balancing: {min:.2}..{max:.2}"
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! zExpander-style key-value cache (Table 1).
+//!
+//! zExpander splits a cache into a small hot tier and a large compressed
+//! cold tier. Here an `Index` actor routes gets to `Leaf` cache nodes; a
+//! Zipf workload concentrates traffic in a few hot leaves. The Table-1
+//! rule "put leaf nodes on idle servers" reserves the hot leaves dedicated
+//! capacity when their host saturates.
+
+use plasma::prelude::*;
+use plasma_sim::rng::Zipf;
+use plasma_sim::SimTime;
+
+/// Schema for the zExpander policy.
+pub fn schema() -> ActorSchema {
+    let mut schema = ActorSchema::new();
+    schema.actor_type("Index").func("route");
+    schema.actor_type("Leaf").func("get");
+    schema
+}
+
+/// The Table-1 zExpander rule.
+pub fn policy() -> &'static str {
+    "server.cpu.perc > 80 and client.call(Leaf(l).get).perc > 30 => reserve(l, cpu);"
+}
+
+/// A cache leaf with real entries.
+struct Leaf {
+    entries: std::collections::BTreeMap<u64, u64>,
+    get_work: f64,
+}
+
+impl ActorLogic for Leaf {
+    fn on_message(&mut self, ctx: &mut ActorCtx<'_>, msg: &mut Message) {
+        ctx.work(self.get_work);
+        let value = msg
+            .take_payload::<u64>()
+            .map(|k| self.entries.get(&k).copied().unwrap_or(0))
+            .unwrap_or(0);
+        ctx.reply_with(256, Box::new(value));
+    }
+}
+
+/// zExpander experiment configuration.
+#[derive(Clone, Debug)]
+pub struct ZexpanderConfig {
+    /// Number of cache leaves.
+    pub leaves: usize,
+    /// Keys per leaf.
+    pub keys_per_leaf: u64,
+    /// Zipf skew of key popularity.
+    pub zipf: f64,
+    /// Clients.
+    pub clients: usize,
+    /// Run length.
+    pub run_for: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ZexpanderConfig {
+    fn default() -> Self {
+        ZexpanderConfig {
+            leaves: 8,
+            keys_per_leaf: 512,
+            zipf: 1.1,
+            clients: 16,
+            run_for: SimDuration::from_secs(200),
+            seed: 43,
+        }
+    }
+}
+
+/// A cache client drawing leaves from a Zipf popularity distribution.
+struct CacheClient {
+    leaves: Vec<ActorId>,
+    zipf: Zipf,
+    keys_per_leaf: u64,
+    think: SimDuration,
+}
+
+impl CacheClient {
+    fn fire(&mut self, ctx: &mut ClientCtx<'_>) {
+        let leaf_idx = self.zipf.sample(ctx.rng());
+        let key = ctx.rng().below(self.keys_per_leaf);
+        ctx.request_with(self.leaves[leaf_idx], "get", 64, Box::new(key));
+    }
+}
+
+impl ClientLogic for CacheClient {
+    fn on_start(&mut self, ctx: &mut ClientCtx<'_>) {
+        self.fire(ctx);
+    }
+
+    fn on_reply(
+        &mut self,
+        ctx: &mut ClientCtx<'_>,
+        _request: u64,
+        _latency: SimDuration,
+        _payload: Option<Payload>,
+    ) {
+        ctx.set_timer(self.think, 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ClientCtx<'_>, _token: u64) {
+        self.fire(ctx);
+    }
+}
+
+/// Results of one zExpander run.
+#[derive(Debug)]
+pub struct ZexpanderReport {
+    /// Server of the hottest leaf at the end.
+    pub hot_leaf_moved: bool,
+    /// Number of actors sharing the hot leaf's final server.
+    pub hot_leaf_neighbors: usize,
+    /// Mean latency before/after the first elasticity period (ms).
+    pub before_after_ms: (f64, f64),
+    /// Migrations performed.
+    pub migrations: usize,
+}
+
+/// Runs zExpander under the Table-1 policy.
+pub fn run(cfg: &ZexpanderConfig) -> ZexpanderReport {
+    let period = SimDuration::from_secs(40);
+    let mut app = Plasma::builder()
+        .runtime_config(RuntimeConfig {
+            seed: cfg.seed,
+            elasticity_period: period,
+            min_residency: period,
+            profile_window: SimDuration::from_secs(5),
+            ..RuntimeConfig::default()
+        })
+        .policy(policy(), &schema())
+        .build()
+        .expect("zexpander policy compiles");
+    let rt = app.runtime_mut();
+    let home = rt.add_server(InstanceType::m1_small());
+    let _spare = rt.add_server(InstanceType::m1_small());
+    let leaves: Vec<ActorId> = (0..cfg.leaves)
+        .map(|i| {
+            let entries: std::collections::BTreeMap<u64, u64> = (0..cfg.keys_per_leaf)
+                .map(|k| (k, k + i as u64 * cfg.keys_per_leaf))
+                .collect();
+            rt.spawn_actor(
+                "Leaf",
+                Box::new(Leaf {
+                    entries,
+                    get_work: 0.003,
+                }),
+                16 << 20,
+                home,
+            )
+        })
+        .collect();
+    for _ in 0..cfg.clients {
+        rt.add_client(Box::new(CacheClient {
+            leaves: leaves.clone(),
+            zipf: Zipf::new(cfg.leaves, cfg.zipf),
+            keys_per_leaf: cfg.keys_per_leaf,
+            think: SimDuration::from_millis(40),
+        }));
+    }
+    app.run_until(SimTime::ZERO + cfg.run_for);
+    let rt = app.runtime();
+    let hot = leaves[0]; // Zipf rank 0 is the hottest leaf.
+    let hot_server = rt.actor_server(hot);
+    let report = rt.report();
+    let buckets = report.latency_series.buckets();
+    let mean_over = |lo: f64, hi: f64| {
+        let vals: Vec<f64> = buckets
+            .iter()
+            .filter(|&&(t, _)| t.as_secs_f64() >= lo && t.as_secs_f64() < hi)
+            .map(|&(_, v)| v)
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    };
+    ZexpanderReport {
+        hot_leaf_moved: hot_server != home,
+        hot_leaf_neighbors: rt.actor_count_on(hot_server) - 1,
+        before_after_ms: (
+            mean_over(0.0, period.as_secs_f64()),
+            mean_over(cfg.run_for.as_secs_f64() * 0.7, cfg.run_for.as_secs_f64()),
+        ),
+        migrations: report.migrations.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_leaf_gets_a_dedicated_server() {
+        let report = run(&ZexpanderConfig::default());
+        assert!(report.migrations >= 1);
+        assert!(report.hot_leaf_moved, "hot leaf reserved onto idle server");
+        assert!(
+            report.hot_leaf_neighbors <= 1,
+            "dedicated-ish placement, {} neighbors",
+            report.hot_leaf_neighbors
+        );
+    }
+
+    #[test]
+    fn latency_improves_after_reservation() {
+        let report = run(&ZexpanderConfig::default());
+        let (before, after) = report.before_after_ms;
+        assert!(
+            after < before,
+            "latency should drop after reserve: {before} -> {after}"
+        );
+    }
+}

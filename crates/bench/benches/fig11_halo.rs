@@ -1,0 +1,87 @@
+//! Fig. 11: Halo Presence Service.
+//!
+//! (a) interaction rule vs frequency-based default rule: smooth vs spiky
+//!     latency as clients join in waves.
+//! (b) per-client latency in the first round: lucky placements ~20 ms,
+//!     unlucky ~35% higher until re-distribution.
+//! (c) router CPU balance with 1/2/4 GEMs: similar latency curves.
+
+use plasma_apps::halo::{run, run_scale, HaloConfig, HaloScaleConfig, Mode};
+use plasma_bench::{banner, print_series, write_json};
+
+fn main() {
+    banner(
+        "Fig. 11 - Halo Presence Service",
+        "(a) inter-rule smooth vs def-rule spiky; (b) per-client placement spread; (c) GEM count barely matters",
+    );
+    // (a) interaction vs default rule.
+    let inter = run(&HaloConfig::default());
+    let def = run(&HaloConfig {
+        mode: Mode::DefRule,
+        ..HaloConfig::default()
+    });
+    println!("(a) average heartbeat latency");
+    print_series(
+        &format!(
+            "inter-rule (mean {:.1} ms, peak {:.1} ms)",
+            inter.mean_ms, inter.peak_ms
+        ),
+        &inter.latency_series,
+        24,
+    );
+    print_series(
+        &format!(
+            "def-rule (mean {:.1} ms, peak {:.1} ms)",
+            def.mean_ms, def.peak_ms
+        ),
+        &def.latency_series,
+        24,
+    );
+
+    // (b) per-client latency under the default rule, first round.
+    let single = run(&HaloConfig {
+        mode: Mode::DefRule,
+        rounds: 1,
+        clients: 8,
+        ..HaloConfig::default()
+    });
+    println!("\n(b) per-client latency with the default rule (first round)");
+    for (client, series) in &single.client_latency {
+        let first = series.first().map(|&(_, v)| v).unwrap_or(0.0);
+        let last = series.last().map(|&(_, v)| v).unwrap_or(0.0);
+        println!("   c{client}: first bucket {first:>6.1} ms -> final {last:>6.1} ms");
+    }
+
+    // (c) GEM-count sweep with the resource rule.
+    println!("\n(c) router balance with 1/2/4 GEMs");
+    let mut gems_out = Vec::new();
+    for gems in [1usize, 2, 4] {
+        let r = run_scale(&HaloScaleConfig {
+            gems,
+            ..HaloScaleConfig::default()
+        });
+        print_series(
+            &format!(
+                "{gems} GEM(s): tail {:.1} ms, migrations {}",
+                r.tail_ms, r.migrations
+            ),
+            &r.latency_series,
+            16,
+        );
+        gems_out.push(serde_json::json!({
+            "gems": gems,
+            "tail_ms": r.tail_ms,
+            "migrations": r.migrations,
+            "series": r.latency_series,
+        }));
+    }
+    write_json(
+        "fig11_halo",
+        &serde_json::json!({
+            "inter_rule": { "mean_ms": inter.mean_ms, "peak_ms": inter.peak_ms, "series": inter.latency_series },
+            "def_rule": { "mean_ms": def.mean_ms, "peak_ms": def.peak_ms, "series": def.latency_series },
+            "per_client_first_round": single.client_latency,
+            "gem_sweep": gems_out,
+        }),
+    );
+}

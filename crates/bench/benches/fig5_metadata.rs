@@ -1,0 +1,64 @@
+//! Fig. 5: Metadata Server latency under three elasticity setups.
+//!
+//! Paper: the informed `reserve`+`colocate` rule cuts latency ~40% once the
+//! elasticity period elapses, while the application-blind default rule
+//! (move the heaviest actor to an idle server) shows no visible benefit
+//! over no elasticity at all, because folder accesses drag remote file
+//! accesses behind them.
+
+use plasma_apps::metadata::{run, MetadataConfig, Mode};
+use plasma_bench::{banner, print_series, write_json};
+
+fn main() {
+    banner(
+        "Fig. 5 - Metadata Server: res-col-rule vs def-rule vs no-rule",
+        "res-col-rule reduces latency ~40%; def-rule ~= no-rule",
+    );
+    let mut out = serde_json::Map::new();
+    let mut after = Vec::new();
+    for (mode, tag) in [
+        (Mode::ResColRule, "res-col-rule"),
+        (Mode::DefRule, "def-rule"),
+        (Mode::NoRule, "no-rule"),
+    ] {
+        let report = run(&MetadataConfig {
+            mode,
+            ..MetadataConfig::default()
+        });
+        let series: Vec<(f64, f64)> = report
+            .latency_series
+            .buckets()
+            .into_iter()
+            .map(|(t, v)| (t.as_secs_f64(), v))
+            .collect();
+        print_series(
+            &format!(
+                "{tag}: before {:.1} ms, after {:.1} ms, migrations {}",
+                report.before_ms, report.after_ms, report.migrations
+            ),
+            &series,
+            20,
+        );
+        after.push((tag, report.after_ms));
+        out.insert(
+            tag.to_string(),
+            serde_json::json!({
+                "before_ms": report.before_ms,
+                "after_ms": report.after_ms,
+                "migrations": report.migrations,
+                "series": series,
+            }),
+        );
+    }
+    let rescol = after[0].1;
+    let norule = after[2].1;
+    println!(
+        "\nres-col-rule vs no-rule latency reduction: {:.0}% (paper: ~40%)",
+        (1.0 - rescol / norule) * 100.0
+    );
+    println!(
+        "def-rule vs no-rule latency reduction: {:.0}% (paper: ~0%)",
+        (1.0 - after[1].1 / norule) * 100.0
+    );
+    write_json("fig5_metadata", &serde_json::Value::Object(out));
+}

@@ -1,0 +1,89 @@
+//! Fig. 7: PageRank dynamic workload balance.
+//!
+//! (a) normalized per-iteration time: PLASMA's elasticity reduces it up to
+//!     ~24% vs without elasticity; Mizan's vertex migration manages ~3%.
+//! (b) per-server CPU% over redistribution rounds.
+//! (c) per-server worker-actor counts over redistribution rounds.
+
+use plasma_apps::pagerank::{run, Mode, PageRankConfig};
+use plasma_bench::{banner, write_json};
+
+fn cfg(mode: Mode) -> PageRankConfig {
+    PageRankConfig {
+        mode,
+        max_iters: 30,
+        seed: 21,
+        ..PageRankConfig::default()
+    }
+}
+
+fn main() {
+    banner(
+        "Fig. 7 - PageRank dynamic workload balance",
+        "(a) PLASMA -24% iteration time vs -3% for Mizan; (b,c) CPU and actors converge",
+    );
+    let plasma = run(&cfg(Mode::Plasma));
+    let none = run(&cfg(Mode::None));
+    let mizan = run(&cfg(Mode::Mizan));
+    let mizan_none = none.clone();
+
+    // (a) Normalize to the first iteration of the respective no-elasticity
+    // case, as the paper does.
+    let base = none.iteration_times.first().copied().unwrap_or(1.0);
+    println!("(a) normalized iteration time (base = first no-elasticity iteration)");
+    println!(
+        "{:>5} {:>14} {:>14} {:>14} {:>14}",
+        "iter", "PLASMA w/", "PLASMA w/o", "Mizan w/", "Mizan w/o"
+    );
+    let n = plasma
+        .iteration_times
+        .len()
+        .min(none.iteration_times.len())
+        .min(mizan.iteration_times.len());
+    for i in 0..n {
+        println!(
+            "{:>5} {:>14.3} {:>14.3} {:>14.3} {:>14.3}",
+            i + 1,
+            plasma.iteration_times[i] / base,
+            none.iteration_times[i] / base,
+            mizan.iteration_times[i] / base,
+            mizan_none.iteration_times[i] / base,
+        );
+    }
+    let tail = |v: &[f64]| v[v.len().saturating_sub(6)..].iter().sum::<f64>() / 6.0;
+    let plasma_gain = 1.0 - tail(&plasma.iteration_times) / tail(&none.iteration_times);
+    let mizan_gain = 1.0 - tail(&mizan.iteration_times) / tail(&none.iteration_times);
+    println!(
+        "\nsteady-state gain: PLASMA {:.0}% (paper: up to 24%), Mizan {:.0}% (paper: up to 3%)",
+        plasma_gain * 100.0,
+        mizan_gain * 100.0
+    );
+
+    // (b) Per-server CPU over redistribution rounds (PLASMA run).
+    println!("\n(b) CPU% of each server per redistribution (PLASMA)");
+    for (server, series) in &plasma.server_cpu {
+        let vals: Vec<String> = series.iter().map(|&(_, v)| format!("{v:4.2}")).collect();
+        println!("   {server:?}: {}", vals.join(" "));
+    }
+
+    // (c) Worker distribution over redistribution rounds.
+    println!("\n(c) actor count of each server per redistribution (PLASMA)");
+    for (server, series) in &plasma.server_actors {
+        let vals: Vec<String> = series.iter().map(|&(_, v)| format!("{v:3.0}")).collect();
+        println!("   {server:?}: {}", vals.join(" "));
+    }
+    println!("\nmigrations performed by PLASMA: {}", plasma.migrations);
+    write_json(
+        "fig7_pagerank_balance",
+        &serde_json::json!({
+            "plasma_iters_s": plasma.iteration_times,
+            "none_iters_s": none.iteration_times,
+            "mizan_iters_s": mizan.iteration_times,
+            "plasma_gain": plasma_gain,
+            "mizan_gain": mizan_gain,
+            "server_cpu": plasma.server_cpu.iter().map(|(s, v)| (format!("{s:?}"), v.clone())).collect::<Vec<_>>(),
+            "server_actors": plasma.server_actors.iter().map(|(s, v)| (format!("{s:?}"), v.clone())).collect::<Vec<_>>(),
+            "migrations": plasma.migrations,
+        }),
+    );
+}

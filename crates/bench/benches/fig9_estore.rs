@@ -1,0 +1,59 @@
+//! Fig. 9: E-Store latency with in-app elasticity vs PLASMA rules vs none.
+//!
+//! Paper: PLASMA E-Store and the hand-written in-app E-Store elasticity
+//! track each other closely, and both clearly beat no elasticity.
+
+use plasma_apps::estore::{run, EstoreConfig, Mode};
+use plasma_bench::{banner, print_series, write_json};
+
+fn main() {
+    banner(
+        "Fig. 9 - E-Store application latency",
+        "PLASMA E-Store ~= in-app E-Store, both below no-elasticity",
+    );
+    let mut out = serde_json::Map::new();
+    let mut tails = Vec::new();
+    for (mode, tag) in [
+        (Mode::Plasma, "PLASMA E-Store"),
+        (Mode::Native, "E-Store (in-app)"),
+        (Mode::None, "No Elasticity"),
+    ] {
+        let report = run(&EstoreConfig {
+            mode,
+            ..EstoreConfig::default()
+        });
+        let series: Vec<(f64, f64)> = report
+            .latency_series
+            .buckets()
+            .into_iter()
+            .map(|(t, v)| (t.as_secs_f64(), v))
+            .collect();
+        print_series(
+            &format!(
+                "{tag}: tail latency {:.1} ms, migrations {}",
+                report.tail_ms, report.migrations
+            ),
+            &series,
+            18,
+        );
+        tails.push((tag, report.tail_ms));
+        out.insert(
+            tag.to_string(),
+            serde_json::json!({
+                "tail_ms": report.tail_ms,
+                "migrations": report.migrations,
+                "series": series,
+            }),
+        );
+    }
+    println!(
+        "\nPLASMA/native latency ratio: {:.2} (paper: close to each other)",
+        tails[0].1 / tails[1].1
+    );
+    println!(
+        "elastic vs none improvement: PLASMA {:.0}%, native {:.0}%",
+        (1.0 - tails[0].1 / tails[2].1) * 100.0,
+        (1.0 - tails[1].1 / tails[2].1) * 100.0
+    );
+    write_json("fig9_estore", &serde_json::Value::Object(out));
+}

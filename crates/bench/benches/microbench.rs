@@ -1,0 +1,171 @@
+//! Criterion microbenchmarks of the PLASMA building blocks:
+//! policy compilation, rule evaluation, the simulation message path, and
+//! the EPR's real (wall-clock) bookkeeping cost per message.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use plasma::prelude::*;
+use plasma_actor::logic::ActorCtx;
+use plasma_actor::stats::ActorCounters;
+use plasma_actor::CallerKind;
+use plasma_emr::eval::solve;
+use plasma_emr::view::EvalCtx;
+use plasma_epl::compile;
+use plasma_sim::rng::Zipf;
+
+fn bench_epl_compile(c: &mut Criterion) {
+    let schema = plasma_apps::media::schema();
+    let source = plasma_apps::media::policy();
+    c.bench_function("epl_compile_media_policy", |b| {
+        b.iter(|| compile(black_box(source), black_box(&schema)).unwrap())
+    });
+}
+
+/// Builds a runtime with a folder/file topology and live traffic, runs it
+/// long enough to have a profiling snapshot, and returns it.
+fn profiled_runtime() -> Runtime {
+    struct Echo;
+    impl ActorLogic for Echo {
+        fn on_message(&mut self, ctx: &mut ActorCtx<'_>, _msg: &mut Message) {
+            ctx.work(0.0005);
+            ctx.reply(64);
+        }
+    }
+    struct Loop {
+        target: ActorId,
+    }
+    impl ClientLogic for Loop {
+        fn on_start(&mut self, ctx: &mut ClientCtx<'_>) {
+            ctx.request(self.target, "open", 64);
+        }
+        fn on_reply(
+            &mut self,
+            ctx: &mut ClientCtx<'_>,
+            _r: u64,
+            _l: SimDuration,
+            _p: Option<Payload>,
+        ) {
+            ctx.request(self.target, "open", 64);
+        }
+    }
+    let mut rt = Runtime::new(RuntimeConfig {
+        seed: 1,
+        ..RuntimeConfig::default()
+    });
+    let s0 = rt.add_server(InstanceType::m1_small());
+    let s1 = rt.add_server(InstanceType::m1_small());
+    for i in 0..24 {
+        let folder = rt.spawn_actor(
+            "Folder",
+            Box::new(Echo),
+            1 << 20,
+            if i % 2 == 0 { s0 } else { s1 },
+        );
+        let file = rt.spawn_actor("File", Box::new(Echo), 1 << 20, s0);
+        rt.actor_add_ref(folder, "files", file);
+        rt.add_client(Box::new(Loop { target: folder }));
+    }
+    rt.run_until(SimTime::from_secs(3));
+    rt
+}
+
+fn bench_rule_evaluation(c: &mut Criterion) {
+    let rt = profiled_runtime();
+    let mut schema = plasma_epl::ActorSchema::new();
+    schema.actor_type("Folder").prop("files").func("open");
+    schema.actor_type("File").func("read");
+    let policy = compile(
+        "server.cpu.perc > 1 and client.call(Folder(fo).open).perc > 2 \
+         and File(fi) in ref(fo.files) => reserve(fo, cpu); colocate(fo, fi);",
+        &schema,
+    )
+    .unwrap();
+    let scope = rt.cluster().running_ids();
+    c.bench_function("emr_solve_metadata_rule_48_actors", |b| {
+        b.iter(|| {
+            let ctx = EvalCtx::new(black_box(&rt), black_box(&scope));
+            black_box(solve(&policy.rules[0], &ctx).len())
+        })
+    });
+}
+
+fn bench_message_path(c: &mut Criterion) {
+    struct Echo;
+    impl ActorLogic for Echo {
+        fn on_message(&mut self, ctx: &mut ActorCtx<'_>, _msg: &mut Message) {
+            ctx.work(1e-6);
+            ctx.reply(8);
+        }
+    }
+    struct Loop {
+        target: ActorId,
+    }
+    impl ClientLogic for Loop {
+        fn on_start(&mut self, ctx: &mut ClientCtx<'_>) {
+            ctx.request(self.target, "ping", 8);
+        }
+        fn on_reply(
+            &mut self,
+            ctx: &mut ClientCtx<'_>,
+            _r: u64,
+            _l: SimDuration,
+            _p: Option<Payload>,
+        ) {
+            ctx.request(self.target, "ping", 8);
+        }
+    }
+    c.bench_function("simulate_10s_closed_loop_echo", |b| {
+        b.iter(|| {
+            let mut rt = Runtime::new(RuntimeConfig {
+                seed: 2,
+                ..RuntimeConfig::default()
+            });
+            let s = rt.add_server(InstanceType::m1_small());
+            let echo = rt.spawn_actor("Echo", Box::new(Echo), 64, s);
+            rt.add_client(Box::new(Loop { target: echo }));
+            rt.run_until(SimTime::from_secs(10));
+            black_box(rt.report().replies)
+        })
+    });
+}
+
+fn bench_epr_bookkeeping(c: &mut Criterion) {
+    // The real cost of what the EPR does per message (Table 3's subject).
+    c.bench_function("epr_record_call_and_cpu", |b| {
+        let mut counters = ActorCounters::default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            counters.record_call(
+                CallerKind::Actor(plasma_actor::ActorTypeId((i % 4) as u32)),
+                Some(ActorId(i % 64)),
+                plasma_actor::FnId((i % 8) as u32),
+                128,
+            );
+            counters.record_cpu(SimDuration::from_micros(3));
+            if i.is_multiple_of(4096) {
+                counters.reset();
+            }
+            black_box(counters.total_received())
+        })
+    });
+}
+
+fn bench_workload_sampling(c: &mut Criterion) {
+    let zipf = Zipf::new(1_000, 1.1);
+    let mut rng = DetRng::new(9);
+    c.bench_function("zipf_sample_1000_ranks", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_epl_compile,
+    bench_rule_evaluation,
+    bench_message_path,
+    bench_epr_bookkeeping,
+    bench_workload_sampling
+);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! One-stop imports for PLASMA applications.
+//!
+//! ```
+//! use plasma::prelude::*;
+//! ```
+
+pub use plasma_actor::logic::{ActorCtx, ClientCtx};
+pub use plasma_actor::message::Payload;
+pub use plasma_actor::{
+    ActorId, ActorLogic, ActorTypeId, ClientId, ClientLogic, ElasticityController, FnId, Message,
+    NullController, RunReport, Runtime, RuntimeConfig,
+};
+pub use plasma_cluster::topology::ClusterLimits;
+pub use plasma_cluster::{Cluster, InstanceType, NetworkModel, ResourceKind, ServerId};
+pub use plasma_emr::baselines::{FrequencyColocate, HeavyToIdle, OrleansBalance};
+pub use plasma_emr::{EmrConfig, PlasmaEmr};
+pub use plasma_epl::{compile, ActorSchema, CompileError};
+pub use plasma_sim::{DetRng, SimDuration, SimTime};
+
+pub use crate::{Plasma, PlasmaBuilder};

@@ -1,0 +1,117 @@
+//! Migration actions and priority-based conflict resolution (§4.3).
+
+use std::collections::BTreeMap;
+
+use plasma_actor::ids::ActorId;
+use plasma_cluster::ServerId;
+
+/// Which behavior produced an action (for diagnostics and priorities).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ActionKind {
+    /// Produced by a `balance` behavior (GEM).
+    Balance,
+    /// Produced by a `reserve` behavior (GEM).
+    Reserve,
+    /// Produced by a `colocate` behavior (LEM).
+    Colocate,
+    /// Produced by a `separate` behavior (LEM).
+    Separate,
+}
+
+/// One proposed migration: move `actor` from `src` to `dst`.
+///
+/// Mirrors the paper's Action datatype (Table 2b) with the rule priority
+/// attached for conflict resolution.
+#[derive(Clone, Copy, Debug)]
+pub struct Action {
+    /// The actor to migrate.
+    pub actor: ActorId,
+    /// The server currently holding the actor.
+    pub src: ServerId,
+    /// The migration target.
+    pub dst: ServerId,
+    /// The producing behavior.
+    pub kind: ActionKind,
+    /// Conflict-resolution priority (higher wins).
+    pub priority: u32,
+    /// Index of the producing rule, for diagnostics.
+    pub rule: usize,
+}
+
+/// Resolves conflicting actions: for each actor, keeps the action with the
+/// highest priority (ties broken by earliest rule, then by kind order of
+/// proposal). No-op moves (`src == dst`) are dropped.
+///
+/// This is the LEM's `resolveActions` (Alg. 1 line 14).
+pub fn resolve_conflicts(actions: Vec<Action>) -> Vec<Action> {
+    let mut best: BTreeMap<ActorId, Action> = BTreeMap::new();
+    for action in actions {
+        if action.src == action.dst {
+            continue;
+        }
+        match best.get(&action.actor) {
+            Some(existing)
+                if (existing.priority, std::cmp::Reverse(existing.rule))
+                    >= (action.priority, std::cmp::Reverse(action.rule)) => {}
+            _ => {
+                best.insert(action.actor, action);
+            }
+        }
+    }
+    best.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn action(actor: u64, dst: u32, priority: u32, rule: usize) -> Action {
+        Action {
+            actor: ActorId(actor),
+            src: ServerId(0),
+            dst: ServerId(dst),
+            kind: ActionKind::Balance,
+            priority,
+            rule,
+        }
+    }
+
+    #[test]
+    fn higher_priority_wins() {
+        let resolved = resolve_conflicts(vec![action(1, 1, 50, 0), action(1, 2, 100, 1)]);
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(resolved[0].dst, ServerId(2));
+    }
+
+    #[test]
+    fn order_of_proposal_does_not_matter_for_priority() {
+        let resolved = resolve_conflicts(vec![action(1, 2, 100, 1), action(1, 1, 50, 0)]);
+        assert_eq!(resolved[0].dst, ServerId(2));
+    }
+
+    #[test]
+    fn tie_breaks_by_earlier_rule() {
+        let resolved = resolve_conflicts(vec![action(1, 1, 50, 3), action(1, 2, 50, 1)]);
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(resolved[0].dst, ServerId(2), "rule 1 beats rule 3");
+    }
+
+    #[test]
+    fn distinct_actors_all_kept() {
+        let resolved = resolve_conflicts(vec![action(1, 1, 50, 0), action(2, 2, 50, 0)]);
+        assert_eq!(resolved.len(), 2);
+    }
+
+    #[test]
+    fn noop_moves_dropped() {
+        let resolved = resolve_conflicts(vec![Action {
+            actor: ActorId(1),
+            src: ServerId(3),
+            dst: ServerId(3),
+            kind: ActionKind::Colocate,
+            priority: 50,
+            rule: 0,
+        }]);
+        assert!(resolved.is_empty());
+    }
+}

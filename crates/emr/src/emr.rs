@@ -1,0 +1,611 @@
+//! [`PlasmaEmr`]: the elasticity controller wiring LEM and GEM planning
+//! into the actor runtime.
+//!
+//! One elasticity round follows the paper's two-level protocol (Figs. 2/4,
+//! Algs. 1-2):
+//!
+//! 1. **Tick** — LEMs read the profiling snapshot; each reports to its GEM.
+//!    GEMs with enough reports plan resource actions (`balance`,
+//!    `reserve`) over their managed servers and vote on scaling; LEMs plan
+//!    interaction actions (`colocate`, `separate`, `pin`), letting
+//!    colocation partners chase this round's resource migrations.
+//! 2. **Apply** (one control round-trip later) — conflicting actions are
+//!    resolved by priority, each migration is admitted only if the target
+//!    has idle capacity (the QUERY/QREPLY handshake of Alg. 1), and
+//!    admitted actions are handed to the runtime's live-migration machinery.
+//!
+//! Scaling follows §4.2: when a majority of GEMs observe all their servers
+//! overloaded, a server is provisioned; when a majority observe all idle,
+//! one server is drained and decommissioned.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use plasma_actor::ids::{ActorId, ActorTypeId};
+use plasma_actor::{ElasticityController, Runtime};
+use plasma_cluster::{InstanceType, ServerId};
+use plasma_epl::analyze::CompiledPolicy;
+use plasma_epl::ast::{ActorRef, Behavior, Cond, Feature};
+
+use crate::action::{resolve_conflicts, Action, ActionKind};
+use crate::gem::{Bounds, GemConfig};
+use crate::view::EvalCtx;
+use crate::{gem, lem};
+
+/// Control token for the apply phase.
+const TOKEN_APPLY: u64 = 1;
+
+/// Configuration of the EMR.
+#[derive(Clone, Debug)]
+pub struct EmrConfig {
+    /// Number of GEMs (the paper runs several for scalability and fault
+    /// tolerance, §5.7).
+    pub num_gems: usize,
+    /// Fallback watermarks for rules that state none.
+    pub default_bounds: Bounds,
+    /// Maximum migrations one `balance` invocation may plan per round.
+    pub max_balance_moves: usize,
+    /// Minimum utilization gap for a balance move.
+    pub min_gap: f64,
+    /// Whether the EMR may grow/shrink the cluster.
+    pub auto_scale: bool,
+    /// Flavor provisioned on scale-out.
+    pub scale_instance: InstanceType,
+    /// How many servers may be drained per round on scale-in.
+    pub scale_in_step: usize,
+    /// How many servers may be requested per round on scale-out.
+    pub scale_out_step: usize,
+    /// Alg. 2's `K`: a GEM only processes its reports once it has heard
+    /// from more than `k_reports` servers.
+    pub k_reports: usize,
+}
+
+impl Default for EmrConfig {
+    fn default() -> Self {
+        EmrConfig {
+            num_gems: 1,
+            default_bounds: Bounds::DEFAULT,
+            max_balance_moves: 8,
+            min_gap: 0.10,
+            auto_scale: false,
+            scale_instance: InstanceType::m1_small(),
+            scale_in_step: 2,
+            scale_out_step: 1,
+            k_reports: 0,
+        }
+    }
+}
+
+/// One planned-but-not-yet-applied elasticity round.
+struct Round {
+    actions: Vec<Action>,
+}
+
+/// Counters the EMR exports into the run report each round.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EmrStats {
+    /// Elasticity rounds executed.
+    pub ticks: u64,
+    /// Actions planned (pre conflict resolution).
+    pub planned: u64,
+    /// Migrations admitted and issued.
+    pub admitted: u64,
+    /// Actions dropped by admission control or migration guards.
+    pub rejected: u64,
+    /// Scale-out events.
+    pub scale_outs: u64,
+    /// Scale-in (decommission) events.
+    pub scale_ins: u64,
+}
+
+/// The PLASMA elasticity management runtime.
+pub struct PlasmaEmr {
+    policy: CompiledPolicy,
+    cfg: EmrConfig,
+    pending: Option<Round>,
+    /// Standing reservations: actor -> the dedicated server it was granted.
+    /// An entry shields its server from balance targets and stops the
+    /// reserve rule from re-planning the same actor every round; it is
+    /// pruned when the actor dies or drifts off its home.
+    reserved_homes: BTreeMap<ActorId, ServerId>,
+    reserved_servers: BTreeSet<ServerId>,
+    /// Actors currently pinned by this EMR's rules; pins are released when
+    /// their rule stops firing (otherwise `pin` would permanently defeat
+    /// scale-in).
+    pinned: BTreeSet<ActorId>,
+    draining: BTreeSet<ServerId>,
+    booting: usize,
+    /// Consecutive rounds with a majority scale-in vote; draining starts
+    /// only after two in a row, so one noisy profiling window (e.g. a
+    /// barrier lull) cannot decommission a busy server.
+    in_vote_streak: u32,
+    failed_gems: BTreeSet<usize>,
+    placement_counter: usize,
+    stats: EmrStats,
+}
+
+impl PlasmaEmr {
+    /// Creates an EMR executing `policy`.
+    pub fn new(policy: CompiledPolicy, cfg: EmrConfig) -> Self {
+        PlasmaEmr {
+            policy,
+            cfg,
+            pending: None,
+            reserved_homes: BTreeMap::new(),
+            reserved_servers: BTreeSet::new(),
+            pinned: BTreeSet::new(),
+            draining: BTreeSet::new(),
+            booting: 0,
+            in_vote_streak: 0,
+            failed_gems: BTreeSet::new(),
+            placement_counter: 0,
+            stats: EmrStats::default(),
+        }
+    }
+
+    /// Returns the accumulated statistics.
+    pub fn stats(&self) -> EmrStats {
+        self.stats
+    }
+
+    /// Simulates a GEM crash: its servers are re-assigned to the remaining
+    /// GEMs on the next round (the paper's shuffling fault tolerance,
+    /// §4.3).
+    pub fn fail_gem(&mut self, gem: usize) {
+        self.failed_gems.insert(gem);
+    }
+
+    /// Returns the number of live GEMs.
+    pub fn alive_gems(&self) -> usize {
+        self.cfg.num_gems.saturating_sub(self.failed_gems.len())
+    }
+
+    /// Partitions the in-scope servers among live GEMs (round-robin by
+    /// server id, skipping failed GEMs).
+    fn gem_assignment(&self, servers: &[ServerId]) -> Vec<Vec<ServerId>> {
+        let alive: Vec<usize> = (0..self.cfg.num_gems)
+            .filter(|g| !self.failed_gems.contains(g))
+            .collect();
+        if alive.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![Vec::new(); alive.len()];
+        for (i, &sid) in servers.iter().enumerate() {
+            out[i % alive.len()].push(sid);
+        }
+        out
+    }
+
+    /// The tightest balance-rule bounds in the policy (used for admission
+    /// and scaling decisions).
+    fn policy_bounds(&self) -> Bounds {
+        let mut bounds = self.cfg.default_bounds;
+        for rule in &self.policy.rules {
+            for cb in &rule.behaviors {
+                if let Behavior::Balance { res, .. } = &cb.behavior {
+                    let b = gem::extract_bounds(&rule.cond, *res, self.cfg.default_bounds);
+                    bounds = Bounds {
+                        upper: bounds.upper.min(b.upper),
+                        lower: bounds.lower.max(b.lower),
+                    };
+                }
+            }
+        }
+        bounds
+    }
+
+    fn in_scope_servers(&self, rt: &Runtime) -> Vec<ServerId> {
+        rt.cluster()
+            .running_ids()
+            .into_iter()
+            .filter(|s| !self.draining.contains(s))
+            .collect()
+    }
+
+    fn progress_draining(&mut self, rt: &mut Runtime) {
+        let draining: Vec<ServerId> = self.draining.iter().copied().collect();
+        for sid in draining {
+            if rt.actors_on(sid).is_empty() && rt.decommission_server(sid) {
+                self.draining.remove(&sid);
+                self.stats.scale_ins += 1;
+            }
+        }
+    }
+
+    fn plan_round(&mut self, rt: &mut Runtime) {
+        let scope = self.in_scope_servers(rt);
+        if scope.is_empty() {
+            return;
+        }
+        let gem_cfg = GemConfig {
+            default_bounds: self.cfg.default_bounds,
+            max_balance_moves: self.cfg.max_balance_moves,
+            min_gap: self.cfg.min_gap,
+        };
+        // Standing reservations persist while their actor lives on its
+        // dedicated home; entries for dead or drifted actors are pruned, so
+        // idle dedicated servers become reclaimable on scale-in.
+        self.reserved_homes
+            .retain(|&actor, &mut home| rt.actor_alive(actor) && rt.actor_server(actor) == home);
+        self.reserved_servers = self.reserved_homes.values().copied().collect();
+        // GEM phase: resource rules per GEM over its managed servers.
+        let mut all_actions: Vec<Action> = Vec::new();
+        let mut out_votes = 0usize;
+        let mut in_votes = 0usize;
+        let mut unplaced = 0usize;
+        let assignment = self.gem_assignment(&scope);
+        let gem_count = assignment.len();
+        let debug = std::env::var_os("PLASMA_EMR_DEBUG").is_some();
+        for servers in &assignment {
+            // Alg. 2 line 8: wait for more than K reports before planning.
+            if servers.len() <= self.cfg.k_reports {
+                continue;
+            }
+            let ctx = EvalCtx::new(rt, servers);
+            if debug {
+                for s in &ctx.servers {
+                    eprintln!(
+                        "[emr {}] {:?} cpu={:.2} actors={}",
+                        rt.now(),
+                        s.id,
+                        s.cpu,
+                        s.actor_count
+                    );
+                }
+                for a in ctx.actors() {
+                    eprintln!(
+                        "[emr]   {:?} on {:?} share={:.3} sent={} pinned={}",
+                        a.actor, a.server, a.cpu_share, a.counters.bytes_sent, a.pinned
+                    );
+                }
+            }
+            let plan = gem::plan(&self.policy, &ctx, &gem_cfg, &self.reserved_servers);
+            if debug {
+                eprintln!(
+                    "[emr] planned {} actions (out={} in={})",
+                    plan.actions.len(),
+                    plan.scale_out_vote,
+                    plan.scale_in_vote
+                );
+                for a in &plan.actions {
+                    eprintln!("[emr]   {a:?}");
+                }
+            }
+            out_votes += plan.scale_out_vote as usize;
+            in_votes += plan.scale_in_vote as usize;
+            unplaced += plan.unplaced_reserves;
+            self.reserved_servers.extend(plan.reserved.iter().copied());
+            all_actions.extend(plan.actions);
+        }
+        // LEM phase: interaction rules, chasing the GEM round's targets.
+        let pending_dst: BTreeMap<ActorId, ServerId> =
+            all_actions.iter().map(|a| (a.actor, a.dst)).collect();
+        let bounds = self.policy_bounds();
+        let lem_plan = {
+            let ctx = EvalCtx::new(rt, &scope);
+            lem::plan(
+                &self.policy,
+                &ctx,
+                &pending_dst,
+                bounds.upper,
+                &self.reserved_servers,
+            )
+        };
+        // Pin set is recomputed every round: pin while the rule fires,
+        // release when it no longer does.
+        let new_pins: BTreeSet<ActorId> = lem_plan.pins.iter().copied().collect();
+        for &actor in self.pinned.difference(&new_pins) {
+            rt.set_pinned(actor, false);
+        }
+        for &actor in &new_pins {
+            rt.set_pinned(actor, true);
+        }
+        self.pinned = new_pins;
+        all_actions.extend(lem_plan.actions);
+        self.stats.planned += all_actions.len() as u64;
+
+        // Scaling by GEM majority vote (§4.2). Unplaced reserves justify
+        // provisioning several servers in one round; the all-overloaded
+        // vote grows the cluster one server at a time.
+        if self.cfg.auto_scale && gem_count > 0 {
+            let majority = gem_count / 2 + 1;
+            if out_votes >= majority {
+                self.in_vote_streak = 0;
+                let want = unplaced
+                    .max(1)
+                    .min(self.cfg.scale_out_step)
+                    .saturating_sub(self.booting);
+                for _ in 0..want {
+                    if rt.request_server(self.cfg.scale_instance.clone()).is_some() {
+                        self.booting += 1;
+                        self.stats.scale_outs += 1;
+                    }
+                }
+            } else if in_votes >= majority && self.booting == 0 {
+                self.in_vote_streak += 1;
+                if self.in_vote_streak >= 2 {
+                    all_actions.extend(self.plan_scale_in(rt));
+                }
+            } else {
+                self.in_vote_streak = 0;
+            }
+        }
+
+        self.pending = Some(Round {
+            actions: resolve_conflicts(all_actions),
+        });
+        // Model the LEM -> GEM -> LEM control round-trip before applying.
+        rt.schedule_control(rt.control_latency() * 2, TOKEN_APPLY);
+    }
+
+    /// Drains the least-loaded servers for decommissioning.
+    fn plan_scale_in(&mut self, rt: &Runtime) -> Vec<Action> {
+        let scope = self.in_scope_servers(rt);
+        let min_servers = rt.cluster().limits().min_servers;
+        let mut spare = scope.len().saturating_sub(min_servers.max(1));
+        let mut actions = Vec::new();
+        let snapshot = rt.snapshot();
+        let mut by_load: Vec<ServerId> = scope.clone();
+        by_load.sort_by(|a, b| {
+            let ua = snapshot.server(*a).map(|s| s.usage.cpu()).unwrap_or(0.0);
+            let ub = snapshot.server(*b).map(|s| s.usage.cpu()).unwrap_or(0.0);
+            ua.partial_cmp(&ub).expect("finite usage")
+        });
+        for victim in by_load.into_iter().take(self.cfg.scale_in_step * 2) {
+            if spare == 0 {
+                break;
+            }
+            if self.reserved_servers.contains(&victim) {
+                continue;
+            }
+            // A server hosting pinned actors cannot be drained.
+            if rt.actors_on(victim).iter().any(|&a| rt.is_pinned(a)) {
+                continue;
+            }
+            spare -= 1;
+            self.draining.insert(victim);
+            // Spread the victim's actors over the surviving servers.
+            let survivors: Vec<ServerId> = self
+                .in_scope_servers(rt)
+                .into_iter()
+                .filter(|s| !self.draining.contains(s))
+                .collect();
+            if survivors.is_empty() {
+                self.draining.remove(&victim);
+                break;
+            }
+            for (i, actor) in rt.actors_on(victim).into_iter().enumerate() {
+                actions.push(Action {
+                    actor,
+                    src: victim,
+                    dst: survivors[i % survivors.len()],
+                    kind: ActionKind::Balance,
+                    priority: 100,
+                    rule: usize::MAX,
+                });
+            }
+        }
+        actions
+    }
+
+    fn apply_round(&mut self, rt: &mut Runtime) {
+        let Some(round) = self.pending.take() else {
+            return;
+        };
+        let bounds = self.policy_bounds();
+        // Admission control: the QUERY/QREPLY handshake of Alg. 1. Each
+        // target accepts an actor only while its projected usage stays
+        // within bounds (this is what lets `balance` win over `colocate`).
+        let snapshot = rt.snapshot();
+        let mut projected: BTreeMap<ServerId, f64> = rt
+            .cluster()
+            .running_ids()
+            .into_iter()
+            .map(|sid| {
+                let u = snapshot.server(sid).map(|s| s.usage.cpu()).unwrap_or(0.0);
+                (sid, u)
+            })
+            .collect();
+        let mut actions = round.actions;
+        actions.sort_by(|a, b| b.priority.cmp(&a.priority).then(a.rule.cmp(&b.rule)));
+        for action in actions {
+            let share = rt
+                .snapshot()
+                .actor(action.actor)
+                .map(|s| s.cpu_share)
+                .unwrap_or(0.0);
+            let src_speed = rt.cluster().server(action.src).instance().total_speed();
+            let dst = action.dst;
+            if !rt.cluster().server(dst).is_running() {
+                self.stats.rejected += 1;
+                continue;
+            }
+            let dst_speed = rt.cluster().server(dst).instance().total_speed();
+            let incoming = share * src_speed / dst_speed.max(1e-9);
+            let headroom_limit = if self.draining.contains(&action.src) {
+                // Draining moves must land somewhere; allow up to saturation.
+                0.95
+            } else {
+                bounds.upper
+            };
+            let projected_dst = projected.get(&dst).copied().unwrap_or(0.0);
+            let projected_src = projected.get(&action.src).copied().unwrap_or(0.0);
+            let accept = match action.kind {
+                ActionKind::Reserve => true,
+                // A balance move is admitted when the target stays within
+                // bounds, or - when the whole cluster runs hot - when it
+                // still strictly improves on the source (otherwise a
+                // saturated-but-skewed cluster could never rebalance).
+                ActionKind::Balance => {
+                    projected_dst + incoming <= headroom_limit + 1e-9
+                        || projected_dst + incoming < projected_src - share * 0.5
+                }
+                // Interaction moves must find genuinely idle capacity
+                // (the paper's balance-over-colocate admission, §4.3).
+                _ => projected_dst + incoming <= headroom_limit + 1e-9,
+            };
+            if !accept {
+                self.stats.rejected += 1;
+                if std::env::var_os("PLASMA_EMR_DEBUG").is_some() {
+                    eprintln!("[emr] reject(admission) {action:?} dst={projected_dst:.2}");
+                }
+                continue;
+            }
+            match rt.migrate(action.actor, dst) {
+                Ok(()) => {
+                    self.stats.admitted += 1;
+                    if action.kind == ActionKind::Reserve {
+                        self.reserved_homes.insert(action.actor, dst);
+                    }
+                    *projected.entry(dst).or_insert(0.0) += incoming;
+                    if let Some(u) = projected.get_mut(&action.src) {
+                        *u -= share;
+                    }
+                }
+                Err(e) => {
+                    self.stats.rejected += 1;
+                    if std::env::var_os("PLASMA_EMR_DEBUG").is_some() {
+                        eprintln!("[emr] reject({e:?}) {action:?}");
+                    }
+                }
+            }
+        }
+        rt.record_custom("emr.admitted", self.stats.admitted as f64);
+        rt.record_custom("emr.rejected", self.stats.rejected as f64);
+    }
+
+    /// Returns whether the policy wants `type_name` colocated with anything
+    /// (used for creation-time placement, §4.2).
+    fn type_in_colocate(&self, type_name: &str) -> bool {
+        self.policy.rules.iter().any(|rule| {
+            rule.behaviors.iter().any(|cb| match &cb.behavior {
+                Behavior::Colocate(a, b) => {
+                    ref_names_type(rule, a, type_name) || ref_names_type(rule, b, type_name)
+                }
+                _ => false,
+            }) || cond_mentions_inref_type(rule, &rule.cond, type_name)
+        })
+    }
+
+    fn type_in_reserve_or_balance(&self, type_name: &str) -> bool {
+        self.policy.rules.iter().any(|rule| {
+            rule.behaviors.iter().any(|cb| match &cb.behavior {
+                Behavior::Reserve { actor, .. } => ref_names_type(rule, actor, type_name),
+                Behavior::Balance { types, .. } => types.iter().any(|t| match t {
+                    plasma_epl::ast::AType::Any => true,
+                    plasma_epl::ast::AType::Named(n) => n == type_name,
+                }),
+                _ => false,
+            })
+        })
+    }
+}
+
+fn ref_names_type(
+    rule: &plasma_epl::analyze::CompiledRule,
+    aref: &ActorRef,
+    type_name: &str,
+) -> bool {
+    match rule.ref_type(aref) {
+        plasma_epl::ast::AType::Any => true,
+        plasma_epl::ast::AType::Named(n) => n == type_name,
+    }
+}
+
+fn cond_mentions_inref_type(
+    rule: &plasma_epl::analyze::CompiledRule,
+    cond: &Cond,
+    type_name: &str,
+) -> bool {
+    match cond {
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            cond_mentions_inref_type(rule, a, type_name)
+                || cond_mentions_inref_type(rule, b, type_name)
+        }
+        Cond::InRef { member, owner, .. } => {
+            ref_names_type(rule, member, type_name) || ref_names_type(rule, owner, type_name)
+        }
+        Cond::Compare {
+            feat: Feature::Call { caller, callee, .. },
+            ..
+        } => {
+            if let plasma_epl::ast::Caller::Actor(a) = caller {
+                if ref_names_type(rule, a, type_name) {
+                    return true;
+                }
+            }
+            ref_names_type(rule, callee, type_name)
+        }
+        _ => false,
+    }
+}
+
+impl ElasticityController for PlasmaEmr {
+    fn on_elasticity_tick(&mut self, rt: &mut Runtime) {
+        self.stats.ticks += 1;
+        self.progress_draining(rt);
+        self.plan_round(rt);
+    }
+
+    fn on_control(&mut self, rt: &mut Runtime, token: u64) {
+        if token == TOKEN_APPLY {
+            self.apply_round(rt);
+        }
+    }
+
+    fn on_server_ready(&mut self, rt: &mut Runtime, _server: ServerId) {
+        self.booting = self.booting.saturating_sub(1);
+        let _ = rt;
+    }
+
+    fn place_new_actor(
+        &mut self,
+        rt: &Runtime,
+        type_id: ActorTypeId,
+        creator: Option<ServerId>,
+    ) -> Option<ServerId> {
+        let type_name = rt.names().type_name(type_id).to_string();
+        let scope = self.in_scope_servers(rt);
+        if scope.is_empty() {
+            return None;
+        }
+        // Rule-guided placement (§4.2). Resource rules dominate: a type the
+        // policy identifies as CPU-intensive (reserve/balance) starts on
+        // the server with the most idle CPU, exactly as the paper
+        // describes ("identify atype actors as CPU-intensive ... put on a
+        // server with idle CPU resources").
+        if self.type_in_reserve_or_balance(&type_name) {
+            // Rotate across the idle third of the cluster rather than
+            // always picking the single least-loaded server: utilization
+            // snapshots lag by one profiling window, so a join burst would
+            // otherwise herd every new actor onto the same machine.
+            let snapshot = rt.snapshot();
+            let mut candidates: Vec<ServerId> = scope
+                .iter()
+                .copied()
+                .filter(|s| !self.reserved_servers.contains(s))
+                .collect();
+            if candidates.is_empty() {
+                candidates = scope.clone();
+            }
+            candidates.sort_by(|a, b| {
+                let ua = snapshot.server(*a).map(|s| s.usage.cpu()).unwrap_or(0.0);
+                let ub = snapshot.server(*b).map(|s| s.usage.cpu()).unwrap_or(0.0);
+                ua.partial_cmp(&ub).expect("finite usage")
+            });
+            let tier = candidates.len().div_ceil(3);
+            self.placement_counter = self.placement_counter.wrapping_add(1);
+            return Some(candidates[self.placement_counter % tier]);
+        }
+        // Otherwise colocate rules put the new actor next to its creator
+        // (the actor that will hold a reference to it).
+        if self.type_in_colocate(&type_name) {
+            if let Some(c) = creator {
+                return Some(c);
+            }
+        }
+        // No applicable rule: round-robin across managed servers (the
+        // paper's GEM "randomly picks a server").
+        self.placement_counter = self.placement_counter.wrapping_add(1);
+        Some(scope[self.placement_counter % scope.len()])
+    }
+}

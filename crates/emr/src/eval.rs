@@ -1,0 +1,333 @@
+//! The condition evaluator: computes variable bindings satisfying a rule.
+//!
+//! Evaluation works over *environments*: partial assignments of the rule's
+//! implicit variables (plus the implicit "the server" of `server.*`
+//! conditions). Conjunction threads environments left to right, extending
+//! them as variables bind; disjunction unions the environments produced by
+//! each branch.
+//!
+//! Scoping semantics (derived from the paper's examples):
+//!
+//! - `server.res.perc` binds or filters the environment's server.
+//! - Actor variables in `Compare` conditions are restricted to the bound
+//!   server when one is bound (e.g. "this folder receives more than 40% of
+//!   client requests among all Folder actors *on this server*").
+//! - `in ref(...)` conditions are *not* server-restricted: references cross
+//!   servers, which is exactly what `colocate` repairs.
+//! - Variables that first appear in a behavior (e.g.
+//!   `reserve(VideoStream(v), cpu)`) expand at instantiation over actors on
+//!   the environment's server, or over all in-scope actors when no server
+//!   is bound.
+
+use std::collections::BTreeSet;
+
+use plasma_actor::ids::ActorId;
+use plasma_actor::message::CallerKind;
+use plasma_actor::stats::ActorWindowStats;
+use plasma_cluster::ServerId;
+use plasma_epl::analyze::CompiledRule;
+use plasma_epl::ast::{ActorRef, Caller, Comp, Cond, Feature, Stat};
+
+use crate::view::EvalCtx;
+
+/// A (partial) satisfying assignment for one rule.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Env {
+    /// The server bound by `server.*` conditions, if any.
+    pub server: Option<ServerId>,
+    /// Variable slots (indexed like `CompiledRule::vars`).
+    pub vars: Vec<Option<ActorId>>,
+}
+
+impl Env {
+    /// Creates an empty environment for a rule with `nvars` variables.
+    pub fn empty(nvars: usize) -> Self {
+        Env {
+            server: None,
+            vars: vec![None; nvars],
+        }
+    }
+
+    /// Returns the actor bound to `slot`, if any.
+    pub fn var(&self, slot: usize) -> Option<ActorId> {
+        self.vars.get(slot).copied().flatten()
+    }
+}
+
+/// Computes all satisfying environments of `rule` within `ctx`.
+pub fn solve(rule: &CompiledRule, ctx: &EvalCtx<'_>) -> Vec<Env> {
+    let start = vec![Env::empty(rule.vars.len())];
+    let mut result = solve_cond(&rule.cond, start, rule, ctx);
+    dedupe(&mut result);
+    result
+}
+
+fn dedupe(envs: &mut Vec<Env>) {
+    let set: BTreeSet<Env> = envs.drain(..).collect();
+    envs.extend(set);
+}
+
+fn solve_cond(cond: &Cond, envs: Vec<Env>, rule: &CompiledRule, ctx: &EvalCtx<'_>) -> Vec<Env> {
+    if envs.is_empty() {
+        return envs;
+    }
+    match cond {
+        Cond::True => envs,
+        Cond::And(a, b) => {
+            let mid = solve_cond(a, envs, rule, ctx);
+            solve_cond(b, mid, rule, ctx)
+        }
+        Cond::Or(a, b) => {
+            let mut left = solve_cond(a, envs.clone(), rule, ctx);
+            let right = solve_cond(b, envs, rule, ctx);
+            left.extend(right);
+            dedupe(&mut left);
+            left
+        }
+        Cond::Compare {
+            feat,
+            stat,
+            comp,
+            val,
+        } => solve_compare(feat, *stat, *comp, *val, envs, rule, ctx),
+        Cond::InRef {
+            member,
+            owner,
+            prop,
+        } => solve_inref(member, owner, prop, envs, rule, ctx),
+    }
+}
+
+/// Enumerates candidate actors for a reference under an environment.
+///
+/// Already-bound variables yield exactly their binding; unbound references
+/// expand over actors of the declared type, restricted to the environment's
+/// server when `restrict_to_server` is set.
+fn candidates<'c>(
+    aref: &ActorRef,
+    env: &Env,
+    rule: &CompiledRule,
+    ctx: &EvalCtx<'c>,
+    restrict_to_server: bool,
+) -> Vec<&'c ActorWindowStats> {
+    let slot = match aref {
+        ActorRef::Decl(_, v) | ActorRef::Var(v) => rule.var_slot(v),
+        ActorRef::Type(_) => None,
+    };
+    if let Some(actor) = slot.and_then(|s| env.var(s)) {
+        return ctx.actor(actor).into_iter().collect();
+    }
+    let atype = rule.ref_type(aref);
+    let on_server = if restrict_to_server { env.server } else { None };
+    ctx.actors_matching(&atype, on_server)
+}
+
+/// Extends `env` by binding `aref`'s variable (if it has one) to `actor`.
+fn bind(aref: &ActorRef, env: &Env, rule: &CompiledRule, actor: ActorId) -> Env {
+    let mut out = env.clone();
+    if let ActorRef::Decl(_, v) | ActorRef::Var(v) = aref {
+        if let Some(slot) = rule.var_slot(v) {
+            out.vars[slot] = Some(actor);
+        }
+    }
+    out
+}
+
+fn solve_compare(
+    feat: &Feature,
+    stat: Stat,
+    comp: Comp,
+    val: f64,
+    envs: Vec<Env>,
+    rule: &CompiledRule,
+    ctx: &EvalCtx<'_>,
+) -> Vec<Env> {
+    let mut out = Vec::new();
+    match feat {
+        Feature::ServerRes(res) => {
+            for env in envs {
+                match env.server {
+                    Some(sid) => {
+                        let Some(meta) = ctx.server(sid) else {
+                            continue;
+                        };
+                        if comp.eval(meta.usage(*res) * 100.0, val) {
+                            out.push(env);
+                        }
+                    }
+                    None => {
+                        for meta in &ctx.servers {
+                            if comp.eval(meta.usage(*res) * 100.0, val) {
+                                let mut e = env.clone();
+                                e.server = Some(meta.id);
+                                out.push(e);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Feature::ActorRes(aref, res) => {
+            for env in envs {
+                for actor in candidates(aref, &env, rule, ctx, true) {
+                    let value = match stat {
+                        Stat::Perc => ctx.actor_usage(actor, *res) * 100.0,
+                        Stat::Size => actor.state_size as f64,
+                        Stat::Count => continue,
+                    };
+                    if comp.eval(value, val) {
+                        out.push(bind(aref, &env, rule, actor.actor));
+                    }
+                }
+            }
+        }
+        Feature::Call {
+            caller,
+            callee,
+            fname,
+        } => {
+            // A function never called this window simply has zero stats.
+            let fnid = ctx.fn_id(fname);
+            for env in envs {
+                for callee_stats in candidates(callee, &env, rule, ctx, true) {
+                    match caller {
+                        Caller::Client => {
+                            let stat_val = fnid
+                                .map(|f| {
+                                    call_stat_value(
+                                        ctx,
+                                        callee_stats,
+                                        CallerKind::Client,
+                                        None,
+                                        f,
+                                        stat,
+                                    )
+                                })
+                                .unwrap_or(0.0);
+                            if comp.eval(stat_val, val) {
+                                out.push(bind(callee, &env, rule, callee_stats.actor));
+                            }
+                        }
+                        Caller::Actor(caller_ref) => {
+                            let env2 = bind(callee, &env, rule, callee_stats.actor);
+                            for caller_stats in candidates(caller_ref, &env2, rule, ctx, false) {
+                                let kind = CallerKind::Actor(caller_stats.type_id);
+                                let stat_val = fnid
+                                    .map(|f| {
+                                        call_stat_value(
+                                            ctx,
+                                            callee_stats,
+                                            kind,
+                                            Some(caller_stats.actor),
+                                            f,
+                                            stat,
+                                        )
+                                    })
+                                    .unwrap_or(0.0);
+                                if comp.eval(stat_val, val) {
+                                    out.push(bind(caller_ref, &env2, rule, caller_stats.actor));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dedupe(&mut out);
+    out
+}
+
+/// Computes a call statistic for one callee.
+///
+/// - `count`: messages per minute (the paper's "per time unit, e.g. 1 min").
+/// - `size`: bytes received.
+/// - `perc`: this callee's share of such calls among actors of the same
+///   type on the same server.
+fn call_stat_value(
+    ctx: &EvalCtx<'_>,
+    callee: &ActorWindowStats,
+    kind: CallerKind,
+    caller: Option<ActorId>,
+    fnid: plasma_actor::ids::FnId,
+    stat: Stat,
+) -> f64 {
+    let own = match caller {
+        Some(c) => callee.counters.calls_from_actor(c, fnid),
+        None => callee.counters.calls_from_kind(kind, fnid),
+    };
+    match stat {
+        Stat::Count => own.count as f64 * 60.0 / ctx.window_secs(),
+        Stat::Size => own.bytes as f64,
+        Stat::Perc => {
+            let mut total = 0u64;
+            for peer in ctx.actors() {
+                if peer.server == callee.server && peer.type_id == callee.type_id {
+                    total += peer.counters.calls_from_kind(kind, fnid).count;
+                }
+            }
+            if total == 0 {
+                0.0
+            } else {
+                own.count as f64 * 100.0 / total as f64
+            }
+        }
+    }
+}
+
+fn solve_inref(
+    member: &ActorRef,
+    owner: &ActorRef,
+    prop: &str,
+    envs: Vec<Env>,
+    rule: &CompiledRule,
+    ctx: &EvalCtx<'_>,
+) -> Vec<Env> {
+    let mut out = Vec::new();
+    let member_type = rule.ref_type(member);
+    for env in envs {
+        for owner_stats in candidates(owner, &env, rule, ctx, false) {
+            let Some(refs) = owner_stats.refs.get(prop) else {
+                continue;
+            };
+            let env2 = bind(owner, &env, rule, owner_stats.actor);
+            // Fast path: iterate the owner's reference list rather than all
+            // actors of the member type.
+            let member_slot = match member {
+                ActorRef::Decl(_, v) | ActorRef::Var(v) => rule.var_slot(v),
+                ActorRef::Type(_) => None,
+            };
+            if let Some(bound) = member_slot.and_then(|s| env2.var(s)) {
+                if refs.contains(&bound) {
+                    out.push(env2.clone());
+                }
+                continue;
+            }
+            for &m in refs {
+                let Some(m_stats) = ctx.actor(m) else {
+                    continue;
+                };
+                if ctx.matches_type(m_stats, &member_type) {
+                    out.push(bind(member, &env2, rule, m));
+                }
+            }
+        }
+    }
+    dedupe(&mut out);
+    out
+}
+
+/// Expands a behavior-side actor reference under a satisfying environment:
+/// the bound actor if the variable is bound, otherwise all actors of the
+/// type on the environment's server (or in scope when no server is bound).
+pub fn expand_behavior_ref(
+    aref: &ActorRef,
+    env: &Env,
+    rule: &CompiledRule,
+    ctx: &EvalCtx<'_>,
+) -> Vec<ActorId> {
+    candidates(aref, env, rule, ctx, true)
+        .into_iter()
+        .map(|a| a.actor)
+        .collect()
+}

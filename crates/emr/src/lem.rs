@@ -1,0 +1,254 @@
+//! Local Elasticity Manager planning (Alg. 1): interaction rules.
+//!
+//! LEMs own the `[r-i]` behaviors: `pin` marks actors immovable,
+//! `colocate` pulls interacting actors onto one server, `separate` pushes
+//! coexisting heavy actors apart. Planning is pure: it reads an [`EvalCtx`]
+//! and produces [`Action`]s; the EMR applies them after conflict resolution
+//! and admission control.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use plasma_actor::ids::ActorId;
+use plasma_cluster::ServerId;
+use plasma_epl::analyze::{CompiledPolicy, CompiledRule};
+use plasma_epl::ast::{ActorRef, Behavior};
+
+use crate::action::{Action, ActionKind};
+use crate::eval::{expand_behavior_ref, solve, Env};
+use crate::view::EvalCtx;
+
+/// The outcome of one LEM planning pass.
+#[derive(Debug, Default)]
+pub struct LemPlan {
+    /// Proposed colocate/separate migrations.
+    pub actions: Vec<Action>,
+    /// Actors to pin.
+    pub pins: Vec<ActorId>,
+    /// Colocate/separate pairs skipped because both sides were ambiguous.
+    pub ambiguous_pairs: u64,
+}
+
+/// Plans interaction-rule actions over the whole snapshot.
+///
+/// `pending_dst` holds this round's already-planned resource migrations
+/// (reserve/balance), so a `colocate` partner follows its companion to the
+/// *new* server rather than chasing the old one — this is what makes the
+/// Metadata Server rule (`reserve(fo, cpu); colocate(fo, fi);`) move the
+/// files along with the folder.
+pub fn plan(
+    policy: &CompiledPolicy,
+    ctx: &EvalCtx<'_>,
+    pending_dst: &BTreeMap<ActorId, ServerId>,
+    upper_bound: f64,
+    reserved_servers: &BTreeSet<ServerId>,
+) -> LemPlan {
+    let mut plan = LemPlan::default();
+    let mut pins: BTreeSet<ActorId> = BTreeSet::new();
+    // Within-round view of where actors will be once this round's actions
+    // (resource ones and our own) are applied, plus per-server incoming
+    // counts so consecutive `separate` pairs fan out to distinct targets.
+    let mut future: BTreeMap<ActorId, ServerId> = pending_dst.clone();
+    let mut incoming: BTreeMap<ServerId, usize> = BTreeMap::new();
+    for dst in pending_dst.values() {
+        *incoming.entry(*dst).or_insert(0) += 1;
+    }
+    for rule in &policy.rules {
+        if !rule.has_interaction_behavior() {
+            continue;
+        }
+        let envs = solve(rule, ctx);
+        for env in &envs {
+            for cb in &rule.behaviors {
+                match &cb.behavior {
+                    Behavior::Pin(aref) => {
+                        for a in expand_behavior_ref(aref, env, rule, ctx) {
+                            pins.insert(a);
+                        }
+                    }
+                    Behavior::Colocate(a, b) => plan_pair(
+                        &mut plan,
+                        ctx,
+                        rule,
+                        env,
+                        a,
+                        b,
+                        cb.priority,
+                        &mut future,
+                        &mut incoming,
+                        &pins,
+                        PairMode::Colocate,
+                        upper_bound,
+                        reserved_servers,
+                    ),
+                    Behavior::Separate(a, b) => plan_pair(
+                        &mut plan,
+                        ctx,
+                        rule,
+                        env,
+                        a,
+                        b,
+                        cb.priority,
+                        &mut future,
+                        &mut incoming,
+                        &pins,
+                        PairMode::Separate,
+                        upper_bound,
+                        reserved_servers,
+                    ),
+                    Behavior::Balance { .. } | Behavior::Reserve { .. } => {}
+                }
+            }
+        }
+    }
+    plan.pins = pins.into_iter().collect();
+    plan
+}
+
+enum PairMode {
+    Colocate,
+    Separate,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn plan_pair(
+    plan: &mut LemPlan,
+    ctx: &EvalCtx<'_>,
+    rule: &CompiledRule,
+    env: &Env,
+    a: &ActorRef,
+    b: &ActorRef,
+    priority: u32,
+    future: &mut BTreeMap<ActorId, ServerId>,
+    incoming: &mut BTreeMap<ServerId, usize>,
+    pins: &BTreeSet<ActorId>,
+    mode: PairMode,
+    upper_bound: f64,
+    reserved_servers: &BTreeSet<ServerId>,
+) {
+    let axs = expand_behavior_ref(a, env, rule, ctx);
+    let bxs = expand_behavior_ref(b, env, rule, ctx);
+    let pairs: Vec<(ActorId, ActorId)> = if axs.len() == 1 {
+        bxs.iter().map(|&b| (axs[0], b)).collect()
+    } else if bxs.len() == 1 {
+        axs.iter().map(|&a| (a, bxs[0])).collect()
+    } else if matches!(mode, PairMode::Separate) {
+        // `separate(Leaf(a), Leaf(b))` with both sides unbound means
+        // "spread these actors out": pair up co-resident actors.
+        let mut all: Vec<ActorId> = axs.iter().chain(bxs.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        let mut by_server: BTreeMap<ServerId, Vec<ActorId>> = BTreeMap::new();
+        for id in all {
+            if let Some(stats) = ctx.actor(id) {
+                by_server.entry(stats.server).or_default().push(id);
+            }
+        }
+        by_server
+            .into_values()
+            .filter(|group| group.len() > 1)
+            .flat_map(|group| {
+                // Keep the first resident; every other one pairs with it.
+                let anchor = group[0];
+                group[1..]
+                    .iter()
+                    .map(move |&m| (anchor, m))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    } else {
+        plan.ambiguous_pairs += 1;
+        return;
+    };
+    for (ax, bx) in pairs {
+        if ax == bx {
+            continue;
+        }
+        let (Some(sa), Some(sb)) = (
+            ctx.actor(ax).map(|s| s.server),
+            ctx.actor(bx).map(|s| s.server),
+        ) else {
+            continue;
+        };
+        // Where each partner will be after this round's planned actions.
+        let fa = future.get(&ax).copied().unwrap_or(sa);
+        let fb = future.get(&bx).copied().unwrap_or(sb);
+        let is_pinned =
+            |id: ActorId| pins.contains(&id) || ctx.actor(id).map(|s| s.pinned).unwrap_or(false);
+        match mode {
+            PairMode::Colocate => {
+                if fa == fb {
+                    continue;
+                }
+                // Decide the mover. A partner that is already being migrated
+                // by a resource action (or is pinned) anchors the pair;
+                // otherwise the smaller state moves.
+                let (mover, target, mover_home) = if future.contains_key(&ax) {
+                    (bx, fa, sb)
+                } else if future.contains_key(&bx) {
+                    (ax, fb, sa)
+                } else if is_pinned(ax) {
+                    (bx, fa, sb)
+                } else if is_pinned(bx) {
+                    (ax, fb, sa)
+                } else {
+                    let size_a = ctx.actor(ax).map(|s| s.state_size).unwrap_or(0);
+                    let size_b = ctx.actor(bx).map(|s| s.state_size).unwrap_or(0);
+                    if size_a <= size_b {
+                        (ax, fb, sa)
+                    } else {
+                        (bx, fa, sb)
+                    }
+                };
+                if is_pinned(mover) || mover_home == target {
+                    continue;
+                }
+                future.insert(mover, target);
+                *incoming.entry(target).or_insert(0) += 1;
+                plan.actions.push(Action {
+                    actor: mover,
+                    src: mover_home,
+                    dst: target,
+                    kind: ActionKind::Colocate,
+                    priority,
+                    rule: rule.index,
+                });
+            }
+            PairMode::Separate => {
+                if fa != fb {
+                    continue;
+                }
+                let mover = if is_pinned(bx) { ax } else { bx };
+                if is_pinned(mover) {
+                    continue;
+                }
+                let mover_home = if mover == ax { sa } else { sb };
+                // Target: spread across servers - fewest planned arrivals
+                // first, then least CPU - excluding the anchor's server and
+                // reserved servers.
+                let target = ctx
+                    .servers
+                    .iter()
+                    .filter(|s| s.id != fa && !reserved_servers.contains(&s.id))
+                    .filter(|s| s.cpu < upper_bound)
+                    .min_by(|x, y| {
+                        let ix = incoming.get(&x.id).copied().unwrap_or(0);
+                        let iy = incoming.get(&y.id).copied().unwrap_or(0);
+                        ix.cmp(&iy)
+                            .then(x.cpu.partial_cmp(&y.cpu).expect("finite usage"))
+                    })
+                    .map(|s| s.id);
+                let Some(target) = target else { continue };
+                future.insert(mover, target);
+                *incoming.entry(target).or_insert(0) += 1;
+                plan.actions.push(Action {
+                    actor: mover,
+                    src: mover_home,
+                    dst: target,
+                    kind: ActionKind::Separate,
+                    priority,
+                    rule: rule.index,
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! PLASMA's **elasticity management runtime** (EMR).
+//!
+//! The EMR is the paper's §4: it consumes the profiling runtime's (EPR)
+//! per-window snapshots, evaluates the compiled EPL policy against them, and
+//! executes elasticity actions through the actor runtime:
+//!
+//! - [`view`] — the evaluation context: a scoped view over a profiling
+//!   snapshot plus server capacity metadata.
+//! - [`eval`] — the condition evaluator: computes the variable bindings
+//!   (environments) that satisfy a rule's condition.
+//! - [`action`] — migration actions and priority-based conflict resolution
+//!   (§4.3).
+//! - [`lem`] — Local Elasticity Managers (Alg. 1): interaction rules
+//!   (`colocate`, `separate`, `pin`) evaluated per server.
+//! - [`gem`] — Global Elasticity Managers (Alg. 2): resource rules
+//!   (`balance`, `reserve`) over a global snapshot, plus scale in/out
+//!   votes.
+//! - [`emr`] — [`PlasmaEmr`], the [`ElasticityController`] implementation
+//!   that wires LEM and GEM phases into elasticity ticks with modeled
+//!   control-plane latency, admits migrations via QUERY/QREPLY-style
+//!   capacity checks, and places newly created actors by rule (§4.2).
+//! - [`baselines`] — the comparison systems from the evaluation: an
+//!   Orleans-style count balancer, the frequency-based "default rule"
+//!   colocator, and a heavy-to-idle migrator.
+//!
+//! [`ElasticityController`]: plasma_actor::ElasticityController
+
+pub mod action;
+pub mod baselines;
+pub mod emr;
+pub mod eval;
+pub mod gem;
+pub mod lem;
+pub mod view;
+
+pub use action::{Action, ActionKind};
+pub use emr::{EmrConfig, PlasmaEmr};

@@ -1,0 +1,204 @@
+//! The evaluation context: a scoped view over one profiling snapshot.
+//!
+//! LEMs evaluate rules anchored to their own server; GEMs evaluate over all
+//! servers they manage. Both use an [`EvalCtx`] built from the runtime's
+//! latest [`ProfileSnapshot`] plus the static capacity data (speed, memory,
+//! NIC) needed to turn raw counters into the percentages the EPL compares.
+
+use std::collections::BTreeMap;
+
+use plasma_actor::ids::{ActorId, ActorTypeId, FnId};
+use plasma_actor::stats::{ActorWindowStats, ProfileSnapshot};
+use plasma_actor::Runtime;
+use plasma_cluster::ServerId;
+use plasma_epl::ast::{AType, Res};
+
+/// Static capacity data of one server, captured at context build time.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerMeta {
+    /// The server.
+    pub id: ServerId,
+    /// Total compute throughput (work units per second).
+    pub total_speed: f64,
+    /// Number of vCPU lanes.
+    pub vcpus: u32,
+    /// Memory capacity in bytes.
+    pub mem_bytes: u64,
+    /// NIC bandwidth in bits per second.
+    pub net_bps: f64,
+    /// Utilization fractions over the last window.
+    pub cpu: f64,
+    /// Memory utilization fraction.
+    pub mem: f64,
+    /// Network utilization fraction.
+    pub net: f64,
+    /// Resident actor count.
+    pub actor_count: usize,
+}
+
+impl ServerMeta {
+    /// Returns the utilization fraction of `res`.
+    pub fn usage(&self, res: Res) -> f64 {
+        match res {
+            Res::Cpu => self.cpu,
+            Res::Mem => self.mem,
+            Res::Net => self.net,
+        }
+    }
+}
+
+/// A scoped, immutable view over one profiling snapshot.
+pub struct EvalCtx<'a> {
+    snap: &'a ProfileSnapshot,
+    /// Servers in scope, in id order.
+    pub servers: Vec<ServerMeta>,
+    /// Actor stats in scope (hosted on in-scope servers), in id order.
+    actors: Vec<&'a ActorWindowStats>,
+    by_id: BTreeMap<ActorId, usize>,
+    type_names: BTreeMap<String, ActorTypeId>,
+    fn_names: BTreeMap<String, FnId>,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Builds a context over `scope` servers from the runtime's latest
+    /// snapshot.
+    pub fn new(rt: &'a Runtime, scope: &[ServerId]) -> Self {
+        let snap = rt.snapshot();
+        let mut servers = Vec::with_capacity(scope.len());
+        for &sid in scope {
+            let server = rt.cluster().server(sid);
+            if !server.is_running() {
+                continue;
+            }
+            let inst = server.instance();
+            let (cpu, mem, net, actor_count) = match snap.server(sid) {
+                Some(s) => (s.usage.cpu(), s.usage.mem(), s.usage.net(), s.actor_count),
+                None => (0.0, 0.0, 0.0, rt.actor_count_on(sid)),
+            };
+            servers.push(ServerMeta {
+                id: sid,
+                total_speed: inst.total_speed(),
+                vcpus: inst.vcpus,
+                mem_bytes: inst.mem_bytes,
+                net_bps: inst.net_bps,
+                cpu,
+                mem,
+                net,
+                actor_count,
+            });
+        }
+        let in_scope = |sid: ServerId| servers.iter().any(|s| s.id == sid);
+        let mut actors = Vec::new();
+        let mut by_id = BTreeMap::new();
+        for a in &snap.actors {
+            if in_scope(a.server) {
+                by_id.insert(a.actor, actors.len());
+                actors.push(a);
+            }
+        }
+        let mut type_names = BTreeMap::new();
+        let names = rt.names();
+        for t in names.all_types() {
+            type_names.insert(names.type_name(t).to_string(), t);
+        }
+        let mut fn_names = BTreeMap::new();
+        for a in &snap.actors {
+            for key in a.counters.calls.keys() {
+                let name = names.function_name(key.fname).to_string();
+                fn_names.insert(name, key.fname);
+            }
+        }
+        EvalCtx {
+            snap,
+            servers,
+            actors,
+            by_id,
+            type_names,
+            fn_names,
+        }
+    }
+
+    /// Returns the window length in seconds.
+    pub fn window_secs(&self) -> f64 {
+        self.snap.window.as_secs_f64().max(1e-9)
+    }
+
+    /// Returns every in-scope actor.
+    pub fn actors(&self) -> &[&'a ActorWindowStats] {
+        &self.actors
+    }
+
+    /// Returns the stats of one actor, if in scope.
+    pub fn actor(&self, id: ActorId) -> Option<&'a ActorWindowStats> {
+        self.by_id.get(&id).map(|&i| self.actors[i])
+    }
+
+    /// Returns the server metadata for `id`, if in scope.
+    pub fn server(&self, id: ServerId) -> Option<&ServerMeta> {
+        self.servers.iter().find(|s| s.id == id)
+    }
+
+    /// Resolves an EPL type name against the application's registry.
+    pub fn type_id(&self, name: &str) -> Option<ActorTypeId> {
+        self.type_names.get(name).copied()
+    }
+
+    /// Resolves a function name seen in profiling data.
+    pub fn fn_id(&self, name: &str) -> Option<FnId> {
+        self.fn_names.get(name).copied()
+    }
+
+    /// Returns whether an actor's type matches an EPL type pattern.
+    pub fn matches_type(&self, actor: &ActorWindowStats, pattern: &AType) -> bool {
+        match pattern {
+            AType::Any => true,
+            AType::Named(name) => self.type_id(name) == Some(actor.type_id),
+        }
+    }
+
+    /// Returns the in-scope actors matching a type pattern, optionally
+    /// restricted to one server.
+    pub fn actors_matching(
+        &self,
+        pattern: &AType,
+        on_server: Option<ServerId>,
+    ) -> Vec<&'a ActorWindowStats> {
+        self.actors
+            .iter()
+            .filter(|a| self.matches_type(a, pattern))
+            .filter(|a| on_server.is_none_or(|s| a.server == s))
+            .copied()
+            .collect()
+    }
+
+    /// Returns an actor's utilization fraction of its server for `res`.
+    pub fn actor_usage(&self, actor: &ActorWindowStats, res: Res) -> f64 {
+        match res {
+            Res::Cpu => actor.cpu_share,
+            Res::Mem => {
+                let cap = self
+                    .server(actor.server)
+                    .map(|s| s.mem_bytes)
+                    .unwrap_or(u64::MAX);
+                if cap == 0 {
+                    0.0
+                } else {
+                    actor.state_size as f64 / cap as f64
+                }
+            }
+            Res::Net => {
+                let bps = self
+                    .server(actor.server)
+                    .map(|s| s.net_bps)
+                    .unwrap_or(f64::INFINITY);
+                let recv: u64 = actor.counters.calls.values().map(|s| s.bytes).sum();
+                let bits = (actor.counters.bytes_sent + recv) as f64 * 8.0;
+                if bps <= 0.0 {
+                    0.0
+                } else {
+                    bits / (bps * self.window_secs())
+                }
+            }
+        }
+    }
+}

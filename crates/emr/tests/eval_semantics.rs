@@ -1,0 +1,224 @@
+//! Direct tests of the rule evaluator's binding semantics against live
+//! profiling snapshots.
+
+use plasma_actor::logic::{ActorCtx, ClientCtx};
+use plasma_actor::message::Payload;
+use plasma_actor::{ActorId, ActorLogic, ClientLogic, Message, Runtime, RuntimeConfig};
+use plasma_cluster::{InstanceType, ServerId};
+use plasma_emr::eval::{solve, Env};
+use plasma_emr::view::EvalCtx;
+use plasma_epl::{compile, ActorSchema, CompiledPolicy};
+use plasma_sim::{SimDuration, SimTime};
+
+struct Echo {
+    work: f64,
+}
+
+impl ActorLogic for Echo {
+    fn on_message(&mut self, ctx: &mut ActorCtx<'_>, _msg: &mut Message) {
+        ctx.work(self.work);
+        if _msg.corr.is_some() {
+            ctx.reply(32);
+        }
+    }
+}
+
+/// Sends `fname` to `target` every `period`.
+struct Caller {
+    target: ActorId,
+    fname: &'static str,
+    period: SimDuration,
+}
+
+impl ClientLogic for Caller {
+    fn on_start(&mut self, ctx: &mut ClientCtx<'_>) {
+        ctx.set_timer(SimDuration::ZERO, 0);
+    }
+    fn on_reply(
+        &mut self,
+        _ctx: &mut ClientCtx<'_>,
+        _r: u64,
+        _l: SimDuration,
+        _p: Option<Payload>,
+    ) {
+    }
+    fn on_timer(&mut self, ctx: &mut ClientCtx<'_>, _t: u64) {
+        ctx.request(self.target, self.fname, 64);
+        ctx.set_timer(self.period, 0);
+    }
+}
+
+fn schema() -> ActorSchema {
+    let mut s = ActorSchema::new();
+    s.actor_type("Folder").prop("files").func("open");
+    s.actor_type("File").func("read");
+    s
+}
+
+fn compiled(policy: &str) -> CompiledPolicy {
+    compile(policy, &schema()).unwrap()
+}
+
+/// Two servers; `hot` folders on s0 driven hard, one idle folder on s1.
+fn setup() -> (Runtime, Vec<ActorId>, ServerId, ServerId) {
+    let mut rt = Runtime::new(RuntimeConfig {
+        seed: 3,
+        ..RuntimeConfig::default()
+    });
+    let s0 = rt.add_server(InstanceType::m1_small());
+    let s1 = rt.add_server(InstanceType::m1_small());
+    let f0 = rt.spawn_actor("Folder", Box::new(Echo { work: 0.01 }), 1 << 16, s0);
+    let f1 = rt.spawn_actor("Folder", Box::new(Echo { work: 0.01 }), 1 << 16, s0);
+    let f2 = rt.spawn_actor("Folder", Box::new(Echo { work: 0.001 }), 1 << 16, s1);
+    // f0 gets 3x the traffic of f1; f2 idles.
+    for _ in 0..3 {
+        rt.add_client(Box::new(Caller {
+            target: f0,
+            fname: "open",
+            period: SimDuration::from_millis(40),
+        }));
+    }
+    rt.add_client(Box::new(Caller {
+        target: f1,
+        fname: "open",
+        period: SimDuration::from_millis(40),
+    }));
+    rt.run_until(SimTime::from_secs(5));
+    (rt, vec![f0, f1, f2], s0, s1)
+}
+
+fn envs_of(rt: &Runtime, policy: &CompiledPolicy) -> Vec<Env> {
+    let scope = rt.cluster().running_ids();
+    let ctx = EvalCtx::new(rt, &scope);
+    solve(&policy.rules[0], &ctx)
+}
+
+#[test]
+fn server_condition_binds_matching_servers() {
+    let (rt, _, s0, s1) = setup();
+    // s0 is saturated (~100%), s1 nearly idle.
+    let hot = compiled("server.cpu.perc > 80 => balance({Folder}, cpu);");
+    let envs = envs_of(&rt, &hot);
+    assert_eq!(envs.len(), 1);
+    assert_eq!(envs[0].server, Some(s0));
+
+    let cold = compiled("server.cpu.perc < 20 => balance({Folder}, cpu);");
+    let envs = envs_of(&rt, &cold);
+    assert_eq!(envs.len(), 1);
+    assert_eq!(envs[0].server, Some(s1));
+}
+
+#[test]
+fn call_perc_is_relative_to_same_type_on_same_server() {
+    let (rt, folders, _, _) = setup();
+    // f0 receives ~75% of client opens among folders on its server, f1 ~25%.
+    let policy = compiled("client.call(Folder(fo).open).perc > 60 => reserve(fo, cpu);");
+    let envs = envs_of(&rt, &policy);
+    assert_eq!(envs.len(), 1);
+    assert_eq!(envs[0].var(0), Some(folders[0]));
+    // f2 on s1 receives no opens: perc > 60 cannot bind it even though it
+    // is alone on its server (0 of 0 calls).
+}
+
+#[test]
+fn call_count_is_per_minute_rate() {
+    let (rt, folders, _, _) = setup();
+    // f1 gets one open per 40ms = 1500/min; f0 gets 4500/min.
+    let policy = compiled("client.call(Folder(fo).open).count > 3000 => reserve(fo, cpu);");
+    let envs = envs_of(&rt, &policy);
+    assert_eq!(envs.len(), 1);
+    assert_eq!(envs[0].var(0), Some(folders[0]));
+    let both = compiled("client.call(Folder(fo).open).count > 1000 => reserve(fo, cpu);");
+    assert_eq!(envs_of(&rt, &both).len(), 2);
+}
+
+#[test]
+fn conjunction_anchors_actor_to_bound_server() {
+    let (rt, folders, _, _) = setup();
+    // The server condition binds s0; folder candidates are then restricted
+    // to s0, so idle f2 (on s1, receiving 0 calls -> perc 0) stays out and
+    // so does any folder on s1 even with a permissive threshold.
+    let policy = compiled(
+        "server.cpu.perc > 80 and client.call(Folder(fo).open).perc > 60 => reserve(fo, cpu);",
+    );
+    let envs = envs_of(&rt, &policy);
+    assert_eq!(envs.len(), 1);
+    assert_eq!(envs[0].var(0), Some(folders[0]));
+}
+
+#[test]
+fn inref_binds_members_across_servers() {
+    let (mut rt, folders, _, s1) = setup();
+    let file_local = rt.spawn_actor(
+        "File",
+        Box::new(Echo { work: 0.0 }),
+        64,
+        rt.actor_server(folders[0]),
+    );
+    let file_remote = rt.spawn_actor("File", Box::new(Echo { work: 0.0 }), 64, s1);
+    rt.actor_add_ref(folders[0], "files", file_local);
+    rt.actor_add_ref(folders[0], "files", file_remote);
+    rt.run_until(SimTime::from_secs(7));
+    let policy = compiled("File(fi) in ref(Folder(fo).files) => colocate(fo, fi);");
+    let envs = envs_of(&rt, &policy);
+    // Both files bind, including the remote one (references cross servers).
+    // Variable slots follow declaration order: `fi` (member) is slot 0,
+    // `fo` (owner) is slot 1.
+    assert_eq!(envs.len(), 2);
+    let bound_files: Vec<Option<ActorId>> = envs.iter().map(|e| e.var(0)).collect();
+    assert!(bound_files.contains(&Some(file_local)));
+    assert!(bound_files.contains(&Some(file_remote)));
+    for e in &envs {
+        assert_eq!(e.var(1), Some(folders[0]));
+    }
+}
+
+#[test]
+fn or_branches_union_without_duplicates() {
+    let (rt, _, s0, s1) = setup();
+    let policy =
+        compiled("server.cpu.perc > 80 or server.cpu.perc < 20 => balance({Folder}, cpu);");
+    let envs = envs_of(&rt, &policy);
+    assert_eq!(envs.len(), 2);
+    let servers: Vec<Option<ServerId>> = envs.iter().map(|e| e.server).collect();
+    assert!(servers.contains(&Some(s0)));
+    assert!(servers.contains(&Some(s1)));
+    // A tautological or must not duplicate environments.
+    let tauto =
+        compiled("server.cpu.perc >= 0 or server.cpu.perc <= 100 => balance({Folder}, cpu);");
+    assert_eq!(envs_of(&rt, &tauto).len(), 2);
+}
+
+#[test]
+fn true_condition_yields_single_unbound_env() {
+    let (rt, _, _, _) = setup();
+    let policy = compiled("true => pin(Folder);");
+    let envs = envs_of(&rt, &policy);
+    assert_eq!(envs.len(), 1);
+    assert_eq!(envs[0].server, None);
+}
+
+#[test]
+fn never_called_function_reads_as_zero() {
+    let (rt, _, _, _) = setup();
+    // No client ever calls `read`, so `count < 1` binds every File... but
+    // there are no File actors yet, so it binds every Folder? No: the
+    // callee type is File; with no File actors there are no candidates.
+    let policy = compiled("client.call(File(fi).read).count < 1 => pin(fi);");
+    assert!(envs_of(&rt, &policy).is_empty());
+    // `> 0` on an uncalled function also never fires for folders.
+    let policy = compiled("client.call(Folder(fo).open).count < 1 => pin(fo);");
+    // Folders on s1 (f2) receive no opens -> rate 0 < 1 binds f2 only.
+    let envs = envs_of(&rt, &policy);
+    assert_eq!(envs.len(), 1);
+}
+
+#[test]
+fn scoped_view_hides_out_of_scope_servers() {
+    let (rt, folders, s0, _) = setup();
+    let policy = compiled("server.cpu.perc < 20 => balance({Folder}, cpu);");
+    // Restrict the GEM scope to s0 only: the idle s1 is invisible.
+    let ctx = EvalCtx::new(&rt, &[s0]);
+    assert!(solve(&policy.rules[0], &ctx).is_empty());
+    let _ = folders;
+}

@@ -1,0 +1,233 @@
+//! End-to-end coverage of the remaining rule forms: memory and network
+//! balancing, the `any` wildcard, actor-resource conditions, and runtime
+//! priority resolution between competing behaviors.
+
+use plasma_actor::logic::{ActorCtx, ClientCtx};
+use plasma_actor::message::Payload;
+use plasma_actor::{ActorId, ActorLogic, ClientLogic, Message, Runtime, RuntimeConfig};
+use plasma_cluster::{InstanceType, ServerId};
+use plasma_emr::{EmrConfig, PlasmaEmr};
+use plasma_epl::{compile, ActorSchema};
+use plasma_sim::{SimDuration, SimTime};
+
+struct Blob {
+    work: f64,
+}
+
+impl ActorLogic for Blob {
+    fn on_message(&mut self, ctx: &mut ActorCtx<'_>, _msg: &mut Message) {
+        ctx.work(self.work);
+        ctx.reply(32);
+    }
+}
+
+/// Streams large replies (network-heavy).
+struct Streamer;
+impl ActorLogic for Streamer {
+    fn on_message(&mut self, ctx: &mut ActorCtx<'_>, _msg: &mut Message) {
+        ctx.work(0.0005);
+        ctx.reply(1 << 20);
+    }
+}
+
+struct Pulse {
+    target: ActorId,
+    period: SimDuration,
+}
+
+impl ClientLogic for Pulse {
+    fn on_start(&mut self, ctx: &mut ClientCtx<'_>) {
+        ctx.set_timer(SimDuration::ZERO, 0);
+    }
+    fn on_reply(
+        &mut self,
+        _ctx: &mut ClientCtx<'_>,
+        _r: u64,
+        _l: SimDuration,
+        _p: Option<Payload>,
+    ) {
+    }
+    fn on_timer(&mut self, ctx: &mut ClientCtx<'_>, _t: u64) {
+        ctx.request(self.target, "go", 64);
+        ctx.set_timer(self.period, 0);
+    }
+}
+
+fn emr(policy: &str, schema: &ActorSchema) -> PlasmaEmr {
+    PlasmaEmr::new(compile(policy, schema).unwrap(), EmrConfig::default())
+}
+
+#[test]
+fn memory_balance_rule_moves_state_heavy_actors() {
+    let mut schema = ActorSchema::new();
+    schema.actor_type("Blob").func("go");
+    // m1.small has ~1.7 GB; six 400 MB blobs on one server exceed it.
+    let mut rt = Runtime::new(RuntimeConfig {
+        seed: 11,
+        ..RuntimeConfig::default()
+    });
+    rt.set_controller(Box::new(emr(
+        "server.mem.perc > 80 or server.mem.perc < 40 => balance({Blob}, mem);",
+        &schema,
+    )));
+    let s0 = rt.add_server(InstanceType::m1_small());
+    let s1 = rt.add_server(InstanceType::m1_small());
+    for _ in 0..6 {
+        let b = rt.spawn_actor("Blob", Box::new(Blob { work: 0.001 }), 400 << 20, s0);
+        rt.add_client(Box::new(Pulse {
+            target: b,
+            period: SimDuration::from_millis(500),
+        }));
+    }
+    rt.run_until(SimTime::from_secs(200));
+    let mem = |s: ServerId| rt.cluster().server(s).mem_used() >> 20;
+    assert!(
+        rt.actor_count_on(s1) >= 2,
+        "memory pressure moved blobs: {} on s1",
+        rt.actor_count_on(s1)
+    );
+    let (m0, m1) = (mem(s0), mem(s1));
+    assert!(
+        m0 < 1_700 && m1 < 1_700,
+        "both below capacity: {m0} MB / {m1} MB"
+    );
+}
+
+#[test]
+fn network_balance_rule_spreads_streamers() {
+    let mut schema = ActorSchema::new();
+    schema.actor_type("Streamer").func("go");
+    let mut rt = Runtime::new(RuntimeConfig {
+        seed: 12,
+        ..RuntimeConfig::default()
+    });
+    rt.set_controller(Box::new(emr(
+        "server.net.perc > 60 or server.net.perc < 30 => balance({Streamer}, net);",
+        &schema,
+    )));
+    let s0 = rt.add_server(InstanceType::m1_small());
+    let s1 = rt.add_server(InstanceType::m1_small());
+    // Each streamer pushes ~1 MB replies every 100 ms = ~84 Mbps; three
+    // saturate an m1.small NIC (250 Mbps).
+    for _ in 0..4 {
+        let a = rt.spawn_actor("Streamer", Box::new(Streamer), 1 << 20, s0);
+        rt.add_client(Box::new(Pulse {
+            target: a,
+            period: SimDuration::from_millis(100),
+        }));
+    }
+    rt.run_until(SimTime::from_secs(200));
+    assert!(
+        rt.actor_count_on(s1) >= 1,
+        "network pressure moved streamers: {}/{}",
+        rt.actor_count_on(s0),
+        rt.actor_count_on(s1)
+    );
+    let net0 = rt.snapshot().server(s0).map(|s| s.usage.net()).unwrap();
+    assert!(net0 < 0.99, "source NIC relieved: {net0}");
+}
+
+#[test]
+fn any_wildcard_balances_every_type() {
+    let mut schema = ActorSchema::new();
+    schema.actor_type("A").func("go");
+    schema.actor_type("B").func("go");
+    let mut rt = Runtime::new(RuntimeConfig {
+        seed: 13,
+        ..RuntimeConfig::default()
+    });
+    rt.set_controller(Box::new(emr(
+        "server.cpu.perc > 80 or server.cpu.perc < 60 => balance({any}, cpu);",
+        &schema,
+    )));
+    let s0 = rt.add_server(InstanceType::m1_small());
+    let s1 = rt.add_server(InstanceType::m1_small());
+    for i in 0..4 {
+        let name = if i % 2 == 0 { "A" } else { "B" };
+        let a = rt.spawn_actor(name, Box::new(Blob { work: 0.035 }), 1 << 16, s0);
+        rt.add_client(Box::new(Pulse {
+            target: a,
+            period: SimDuration::from_millis(100),
+        }));
+    }
+    rt.run_until(SimTime::from_secs(200));
+    assert_eq!(rt.actor_count_on(s0), 2);
+    assert_eq!(rt.actor_count_on(s1), 2);
+    // Both types were eligible: check that at least one of each moved or
+    // stayed - the wildcard must not filter by type.
+    let types_on_s1: std::collections::BTreeSet<_> = rt
+        .actors_on(s1)
+        .into_iter()
+        .map(|a| rt.actor_type(a))
+        .collect();
+    assert!(!types_on_s1.is_empty());
+}
+
+#[test]
+fn actor_resource_condition_selects_heavy_actors() {
+    // `Blob(b).cpu.perc > 20 => reserve(b, cpu);` - only the heavy blob
+    // crosses the per-actor threshold and gets a dedicated server.
+    let mut schema = ActorSchema::new();
+    schema.actor_type("Blob").func("go");
+    let mut rt = Runtime::new(RuntimeConfig {
+        seed: 14,
+        ..RuntimeConfig::default()
+    });
+    rt.set_controller(Box::new(emr(
+        "Blob(b).cpu.perc > 20 => reserve(b, cpu);",
+        &schema,
+    )));
+    let s0 = rt.add_server(InstanceType::m1_small());
+    let s1 = rt.add_server(InstanceType::m1_small());
+    let heavy = rt.spawn_actor("Blob", Box::new(Blob { work: 0.030 }), 1 << 16, s0);
+    let light = rt.spawn_actor("Blob", Box::new(Blob { work: 0.002 }), 1 << 16, s0);
+    for &(a, ms) in &[(heavy, 100u64), (light, 100)] {
+        rt.add_client(Box::new(Pulse {
+            target: a,
+            period: SimDuration::from_millis(ms),
+        }));
+    }
+    rt.run_until(SimTime::from_secs(200));
+    assert_eq!(rt.actor_server(heavy), s1, "heavy blob got the idle server");
+    assert_eq!(rt.actor_server(light), s0, "light blob stayed");
+}
+
+#[test]
+fn balance_beats_colocate_for_the_same_actor() {
+    // Rule 1 wants each Blob near its Anchor on the hot server; rule 2
+    // wants CPU balanced. Balance has the higher default priority, so the
+    // blob must end up spread out rather than glued to the anchor.
+    let mut schema = ActorSchema::new();
+    schema.actor_type("Anchor").prop("pals").func("go");
+    schema.actor_type("Blob").func("go");
+    let mut rt = Runtime::new(RuntimeConfig {
+        seed: 15,
+        ..RuntimeConfig::default()
+    });
+    rt.set_controller(Box::new(emr(
+        "Blob(b) in ref(Anchor(a).pals) => colocate(b, a);\n\
+         server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Blob}, cpu);",
+        &schema,
+    )));
+    let s0 = rt.add_server(InstanceType::m1_small());
+    let s1 = rt.add_server(InstanceType::m1_small());
+    let anchor = rt.spawn_actor("Anchor", Box::new(Blob { work: 0.001 }), 1 << 16, s0);
+    let mut blobs = Vec::new();
+    for _ in 0..4 {
+        let b = rt.spawn_actor("Blob", Box::new(Blob { work: 0.035 }), 1 << 16, s0);
+        rt.actor_add_ref(anchor, "pals", b);
+        rt.add_client(Box::new(Pulse {
+            target: b,
+            period: SimDuration::from_millis(100),
+        }));
+        blobs.push(b);
+    }
+    rt.run_until(SimTime::from_secs(240));
+    let moved = blobs.iter().filter(|&&b| rt.actor_server(b) == s1).count();
+    assert!(
+        moved >= 1,
+        "balance must override colocate for at least some blobs"
+    );
+    let u0 = rt.snapshot().server(s0).map(|s| s.usage.cpu()).unwrap();
+    assert!(u0 < 0.95, "hot server relieved: {u0}");
+}

@@ -1,0 +1,571 @@
+//! Semantic analysis: name resolution, implicit variable declaration, and
+//! applicability checks; lowers a parsed [`Policy`] to a [`CompiledPolicy`].
+//!
+//! Resolution rules (from §3.2 of the paper):
+//!
+//! - `Type(v)` *declares* variable `v` of type `Type`, anywhere in the rule
+//!   (condition or behavior). Rules are independent scopes.
+//! - A bare identifier in actor position is the declared variable of that
+//!   name if one exists in the rule; otherwise it must name a schema type.
+//! - `any` matches all actor types.
+//! - Statistics must apply to their feature: resource features support
+//!   `perc` (plus `size` for `mem`); interaction features support `count`,
+//!   `size` and `perc`.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{AType, ActorRef, Behavior, Caller, Cond, Feature, Policy, Res, Rule, Stat};
+use crate::error::{SemanticError, Warning};
+use crate::schema::ActorSchema;
+
+/// A variable declared inline in a rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared actor type.
+    pub atype: AType,
+}
+
+/// A behavior with its resolved priority and classification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledBehavior {
+    /// The (resolved) behavior.
+    pub behavior: Behavior,
+    /// Conflict-resolution priority (higher wins).
+    pub priority: u32,
+    /// `true` for resource rules `[r-r]` (GEM-side), `false` for
+    /// interaction rules `[r-i]` (LEM-side).
+    pub is_resource: bool,
+}
+
+/// One analyzed rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledRule {
+    /// 0-based index in the source policy.
+    pub index: usize,
+    /// Resolved condition: every bare identifier rewritten to `Var` or
+    /// `Type(Named)` definitively.
+    pub cond: Cond,
+    /// Resolved behaviors with priorities.
+    pub behaviors: Vec<CompiledBehavior>,
+    /// The rule's variable table, in declaration order.
+    pub vars: Vec<VarDecl>,
+}
+
+impl CompiledRule {
+    /// Returns the declared type of a resolved actor reference.
+    pub fn ref_type(&self, aref: &ActorRef) -> AType {
+        match aref {
+            ActorRef::Decl(t, _) => t.clone(),
+            ActorRef::Type(t) => t.clone(),
+            ActorRef::Var(v) => self
+                .vars
+                .iter()
+                .find(|d| &d.name == v)
+                .map(|d| d.atype.clone())
+                .unwrap_or(AType::Any),
+        }
+    }
+
+    /// Returns the slot index of variable `name`, if declared.
+    pub fn var_slot(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|d| d.name == name)
+    }
+
+    /// Returns whether any behavior of this rule is a resource behavior.
+    pub fn has_resource_behavior(&self) -> bool {
+        self.behaviors.iter().any(|b| b.is_resource)
+    }
+
+    /// Returns whether any behavior of this rule is an interaction behavior.
+    pub fn has_interaction_behavior(&self) -> bool {
+        self.behaviors.iter().any(|b| !b.is_resource)
+    }
+}
+
+/// A fully analyzed policy ready for the runtime.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CompiledPolicy {
+    /// Analyzed rules in source order.
+    pub rules: Vec<CompiledRule>,
+    /// Conflict-detector diagnostics (filled by [`crate::conflict::detect`]).
+    pub warnings: Vec<Warning>,
+}
+
+/// Analyzes a parsed policy against a schema.
+pub fn analyze(policy: &Policy, schema: &ActorSchema) -> Result<CompiledPolicy, SemanticError> {
+    let mut rules = Vec::with_capacity(policy.rules.len());
+    for (index, rule) in policy.rules.iter().enumerate() {
+        rules.push(analyze_rule(index, rule, schema)?);
+    }
+    Ok(CompiledPolicy {
+        rules,
+        warnings: Vec::new(),
+    })
+}
+
+struct RuleCx<'a> {
+    index: usize,
+    schema: &'a ActorSchema,
+    vars: BTreeMap<String, AType>,
+    order: Vec<String>,
+}
+
+impl RuleCx<'_> {
+    fn err(&self, msg: impl Into<String>) -> SemanticError {
+        SemanticError::new(self.index, msg)
+    }
+
+    fn check_type(&self, t: &AType) -> Result<(), SemanticError> {
+        match t {
+            AType::Any => Ok(()),
+            AType::Named(name) => {
+                if self.schema.has_type(name) {
+                    Ok(())
+                } else {
+                    Err(self.err(format!("unknown actor type `{name}`")))
+                }
+            }
+        }
+    }
+
+    fn declare(&mut self, t: &AType, var: &str) -> Result<(), SemanticError> {
+        self.check_type(t)?;
+        match self.vars.get(var) {
+            Some(existing) if existing != t => Err(self.err(format!(
+                "variable `{var}` redeclared as `{t}` (was `{existing}`)"
+            ))),
+            Some(_) => Ok(()),
+            None => {
+                self.vars.insert(var.to_string(), t.clone());
+                self.order.push(var.to_string());
+                Ok(())
+            }
+        }
+    }
+
+    /// First pass: collect declarations from an actor reference.
+    fn collect(&mut self, aref: &ActorRef) -> Result<(), SemanticError> {
+        if let ActorRef::Decl(t, v) = aref {
+            self.declare(t, v)?;
+        }
+        Ok(())
+    }
+
+    /// Second pass: rewrite bare identifiers to `Var` or `Type`.
+    fn resolve(&self, aref: &ActorRef) -> Result<ActorRef, SemanticError> {
+        match aref {
+            ActorRef::Decl(..) | ActorRef::Type(..) => Ok(aref.clone()),
+            ActorRef::Var(name) => {
+                if self.vars.contains_key(name) {
+                    Ok(ActorRef::Var(name.clone()))
+                } else if self.schema.has_type(name) {
+                    Ok(ActorRef::Type(AType::Named(name.clone())))
+                } else {
+                    Err(self.err(format!(
+                        "`{name}` is neither a declared variable nor an actor type"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Returns the type an actor reference denotes (for signature checks).
+    fn type_of(&self, aref: &ActorRef) -> AType {
+        match aref {
+            ActorRef::Decl(t, _) | ActorRef::Type(t) => t.clone(),
+            ActorRef::Var(v) => self.vars.get(v).cloned().unwrap_or(AType::Any),
+        }
+    }
+
+    fn check_func(&self, callee: &ActorRef, fname: &str) -> Result<(), SemanticError> {
+        if let AType::Named(t) = self.type_of(callee) {
+            let sig = self
+                .schema
+                .get(&t)
+                .ok_or_else(|| self.err(format!("unknown actor type `{t}`")))?;
+            if !sig.has_func(fname) {
+                return Err(self.err(format!("type `{t}` has no function `{fname}`")));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_prop(&self, owner: &ActorRef, prop: &str) -> Result<(), SemanticError> {
+        if let AType::Named(t) = self.type_of(owner) {
+            let sig = self
+                .schema
+                .get(&t)
+                .ok_or_else(|| self.err(format!("unknown actor type `{t}`")))?;
+            if !sig.has_prop(prop) {
+                return Err(self.err(format!("type `{t}` has no property `{prop}`")));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn collect_cond(cx: &mut RuleCx<'_>, cond: &Cond) -> Result<(), SemanticError> {
+    match cond {
+        Cond::True => Ok(()),
+        Cond::Or(a, b) | Cond::And(a, b) => {
+            collect_cond(cx, a)?;
+            collect_cond(cx, b)
+        }
+        Cond::Compare { feat, .. } => match feat {
+            Feature::ServerRes(_) => Ok(()),
+            Feature::ActorRes(a, _) => cx.collect(a),
+            Feature::Call { caller, callee, .. } => {
+                if let Caller::Actor(a) = caller {
+                    cx.collect(a)?;
+                }
+                cx.collect(callee)
+            }
+        },
+        Cond::InRef { member, owner, .. } => {
+            cx.collect(member)?;
+            cx.collect(owner)
+        }
+    }
+}
+
+fn collect_behavior(cx: &mut RuleCx<'_>, beh: &Behavior) -> Result<(), SemanticError> {
+    match beh {
+        Behavior::Balance { types, .. } => {
+            for t in types {
+                cx.check_type(t)?;
+            }
+            Ok(())
+        }
+        Behavior::Reserve { actor, .. } | Behavior::Pin(actor) => cx.collect(actor),
+        Behavior::Colocate(a, b) | Behavior::Separate(a, b) => {
+            cx.collect(a)?;
+            cx.collect(b)
+        }
+    }
+}
+
+fn check_stat(cx: &RuleCx<'_>, feat: &Feature, stat: Stat, val: f64) -> Result<(), SemanticError> {
+    match feat {
+        Feature::ServerRes(res) | Feature::ActorRes(_, res) => {
+            let ok = matches!((res, stat), (_, Stat::Perc) | (Res::Mem, Stat::Size));
+            if !ok {
+                return Err(cx.err(format!(
+                    "statistic `{}` does not apply to resource `{}`",
+                    stat.keyword(),
+                    res.keyword()
+                )));
+            }
+            if stat == Stat::Perc && !(0.0..=100.0).contains(&val) {
+                return Err(cx.err(format!("percentage bound {val} outside [0, 100]")));
+            }
+        }
+        Feature::Call { .. } => {
+            if stat == Stat::Perc && !(0.0..=100.0).contains(&val) {
+                return Err(cx.err(format!("percentage bound {val} outside [0, 100]")));
+            }
+        }
+    }
+    if val < 0.0 || !val.is_finite() {
+        return Err(cx.err(format!("bound {val} must be a non-negative number")));
+    }
+    Ok(())
+}
+
+fn resolve_cond(cx: &RuleCx<'_>, cond: &Cond) -> Result<Cond, SemanticError> {
+    Ok(match cond {
+        Cond::True => Cond::True,
+        Cond::Or(a, b) => Cond::Or(
+            Box::new(resolve_cond(cx, a)?),
+            Box::new(resolve_cond(cx, b)?),
+        ),
+        Cond::And(a, b) => Cond::And(
+            Box::new(resolve_cond(cx, a)?),
+            Box::new(resolve_cond(cx, b)?),
+        ),
+        Cond::Compare {
+            feat,
+            stat,
+            comp,
+            val,
+        } => {
+            check_stat(cx, feat, *stat, *val)?;
+            let feat = match feat {
+                Feature::ServerRes(r) => Feature::ServerRes(*r),
+                Feature::ActorRes(a, r) => Feature::ActorRes(cx.resolve(a)?, *r),
+                Feature::Call {
+                    caller,
+                    callee,
+                    fname,
+                } => {
+                    let caller = match caller {
+                        Caller::Client => Caller::Client,
+                        Caller::Actor(a) => Caller::Actor(cx.resolve(a)?),
+                    };
+                    let callee = cx.resolve(callee)?;
+                    cx.check_func(&callee, fname)?;
+                    Feature::Call {
+                        caller,
+                        callee,
+                        fname: fname.clone(),
+                    }
+                }
+            };
+            Cond::Compare {
+                feat,
+                stat: *stat,
+                comp: *comp,
+                val: *val,
+            }
+        }
+        Cond::InRef {
+            member,
+            owner,
+            prop,
+        } => {
+            let member = cx.resolve(member)?;
+            let owner = cx.resolve(owner)?;
+            cx.check_prop(&owner, prop)?;
+            Cond::InRef {
+                member,
+                owner,
+                prop: prop.clone(),
+            }
+        }
+    })
+}
+
+fn resolve_behavior(cx: &RuleCx<'_>, beh: &Behavior) -> Result<Behavior, SemanticError> {
+    Ok(match beh {
+        Behavior::Balance { types, res } => Behavior::Balance {
+            types: types.clone(),
+            res: *res,
+        },
+        Behavior::Reserve { actor, res } => Behavior::Reserve {
+            actor: cx.resolve(actor)?,
+            res: *res,
+        },
+        Behavior::Colocate(a, b) => Behavior::Colocate(cx.resolve(a)?, cx.resolve(b)?),
+        Behavior::Separate(a, b) => Behavior::Separate(cx.resolve(a)?, cx.resolve(b)?),
+        Behavior::Pin(a) => Behavior::Pin(cx.resolve(a)?),
+    })
+}
+
+fn analyze_rule(
+    index: usize,
+    rule: &Rule,
+    schema: &ActorSchema,
+) -> Result<CompiledRule, SemanticError> {
+    let mut cx = RuleCx {
+        index,
+        schema,
+        vars: BTreeMap::new(),
+        order: Vec::new(),
+    };
+    // Pass 1: declarations (condition first, then behaviors, matching
+    // reading order).
+    collect_cond(&mut cx, &rule.cond)?;
+    for b in &rule.behaviors {
+        collect_behavior(&mut cx, b)?;
+    }
+    // Pass 2: resolution and checks.
+    let cond = resolve_cond(&cx, &rule.cond)?;
+    let mut behaviors = Vec::with_capacity(rule.behaviors.len());
+    for b in &rule.behaviors {
+        let resolved = resolve_behavior(&cx, b)?;
+        let priority = rule.priority.unwrap_or_else(|| resolved.default_priority());
+        behaviors.push(CompiledBehavior {
+            is_resource: resolved.is_resource(),
+            behavior: resolved,
+            priority,
+        });
+    }
+    let vars = cx
+        .order
+        .iter()
+        .map(|name| VarDecl {
+            name: name.clone(),
+            atype: cx.vars[name].clone(),
+        })
+        .collect();
+    Ok(CompiledRule {
+        index,
+        cond,
+        behaviors,
+        vars,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_policy;
+
+    fn media_schema() -> ActorSchema {
+        let mut s = ActorSchema::new();
+        s.actor_type("Folder").prop("files").func("open");
+        s.actor_type("File").func("read");
+        s.actor_type("VideoStream").func("watch");
+        s.actor_type("UserInfo").func("track");
+        s.actor_type("Partition").prop("children").func("read");
+        s
+    }
+
+    fn compile_ok(src: &str) -> CompiledPolicy {
+        let policy = parse_policy(src).unwrap();
+        analyze(&policy, &media_schema()).unwrap()
+    }
+
+    fn compile_err(src: &str) -> SemanticError {
+        let policy = parse_policy(src).unwrap();
+        analyze(&policy, &media_schema()).unwrap_err()
+    }
+
+    #[test]
+    fn metadata_rule_compiles_with_vars() {
+        let p = compile_ok(
+            "server.cpu.perc > 80 and client.call(Folder(fo).open).perc > 40 \
+             and File(fi) in ref(fo.files) => reserve(fo, cpu); colocate(fo, fi);",
+        );
+        let r = &p.rules[0];
+        assert_eq!(
+            r.vars,
+            vec![
+                VarDecl {
+                    name: "fo".into(),
+                    atype: AType::Named("Folder".into())
+                },
+                VarDecl {
+                    name: "fi".into(),
+                    atype: AType::Named("File".into())
+                },
+            ]
+        );
+        assert_eq!(r.var_slot("fo"), Some(0));
+        assert_eq!(r.var_slot("fi"), Some(1));
+        assert!(r.has_resource_behavior());
+        assert!(r.has_interaction_behavior());
+        // reserve has higher default priority than colocate.
+        assert!(r.behaviors[0].priority > r.behaviors[1].priority);
+    }
+
+    #[test]
+    fn behavior_declared_variable_is_visible() {
+        // `v` is declared inside the behavior (Media Service rule 2).
+        let p = compile_ok("server.cpu.perc > 50 => reserve(VideoStream(v), cpu);");
+        assert_eq!(p.rules[0].vars.len(), 1);
+        assert_eq!(p.rules[0].vars[0].atype, AType::Named("VideoStream".into()));
+    }
+
+    #[test]
+    fn bare_type_name_resolves_to_type() {
+        let p = compile_ok("true => pin(Folder);");
+        assert_eq!(
+            p.rules[0].behaviors[0].behavior,
+            Behavior::Pin(ActorRef::Type(AType::Named("Folder".into())))
+        );
+    }
+
+    #[test]
+    fn unknown_identifier_rejected() {
+        let e = compile_err("true => pin(zorp);");
+        assert!(e.message.contains("neither a declared variable"), "{e}");
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let e = compile_err("true => reserve(Ghost(g), cpu);");
+        assert!(e.message.contains("unknown actor type `Ghost`"), "{e}");
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let e = compile_err("client.call(Folder(f).destroy).count > 1 => pin(f);");
+        assert!(e.message.contains("no function `destroy`"), "{e}");
+    }
+
+    #[test]
+    fn unknown_property_rejected() {
+        let e = compile_err("File(fi) in ref(Folder(fo).subdirs) => colocate(fo, fi);");
+        assert!(e.message.contains("no property `subdirs`"), "{e}");
+    }
+
+    #[test]
+    fn redeclaration_with_different_type_rejected() {
+        let e = compile_err(
+            "client.call(Folder(x).open).count > 1 and client.call(File(x).read).count > 1 \
+             => pin(x);",
+        );
+        assert!(e.message.contains("redeclared"), "{e}");
+    }
+
+    #[test]
+    fn redeclaration_with_same_type_ok() {
+        compile_ok(
+            "client.call(Folder(x).open).count > 1 and client.call(Folder(x).open).size > 1 \
+             => pin(x);",
+        );
+    }
+
+    #[test]
+    fn count_stat_invalid_for_cpu() {
+        let e = compile_err("server.cpu.count > 5 => balance({Folder}, cpu);");
+        assert!(e.message.contains("does not apply"), "{e}");
+    }
+
+    #[test]
+    fn size_stat_valid_for_mem_only() {
+        compile_ok("server.mem.size > 1000000 => balance({Folder}, mem);");
+        let e = compile_err("server.net.size > 5 => balance({Folder}, net);");
+        assert!(e.message.contains("does not apply"), "{e}");
+    }
+
+    #[test]
+    fn perc_bounds_checked() {
+        let e = compile_err("server.cpu.perc > 150 => balance({Folder}, cpu);");
+        assert!(e.message.contains("outside [0, 100]"), "{e}");
+    }
+
+    #[test]
+    fn balance_type_must_exist() {
+        let e = compile_err("true => balance({Ghost}, cpu);");
+        assert!(e.message.contains("unknown actor type"), "{e}");
+    }
+
+    #[test]
+    fn any_type_is_always_valid() {
+        let p = compile_ok("true => balance({any}, cpu); pin(any);");
+        assert_eq!(p.rules[0].behaviors.len(), 2);
+    }
+
+    #[test]
+    fn rule_priority_overrides_defaults() {
+        let p = compile_ok("@priority(7) true => balance({Folder}, cpu); pin(any);");
+        assert_eq!(p.rules[0].behaviors[0].priority, 7);
+        assert_eq!(p.rules[0].behaviors[1].priority, 7);
+    }
+
+    #[test]
+    fn rules_are_independent_scopes() {
+        // `p1` means different partitions in the two E-Store rules.
+        let p = compile_ok(
+            "server.cpu.perc > 80 and client.call(Partition(p1).read).perc > 30 => reserve(p1, cpu);\n\
+             Partition(p2) in ref(Partition(p1).children) => colocate(p1, p2);",
+        );
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.rules[0].vars.len(), 1);
+        assert_eq!(p.rules[1].vars.len(), 2);
+    }
+
+    #[test]
+    fn ref_type_resolution() {
+        let p = compile_ok("Partition(p2) in ref(Partition(p1).children) => colocate(p1, p2);");
+        let r = &p.rules[0];
+        assert_eq!(
+            r.ref_type(&ActorRef::Var("p1".into())),
+            AType::Named("Partition".into())
+        );
+        assert_eq!(r.ref_type(&ActorRef::Var("ghost".into())), AType::Any);
+    }
+}

@@ -1,0 +1,484 @@
+//! Abstract syntax of the EPL, mirroring Fig. 3.II of the paper.
+//!
+//! The [`std::fmt::Display`] implementations pretty-print an AST back to
+//! concrete syntax that re-parses to the same AST (property-tested in the
+//! parser module), which is also how compiled policies are logged.
+
+use std::fmt;
+
+/// A resource kind (`res` in the grammar).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Res {
+    /// Processor time.
+    Cpu,
+    /// Memory.
+    Mem,
+    /// Network.
+    Net,
+}
+
+impl Res {
+    /// The concrete-syntax keyword.
+    pub const fn keyword(self) -> &'static str {
+        match self {
+            Res::Cpu => "cpu",
+            Res::Mem => "mem",
+            Res::Net => "net",
+        }
+    }
+}
+
+/// A statistic over a feature (`stat`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Stat {
+    /// Number of messages per time unit.
+    Count,
+    /// Bytes.
+    Size,
+    /// Percentage.
+    Perc,
+}
+
+impl Stat {
+    /// The concrete-syntax keyword.
+    pub const fn keyword(self) -> &'static str {
+        match self {
+            Stat::Count => "count",
+            Stat::Size => "size",
+            Stat::Perc => "perc",
+        }
+    }
+}
+
+/// A comparison operator (`comp`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Comp {
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+}
+
+impl Comp {
+    /// The concrete-syntax operator.
+    pub const fn symbol(self) -> &'static str {
+        match self {
+            Comp::Lt => "<",
+            Comp::Gt => ">",
+            Comp::Ge => ">=",
+            Comp::Le => "<=",
+        }
+    }
+
+    /// Applies the comparison.
+    pub fn eval(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            Comp::Lt => lhs < rhs,
+            Comp::Gt => lhs > rhs,
+            Comp::Ge => lhs >= rhs,
+            Comp::Le => lhs <= rhs,
+        }
+    }
+}
+
+/// An actor type name (`atype`): a named type or the wildcard `any`.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub enum AType {
+    /// Matches every actor type.
+    Any,
+    /// A specific type by name.
+    Named(String),
+}
+
+impl fmt::Display for AType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AType::Any => f.write_str("any"),
+            AType::Named(n) => f.write_str(n),
+        }
+    }
+}
+
+/// An actor reference (`actor`): `Type(var)`, bare `Type`, or bare `var`.
+///
+/// `Type(var)` *declares* `var` inline; bare `var` must have been declared
+/// somewhere else in the same rule.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub enum ActorRef {
+    /// `Type(v)` — typed reference declaring variable `v`.
+    Decl(AType, String),
+    /// `Type` — anonymous typed reference.
+    Type(AType),
+    /// `v` — a previously declared variable.
+    Var(String),
+}
+
+impl fmt::Display for ActorRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActorRef::Decl(t, v) => write!(f, "{t}({v})"),
+            ActorRef::Type(t) => write!(f, "{t}"),
+            ActorRef::Var(v) => f.write_str(v),
+        }
+    }
+}
+
+/// Who calls (`cllr`): external clients or actors.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub enum Caller {
+    /// External clients.
+    Client,
+    /// A calling actor.
+    Actor(ActorRef),
+}
+
+impl fmt::Display for Caller {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Caller::Client => f.write_str("client"),
+            Caller::Actor(a) => a.fmt(f),
+        }
+    }
+}
+
+/// A runtime feature (`feat`).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Feature {
+    /// `server.res` — server resource usage (`[f-rs]`).
+    ServerRes(Res),
+    /// `actor.res` — actor resource usage (`[f-ra]`).
+    ActorRes(ActorRef, Res),
+    /// `cllr.call(actor.fname)` — interaction (`[f-ia]`).
+    Call {
+        /// The caller.
+        caller: Caller,
+        /// The callee actor.
+        callee: ActorRef,
+        /// The invoked function name.
+        fname: String,
+    },
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Feature::ServerRes(r) => write!(f, "server.{}", r.keyword()),
+            Feature::ActorRes(a, r) => write!(f, "{a}.{}", r.keyword()),
+            Feature::Call {
+                caller,
+                callee,
+                fname,
+            } => write!(f, "{caller}.call({callee}.{fname})"),
+        }
+    }
+}
+
+/// A condition (`cond`).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Cond {
+    /// `true`
+    True,
+    /// `cond or cond`
+    Or(Box<Cond>, Box<Cond>),
+    /// `cond and cond`
+    And(Box<Cond>, Box<Cond>),
+    /// `feat.stat comp val`
+    Compare {
+        /// The measured feature.
+        feat: Feature,
+        /// Which statistic of it.
+        stat: Stat,
+        /// Comparison operator.
+        comp: Comp,
+        /// Bound value.
+        val: f64,
+    },
+    /// `actor in ref(actor.pname)` — reference-containment (`[f-ia]`).
+    InRef {
+        /// The member actor.
+        member: ActorRef,
+        /// The owning actor.
+        owner: ActorRef,
+        /// The reference property on the owner.
+        prop: String,
+    },
+}
+
+impl Cond {
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent_is_and: bool) -> fmt::Result {
+        match self {
+            Cond::True => f.write_str("true"),
+            Cond::Or(a, b) => {
+                // `or` under `and` needs parentheses to round-trip.
+                if parent_is_and {
+                    f.write_str("(")?;
+                }
+                a.fmt_prec(f, false)?;
+                f.write_str(" or ")?;
+                // A right child that is itself an `or` must be
+                // parenthesized to preserve right-nesting (the parser is
+                // left-associative).
+                if matches!(**b, Cond::Or(..)) {
+                    f.write_str("(")?;
+                    b.fmt_prec(f, false)?;
+                    f.write_str(")")?;
+                } else {
+                    b.fmt_prec(f, false)?;
+                }
+                if parent_is_and {
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+            Cond::And(a, b) => {
+                a.fmt_prec(f, true)?;
+                f.write_str(" and ")?;
+                if matches!(**b, Cond::And(..)) {
+                    f.write_str("(")?;
+                    b.fmt_prec(f, false)?;
+                    f.write_str(")")?;
+                } else {
+                    b.fmt_prec(f, true)?;
+                }
+                Ok(())
+            }
+            Cond::Compare {
+                feat,
+                stat,
+                comp,
+                val,
+            } => write!(f, "{feat}.{} {} {val}", stat.keyword(), comp.symbol()),
+            Cond::InRef {
+                member,
+                owner,
+                prop,
+            } => write!(f, "{member} in ref({owner}.{prop})"),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, false)
+    }
+}
+
+/// An elasticity behavior (`beh`).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Behavior {
+    /// `balance({T1, T2}, res)` — resource rule `[r-r]`.
+    Balance {
+        /// Actor types eligible for rebalancing migration.
+        types: Vec<AType>,
+        /// The critical resource to balance.
+        res: Res,
+    },
+    /// `reserve(actor, res)` — resource rule `[r-r]`.
+    Reserve {
+        /// Actors to host on dedicated servers.
+        actor: ActorRef,
+        /// The resource the dedicated server must have available.
+        res: Res,
+    },
+    /// `colocate(a, b)` — interaction rule `[r-i]`.
+    Colocate(ActorRef, ActorRef),
+    /// `separate(a, b)` — interaction rule `[r-i]`.
+    Separate(ActorRef, ActorRef),
+    /// `pin(actor)` — interaction rule `[r-i]`.
+    Pin(ActorRef),
+}
+
+impl Behavior {
+    /// Returns `true` for resource elasticity behaviors (`[r-r]`,
+    /// executed by GEMs) and `false` for interaction behaviors (`[r-i]`,
+    /// executed by LEMs).
+    pub fn is_resource(&self) -> bool {
+        matches!(self, Behavior::Balance { .. } | Behavior::Reserve { .. })
+    }
+
+    /// Default conflict-resolution priority (higher wins), per §4.3 where
+    /// `balance` is prioritized over `colocate` so target servers only
+    /// accept actors they have resources for.
+    pub fn default_priority(&self) -> u32 {
+        match self {
+            Behavior::Balance { .. } => 100,
+            Behavior::Reserve { .. } => 90,
+            Behavior::Colocate(..) => 50,
+            Behavior::Separate(..) => 40,
+            Behavior::Pin(..) => 110,
+        }
+    }
+}
+
+impl fmt::Display for Behavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Behavior::Balance { types, res } => {
+                f.write_str("balance({")?;
+                for (i, t) in types.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "}}, {})", res.keyword())
+            }
+            Behavior::Reserve { actor, res } => write!(f, "reserve({actor}, {})", res.keyword()),
+            Behavior::Colocate(a, b) => write!(f, "colocate({a}, {b})"),
+            Behavior::Separate(a, b) => write!(f, "separate({a}, {b})"),
+            Behavior::Pin(a) => write!(f, "pin({a})"),
+        }
+    }
+}
+
+/// One elasticity rule: `cond => beh; beh; ... ;` with an optional
+/// `@priority(N)` attribute (extension) overriding behavior priorities.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Rule {
+    /// Optional priority override for all behaviors of this rule.
+    pub priority: Option<u32>,
+    /// The trigger condition.
+    pub cond: Cond,
+    /// Behaviors to apply when the condition holds.
+    pub behaviors: Vec<Behavior>,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = self.priority {
+            write!(f, "@priority({p}) ")?;
+        }
+        write!(f, "{} =>", self.cond)?;
+        for b in &self.behaviors {
+            write!(f, " {b};")?;
+        }
+        Ok(())
+    }
+}
+
+/// A policy: the ordered set of rules (`pol`).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Policy {
+    /// The rules, in source order.
+    pub rules: Vec<Rule>,
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                f.write_str("\n")?;
+            }
+            r.fmt(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comp_eval() {
+        assert!(Comp::Lt.eval(1.0, 2.0));
+        assert!(Comp::Gt.eval(3.0, 2.0));
+        assert!(Comp::Ge.eval(2.0, 2.0));
+        assert!(Comp::Le.eval(2.0, 2.0));
+        assert!(!Comp::Lt.eval(2.0, 2.0));
+    }
+
+    #[test]
+    fn display_rule() {
+        let rule = Rule {
+            priority: None,
+            cond: Cond::Compare {
+                feat: Feature::ServerRes(Res::Cpu),
+                stat: Stat::Perc,
+                comp: Comp::Gt,
+                val: 80.0,
+            },
+            behaviors: vec![Behavior::Balance {
+                types: vec![AType::Named("Partition".into())],
+                res: Res::Cpu,
+            }],
+        };
+        assert_eq!(
+            rule.to_string(),
+            "server.cpu.perc > 80 => balance({Partition}, cpu);"
+        );
+    }
+
+    #[test]
+    fn display_parenthesizes_or_under_and() {
+        let or = Cond::Or(
+            Box::new(Cond::True),
+            Box::new(Cond::Compare {
+                feat: Feature::ServerRes(Res::Net),
+                stat: Stat::Perc,
+                comp: Comp::Lt,
+                val: 60.0,
+            }),
+        );
+        let and = Cond::And(Box::new(or), Box::new(Cond::True));
+        assert_eq!(and.to_string(), "(true or server.net.perc < 60) and true");
+    }
+
+    #[test]
+    fn display_call_feature() {
+        let c = Cond::Compare {
+            feat: Feature::Call {
+                caller: Caller::Client,
+                callee: ActorRef::Decl(AType::Named("Folder".into()), "fo".into()),
+                fname: "open".into(),
+            },
+            stat: Stat::Perc,
+            comp: Comp::Gt,
+            val: 40.0,
+        };
+        assert_eq!(c.to_string(), "client.call(Folder(fo).open).perc > 40");
+    }
+
+    #[test]
+    fn display_inref_and_behaviors() {
+        let r = Rule {
+            priority: Some(7),
+            cond: Cond::InRef {
+                member: ActorRef::Decl(AType::Named("Player".into()), "p".into()),
+                owner: ActorRef::Decl(AType::Named("Session".into()), "s".into()),
+                prop: "players".into(),
+            },
+            behaviors: vec![
+                Behavior::Pin(ActorRef::Var("s".into())),
+                Behavior::Colocate(ActorRef::Var("p".into()), ActorRef::Var("s".into())),
+            ],
+        };
+        assert_eq!(
+            r.to_string(),
+            "@priority(7) Player(p) in ref(Session(s).players) => pin(s); colocate(p, s);"
+        );
+    }
+
+    #[test]
+    fn behavior_classification() {
+        assert!(Behavior::Balance {
+            types: vec![],
+            res: Res::Cpu
+        }
+        .is_resource());
+        assert!(Behavior::Reserve {
+            actor: ActorRef::Type(AType::Any),
+            res: Res::Cpu
+        }
+        .is_resource());
+        assert!(!Behavior::Pin(ActorRef::Type(AType::Any)).is_resource());
+        assert!(
+            !Behavior::Colocate(ActorRef::Type(AType::Any), ActorRef::Type(AType::Any))
+                .is_resource()
+        );
+    }
+}

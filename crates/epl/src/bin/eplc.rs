@@ -1,0 +1,119 @@
+//! `eplc` — the standalone PLASMA elasticity-policy compiler.
+//!
+//! ```text
+//! eplc check   <policy.epl> --schema <schema.acts>   # compile + conflicts
+//! eplc explain <policy.epl> --schema <schema.acts>   # rules, vars, sides
+//! eplc fmt     <policy.epl> --schema <schema.acts>   # canonical formatting
+//! ```
+//!
+//! Exit code 0 on success, 1 on compile errors, 2 on usage/IO errors.
+
+use std::process::ExitCode;
+
+use plasma_epl::schema_text::parse_schema;
+use plasma_epl::{compile, ActorSchema};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Compile(msg)) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            eprintln!();
+            eprintln!("usage: eplc <check|explain|fmt> <policy.epl> --schema <schema.acts>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+enum CliError {
+    Usage(String),
+    Compile(String),
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let mut command = None;
+    let mut policy_path = None;
+    let mut schema_path = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--schema" => {
+                schema_path = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--schema needs a path".into()))?
+                        .clone(),
+                );
+            }
+            "check" | "explain" | "fmt" if command.is_none() => {
+                command = Some(arg.clone());
+            }
+            _ if policy_path.is_none() => policy_path = Some(arg.clone()),
+            other => {
+                return Err(CliError::Usage(format!("unexpected argument `{other}`")));
+            }
+        }
+    }
+    let command = command.ok_or_else(|| CliError::Usage("missing command".into()))?;
+    let policy_path = policy_path.ok_or_else(|| CliError::Usage("missing policy file".into()))?;
+    let schema_path =
+        schema_path.ok_or_else(|| CliError::Usage("missing --schema <file>".into()))?;
+
+    let read = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))
+    };
+    let schema_src = read(&schema_path)?;
+    let policy_src = read(&policy_path)?;
+
+    let schema: ActorSchema =
+        parse_schema(&schema_src).map_err(|e| CliError::Compile(format!("{schema_path}: {e}")))?;
+    let compiled = compile(&policy_src, &schema)
+        .map_err(|e| CliError::Compile(format!("{policy_path}: {e}")))?;
+
+    match command.as_str() {
+        "check" => {
+            for warning in &compiled.warnings {
+                println!("{policy_path}: {warning}");
+            }
+            println!(
+                "{policy_path}: {} rule(s) OK ({} diagnostic(s))",
+                compiled.rules.len(),
+                compiled.warnings.len()
+            );
+        }
+        "explain" => {
+            for rule in &compiled.rules {
+                println!("rule {}: {}", rule.index + 1, rule.cond);
+                for cb in &rule.behaviors {
+                    println!(
+                        "    -> {} [{} side, priority {}]",
+                        cb.behavior,
+                        if cb.is_resource { "GEM" } else { "LEM" },
+                        cb.priority
+                    );
+                }
+                for var in &rule.vars {
+                    println!("    var {}: {}", var.name, var.atype);
+                }
+            }
+            for warning in &compiled.warnings {
+                println!("{warning}");
+            }
+        }
+        "fmt" => {
+            // Re-parse for the original AST (the compiled form is resolved).
+            let policy = plasma_epl::parser::parse_policy(&policy_src)
+                .expect("already compiled successfully");
+            for rule in &policy.rules {
+                println!("{rule}");
+            }
+        }
+        _ => unreachable!("command validated above"),
+    }
+    Ok(())
+}

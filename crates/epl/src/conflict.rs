@@ -1,0 +1,234 @@
+//! Static conflict detection between elasticity rules.
+//!
+//! Mirrors §4.3: "When compiling elasticity rules, PLASMA's compiler detects
+//! conflicting rules for the same actor type, and issues warnings." Runtime
+//! priority resolution handles the rest, so some combinations are reported
+//! as notes rather than warnings.
+
+use crate::analyze::{CompiledPolicy, CompiledRule};
+use crate::ast::{AType, Behavior};
+use crate::error::{Severity, Warning};
+
+/// Returns whether two type patterns can denote the same actor type.
+fn overlaps(a: &AType, b: &AType) -> bool {
+    match (a, b) {
+        (AType::Any, _) | (_, AType::Any) => true,
+        (AType::Named(x), AType::Named(y)) => x == y,
+    }
+}
+
+/// Returns whether two unordered type pairs can overlap.
+fn pair_overlaps(a: (&AType, &AType), b: (&AType, &AType)) -> bool {
+    (overlaps(a.0, b.0) && overlaps(a.1, b.1)) || (overlaps(a.0, b.1) && overlaps(a.1, b.0))
+}
+
+/// Detects conflicts across all rules of a compiled policy.
+pub fn detect(policy: &CompiledPolicy) -> Vec<Warning> {
+    let mut warnings = Vec::new();
+    let items: Vec<(usize, &CompiledRule, &Behavior)> = policy
+        .rules
+        .iter()
+        .flat_map(|r| r.behaviors.iter().map(move |b| (r.index, r, &b.behavior)))
+        .collect();
+
+    for (i, &(ri, rule_i, bi)) in items.iter().enumerate() {
+        for &(rj, rule_j, bj) in items.iter().skip(i + 1) {
+            match (bi, bj) {
+                // colocate(a, b) vs separate(a, b): directly contradictory.
+                (Behavior::Colocate(a1, b1), Behavior::Separate(a2, b2))
+                | (Behavior::Separate(a1, b1), Behavior::Colocate(a2, b2)) => {
+                    // (a1, b1) belongs to rule_i, (a2, b2) to rule_j in both
+                    // arms, because the arm patterns bind positionally.
+                    let ta1 = rule_i.ref_type(a1);
+                    let tb1 = rule_i.ref_type(b1);
+                    let ta2 = rule_j.ref_type(a2);
+                    let tb2 = rule_j.ref_type(b2);
+                    if pair_overlaps((&ta1, &tb1), (&ta2, &tb2)) {
+                        warnings.push(Warning {
+                            severity: Severity::Warning,
+                            rules: sorted(ri, rj),
+                            message: format!(
+                                "`{bi}` conflicts with `{bj}`: the same actor pair may be \
+                                 both colocated and separated"
+                            ),
+                        });
+                    }
+                }
+                // pin(t) vs balance({..t..}): balance cannot move pinned actors.
+                (Behavior::Pin(a), Behavior::Balance { types, .. })
+                | (Behavior::Balance { types, .. }, Behavior::Pin(a)) => {
+                    let (pin_rule, _) = if matches!(bi, Behavior::Pin(_)) {
+                        (rule_i, rule_j)
+                    } else {
+                        (rule_j, rule_i)
+                    };
+                    let t = pin_rule.ref_type(a);
+                    if types.iter().any(|bt| overlaps(&t, bt)) {
+                        warnings.push(Warning {
+                            severity: Severity::Warning,
+                            rules: sorted(ri, rj),
+                            message: format!(
+                                "`{bi}` and `{bj}` target overlapping actor types: \
+                                 balance cannot migrate pinned actors"
+                            ),
+                        });
+                    }
+                }
+                // pin(t) vs reserve(t): legitimate (the Media Service pins
+                // VideoStreams *after* reserving them, §3.3); note the
+                // ordering dependency rather than warn.
+                (Behavior::Pin(a), Behavior::Reserve { actor, .. })
+                | (Behavior::Reserve { actor, .. }, Behavior::Pin(a)) => {
+                    let (pin_rule, res_rule) = if matches!(bi, Behavior::Pin(_)) {
+                        (rule_i, rule_j)
+                    } else {
+                        (rule_j, rule_i)
+                    };
+                    if overlaps(&pin_rule.ref_type(a), &res_rule.ref_type(actor)) {
+                        warnings.push(Warning {
+                            severity: Severity::Note,
+                            rules: sorted(ri, rj),
+                            message: format!(
+                                "`{bi}` and `{bj}` target overlapping actor types: \
+                                 a pinned actor cannot be re-reserved until unpinned"
+                            ),
+                        });
+                    }
+                }
+                // colocate vs balance touching the same types: legal, resolved
+                // by priority (the paper's §4.3 example) - emit a note.
+                (Behavior::Colocate(a, b), Behavior::Balance { types, .. })
+                | (Behavior::Balance { types, .. }, Behavior::Colocate(a, b)) => {
+                    let co_rule = if matches!(bi, Behavior::Colocate(..)) {
+                        rule_i
+                    } else {
+                        rule_j
+                    };
+                    let (ta, tb) = (co_rule.ref_type(a), co_rule.ref_type(b));
+                    if types
+                        .iter()
+                        .any(|bt| overlaps(&ta, bt) || overlaps(&tb, bt))
+                    {
+                        warnings.push(Warning {
+                            severity: Severity::Note,
+                            rules: sorted(ri, rj),
+                            message: format!(
+                                "`{bi}` and `{bj}` may compete for the same actors; \
+                                 resolved at runtime by priority (balance wins by default)"
+                            ),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    warnings
+}
+
+fn sorted(a: usize, b: usize) -> Vec<usize> {
+    let mut v = vec![a, b];
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_policy;
+    use crate::schema::ActorSchema;
+
+    fn schema() -> ActorSchema {
+        let mut s = ActorSchema::new();
+        s.actor_type("Worker").func("run");
+        s.actor_type("Table").func("get");
+        s.actor_type("Router").func("route");
+        s
+    }
+
+    fn warnings(src: &str) -> Vec<Warning> {
+        let policy = parse_policy(src).unwrap();
+        let compiled = crate::analyze::analyze(&policy, &schema()).unwrap();
+        detect(&compiled)
+    }
+
+    #[test]
+    fn colocate_separate_conflict_detected() {
+        let w = warnings(
+            "true => colocate(Worker(w), Table(t));\n\
+             true => separate(Worker(w2), Table(t2));",
+        );
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].severity, Severity::Warning);
+        assert_eq!(w[0].rules, vec![0, 1]);
+    }
+
+    #[test]
+    fn colocate_separate_disjoint_types_ok() {
+        let w = warnings(
+            "true => colocate(Worker(w), Worker(w2));\n\
+             true => separate(Table(t), Table(t2));",
+        );
+        assert!(w.is_empty(), "{w:?}");
+    }
+
+    #[test]
+    fn pin_balance_conflict_detected() {
+        let w = warnings(
+            "true => pin(Router(r));\n\
+             server.cpu.perc > 80 => balance({Router}, cpu);",
+        );
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].severity, Severity::Warning);
+        assert!(w[0].message.contains("pinned"), "{}", w[0].message);
+    }
+
+    #[test]
+    fn pin_reserve_is_a_note() {
+        let w = warnings(
+            "true => pin(Worker(x));\n\
+             server.cpu.perc > 80 => reserve(Worker(y), cpu);",
+        );
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].severity, Severity::Note);
+    }
+
+    #[test]
+    fn colocate_balance_is_a_note() {
+        let w = warnings(
+            "true => colocate(Worker(w), Table(t));\n\
+             server.cpu.perc > 80 => balance({Worker}, cpu);",
+        );
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].severity, Severity::Note);
+        assert!(w[0].message.contains("priority"), "{}", w[0].message);
+    }
+
+    #[test]
+    fn any_overlaps_everything() {
+        let w = warnings(
+            "true => pin(any);\n\
+             server.cpu.perc > 80 => balance({Router}, cpu);",
+        );
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn conflict_within_one_rule_detected() {
+        let w = warnings("true => colocate(Worker(a), Table(b)); separate(a, b);");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].rules, vec![0]);
+    }
+
+    #[test]
+    fn estore_policy_yields_reserve_balance_coexistence() {
+        // reserve + balance on the same type is allowed without warning
+        // (E-Store, §3.3) - only pin interactions warn.
+        let w = warnings(
+            "server.cpu.perc > 80 => reserve(Worker(p), cpu);\n\
+             server.cpu.perc < 50 => balance({Worker}, cpu);",
+        );
+        assert!(w.is_empty(), "{w:?}");
+    }
+}

@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+
+//! PLASMA's **elasticity programming language** (EPL).
+//!
+//! The EPL is the paper's second "level" of programming: a declarative rule
+//! language, separate from the application program, that describes elasticity
+//! behavior in an *actor-condition-behavior* style (Fig. 3 of the paper):
+//!
+//! ```text
+//! server.cpu.perc > 80 and
+//! client.call(Folder(fo).open).perc > 40 and
+//! File(fi) in ref(fo.files) =>
+//!     reserve(fo, cpu); colocate(fo, fi);
+//! ```
+//!
+//! This crate implements the full pipeline:
+//!
+//! - [`token`] — lexer with line/column spans and `#`/`//` comments.
+//! - [`ast`] — the abstract syntax of Fig. 3.II, plus a pretty-printer that
+//!   round-trips through the parser (property-tested).
+//! - [`parser`] — recursive-descent parser with precise errors
+//!   (`or` binds looser than `and`; parentheses are accepted as an
+//!   extension).
+//! - [`schema`] — the actor-program signature (types, properties,
+//!   functions) the policy is compiled against.
+//! - [`analyze`] — name resolution, implicit variable declaration
+//!   (`Folder(fo)` declares `fo`), statistic/feature applicability checks,
+//!   and lowering to a [`CompiledPolicy`] the runtime evaluates.
+//! - [`conflict`] — the static conflict detector the paper's compiler runs
+//!   (e.g. `colocate` vs `separate` on the same pair), emitting warnings.
+//!
+//! The one-call entry point is [`compile`].
+//!
+//! # Examples
+//!
+//! ```
+//! use plasma_epl::{compile, schema::ActorSchema};
+//!
+//! let mut schema = ActorSchema::new();
+//! schema.actor_type("Partition").prop("children").func("read");
+//!
+//! let policy = compile(
+//!     "server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Partition}, cpu);",
+//!     &schema,
+//! )
+//! .unwrap();
+//! assert_eq!(policy.rules.len(), 1);
+//! assert!(policy.warnings.is_empty());
+//! ```
+
+pub mod analyze;
+pub mod ast;
+pub mod conflict;
+pub mod error;
+pub mod parser;
+pub mod schema;
+pub mod schema_text;
+pub mod token;
+
+pub use analyze::{CompiledBehavior, CompiledPolicy, CompiledRule};
+pub use error::{CompileError, ParseError, SemanticError, Warning};
+pub use schema::ActorSchema;
+
+/// Parses, analyzes and conflict-checks a policy against an actor schema.
+///
+/// Returns the compiled policy (with any conflict warnings attached) or the
+/// first error encountered.
+pub fn compile(source: &str, schema: &ActorSchema) -> Result<CompiledPolicy, CompileError> {
+    let policy = parser::parse_policy(source).map_err(CompileError::Parse)?;
+    let mut compiled = analyze::analyze(&policy, schema).map_err(CompileError::Semantic)?;
+    compiled.warnings = conflict::detect(&compiled);
+    Ok(compiled)
+}

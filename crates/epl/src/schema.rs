@@ -1,0 +1,144 @@
+//! The actor-program signature a policy is compiled against.
+//!
+//! The paper's PLASMA compiler "parses both PLASMA elasticity rules and the
+//! AEON program" (§5.1); the schema is our stand-in for the application
+//! side: the set of actor types with their reference properties and
+//! functions (Fig. 3.I's `aclass`, `prop`, `func`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Signature of one actor type.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TypeSig {
+    props: BTreeSet<String>,
+    funcs: BTreeSet<String>,
+}
+
+impl TypeSig {
+    /// Declares a reference property; returns `self` for chaining.
+    pub fn prop(&mut self, name: &str) -> &mut Self {
+        self.props.insert(name.to_string());
+        self
+    }
+
+    /// Declares a function; returns `self` for chaining.
+    pub fn func(&mut self, name: &str) -> &mut Self {
+        self.funcs.insert(name.to_string());
+        self
+    }
+
+    /// Returns whether the type declares property `name`.
+    pub fn has_prop(&self, name: &str) -> bool {
+        self.props.contains(name)
+    }
+
+    /// Returns whether the type declares function `name`.
+    pub fn has_func(&self, name: &str) -> bool {
+        self.funcs.contains(name)
+    }
+
+    /// Returns the declared properties.
+    pub fn props(&self) -> impl Iterator<Item = &str> {
+        self.props.iter().map(String::as_str)
+    }
+
+    /// Returns the declared functions.
+    pub fn funcs(&self) -> impl Iterator<Item = &str> {
+        self.funcs.iter().map(String::as_str)
+    }
+}
+
+/// The full application schema: actor types and their signatures.
+///
+/// # Examples
+///
+/// ```
+/// use plasma_epl::ActorSchema;
+///
+/// let mut schema = ActorSchema::new();
+/// schema
+///     .actor_type("Session")
+///     .prop("players")
+///     .func("heartbeat");
+/// assert!(schema.has_type("Session"));
+/// assert!(schema.get("Session").unwrap().has_prop("players"));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ActorSchema {
+    types: BTreeMap<String, TypeSig>,
+}
+
+impl ActorSchema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        ActorSchema::default()
+    }
+
+    /// Declares (or fetches) an actor type for further signature building.
+    pub fn actor_type(&mut self, name: &str) -> &mut TypeSig {
+        self.types.entry(name.to_string()).or_default()
+    }
+
+    /// Returns whether `name` is a declared actor type.
+    pub fn has_type(&self, name: &str) -> bool {
+        self.types.contains_key(name)
+    }
+
+    /// Returns the signature of type `name`.
+    pub fn get(&self, name: &str) -> Option<&TypeSig> {
+        self.types.get(name)
+    }
+
+    /// Returns all declared type names, sorted.
+    pub fn type_names(&self) -> impl Iterator<Item = &str> {
+        self.types.keys().map(String::as_str)
+    }
+
+    /// Returns the number of declared types.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Returns whether no types are declared.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let mut s = ActorSchema::new();
+        s.actor_type("Folder")
+            .prop("files")
+            .func("open")
+            .func("close");
+        let sig = s.get("Folder").unwrap();
+        assert!(sig.has_prop("files"));
+        assert!(sig.has_func("open"));
+        assert!(sig.has_func("close"));
+        assert!(!sig.has_func("delete"));
+        assert_eq!(sig.funcs().collect::<Vec<_>>(), vec!["close", "open"]);
+    }
+
+    #[test]
+    fn redeclaration_merges() {
+        let mut s = ActorSchema::new();
+        s.actor_type("A").prop("x");
+        s.actor_type("A").prop("y");
+        let sig = s.get("A").unwrap();
+        assert!(sig.has_prop("x") && sig.has_prop("y"));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn type_names_sorted() {
+        let mut s = ActorSchema::new();
+        s.actor_type("Zeta");
+        s.actor_type("Alpha");
+        assert_eq!(s.type_names().collect::<Vec<_>>(), vec!["Alpha", "Zeta"]);
+    }
+}

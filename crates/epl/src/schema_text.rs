@@ -1,0 +1,195 @@
+//! A textual format for actor schemas, mirroring the paper's Fig. 3.I.
+//!
+//! The PLASMA compiler reads the application program to learn its actor
+//! classes; standalone policy tooling (the `eplc` binary) instead reads a
+//! small interface description:
+//!
+//! ```text
+//! // The Metadata Server's actor classes.
+//! actor Folder {
+//!     prop files;
+//!     func open;
+//! }
+//! actor File {
+//!     func read;
+//! }
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use plasma_epl::schema_text::parse_schema;
+//!
+//! let schema = parse_schema("actor Worker { func run; }").unwrap();
+//! assert!(schema.get("Worker").unwrap().has_func("run"));
+//! ```
+
+use crate::error::ParseError;
+use crate::schema::ActorSchema;
+use crate::token::{lex, Spanned, Tok};
+
+/// Parses the textual schema format into an [`ActorSchema`].
+pub fn parse_schema(source: &str) -> Result<ActorSchema, ParseError> {
+    let toks = lex(source)?;
+    let mut p = SchemaParser { toks, idx: 0 };
+    let mut schema = ActorSchema::new();
+    while !p.at_eof() {
+        p.actor_decl(&mut schema)?;
+    }
+    Ok(schema)
+}
+
+struct SchemaParser {
+    toks: Vec<Spanned>,
+    idx: usize,
+}
+
+impl SchemaParser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.idx].tok
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.idx].tok.clone();
+        if self.idx + 1 < self.toks.len() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.toks[self.idx].pos, message)
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found {other}"))),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {want} {what}, found {}", self.peek())))
+        }
+    }
+
+    fn actor_decl(&mut self, schema: &mut ActorSchema) -> Result<(), ParseError> {
+        let kw = self.ident("`actor`")?;
+        if kw != "actor" {
+            return Err(self.err(format!("expected `actor`, found `{kw}`")));
+        }
+        let name = self.ident("actor type name")?;
+        self.expect(&Tok::LBrace, "to open the actor body")?;
+        let sig = schema.actor_type(&name);
+        loop {
+            match self.peek().clone() {
+                Tok::RBrace => {
+                    self.bump();
+                    break;
+                }
+                Tok::Ident(kind) if kind == "prop" || kind == "func" => {
+                    self.bump();
+                    let member = self.ident("member name")?;
+                    self.expect(&Tok::Semi, "after member")?;
+                    if kind == "prop" {
+                        sig.prop(&member);
+                    } else {
+                        sig.func(&member);
+                    }
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected `prop`, `func` or `}}` in actor body, found {other}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Renders a schema back to the textual format (round-trips through
+/// [`parse_schema`]).
+pub fn format_schema(schema: &ActorSchema) -> String {
+    let mut out = String::new();
+    for name in schema.type_names() {
+        let sig = schema.get(name).expect("listed type exists");
+        out.push_str(&format!("actor {name} {{\n"));
+        for prop in sig.props() {
+            out.push_str(&format!("    prop {prop};\n"));
+        }
+        for func in sig.funcs() {
+            out.push_str(&format!("    func {func};\n"));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_schema() {
+        let schema = parse_schema(
+            "# the metadata server\n\
+             actor Folder {\n\
+                 prop files;\n\
+                 func open;\n\
+                 func close;\n\
+             }\n\
+             actor File { func read; }",
+        )
+        .unwrap();
+        assert_eq!(schema.len(), 2);
+        let folder = schema.get("Folder").unwrap();
+        assert!(folder.has_prop("files"));
+        assert!(folder.has_func("open") && folder.has_func("close"));
+        assert!(schema.get("File").unwrap().has_func("read"));
+    }
+
+    #[test]
+    fn empty_body_is_fine() {
+        let schema = parse_schema("actor Ghost { }").unwrap();
+        assert!(schema.has_type("Ghost"));
+    }
+
+    #[test]
+    fn rejects_bad_keyword() {
+        let err = parse_schema("actor A { field x; }").unwrap_err();
+        assert!(err.message.contains("prop"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_brace() {
+        assert!(parse_schema("actor A prop x;").is_err());
+        assert!(parse_schema("actor A { prop x; ").is_err());
+    }
+
+    #[test]
+    fn rejects_non_actor_top_level() {
+        let err = parse_schema("server A { }").unwrap_err();
+        assert!(err.message.contains("expected `actor`"), "{err}");
+    }
+
+    #[test]
+    fn format_round_trips() {
+        let src = "actor B { prop q; func f; }\nactor A { func g; }";
+        let schema = parse_schema(src).unwrap();
+        let printed = format_schema(&schema);
+        let reparsed = parse_schema(&printed).unwrap();
+        assert_eq!(schema, reparsed);
+    }
+}

@@ -1,0 +1,374 @@
+//! Lexical analysis for the EPL.
+
+use std::fmt;
+
+use crate::error::ParseError;
+
+/// A source position (1-based line and column).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One lexical token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=>`
+    Arrow,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `@` (rule attributes, an extension)
+    At,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Number(n) => write!(f, "number {n}"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::LBrace => f.write_str("`{`"),
+            Tok::RBrace => f.write_str("`}`"),
+            Tok::Dot => f.write_str("`.`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Semi => f.write_str("`;`"),
+            Tok::Arrow => f.write_str("`=>`"),
+            Tok::Lt => f.write_str("`<`"),
+            Tok::Gt => f.write_str("`>`"),
+            Tok::Le => f.write_str("`<=`"),
+            Tok::Ge => f.write_str("`>=`"),
+            Tok::At => f.write_str("`@`"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenizes EPL source. Supports `#` and `//` line comments.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let pos = Pos { line, col };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '#' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        bump!();
+                    }
+                } else {
+                    return Err(ParseError::new(
+                        pos,
+                        "unexpected `/` (expected `//` comment)",
+                    ));
+                }
+            }
+            '(' => {
+                bump!();
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    pos,
+                });
+            }
+            ')' => {
+                bump!();
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    pos,
+                });
+            }
+            '{' => {
+                bump!();
+                out.push(Spanned {
+                    tok: Tok::LBrace,
+                    pos,
+                });
+            }
+            '}' => {
+                bump!();
+                out.push(Spanned {
+                    tok: Tok::RBrace,
+                    pos,
+                });
+            }
+            '.' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Dot, pos });
+            }
+            ',' => {
+                bump!();
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    pos,
+                });
+            }
+            ';' => {
+                bump!();
+                out.push(Spanned {
+                    tok: Tok::Semi,
+                    pos,
+                });
+            }
+            '@' => {
+                bump!();
+                out.push(Spanned { tok: Tok::At, pos });
+            }
+            '=' => {
+                bump!();
+                if chars.peek() == Some(&'>') {
+                    bump!();
+                    out.push(Spanned {
+                        tok: Tok::Arrow,
+                        pos,
+                    });
+                } else {
+                    return Err(ParseError::new(pos, "unexpected `=` (expected `=>`)"));
+                }
+            }
+            '<' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    out.push(Spanned { tok: Tok::Le, pos });
+                } else {
+                    out.push(Spanned { tok: Tok::Lt, pos });
+                }
+            }
+            '>' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    out.push(Spanned { tok: Tok::Ge, pos });
+                } else {
+                    out.push(Spanned { tok: Tok::Gt, pos });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                let mut seen_dot = false;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        bump!();
+                    } else if c == '.' && !seen_dot {
+                        // Lookahead: `80.5` is a float, `80.cpu` is not.
+                        let mut clone = chars.clone();
+                        clone.next();
+                        if clone.peek().is_some_and(|d| d.is_ascii_digit()) {
+                            seen_dot = true;
+                            text.push(c);
+                            bump!();
+                        } else {
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(pos, format!("invalid number `{text}`")))?;
+                out.push(Spanned {
+                    tok: Tok::Number(value),
+                    pos,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        text.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(text),
+                    pos,
+                });
+            }
+            other => {
+                return Err(ParseError::new(
+                    pos,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: Pos { line, col },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_a_rule() {
+        let t = toks("server.cpu.perc > 80 => balance({Partition}, cpu);");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("server".into()),
+                Tok::Dot,
+                Tok::Ident("cpu".into()),
+                Tok::Dot,
+                Tok::Ident("perc".into()),
+                Tok::Gt,
+                Tok::Number(80.0),
+                Tok::Arrow,
+                Tok::Ident("balance".into()),
+                Tok::LParen,
+                Tok::LBrace,
+                Tok::Ident("Partition".into()),
+                Tok::RBrace,
+                Tok::Comma,
+                Tok::Ident("cpu".into()),
+                Tok::RParen,
+                Tok::Semi,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn float_vs_member_access() {
+        assert_eq!(toks("80.5"), vec![Tok::Number(80.5), Tok::Eof],);
+        assert_eq!(
+            toks("x.cpu"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Dot,
+                Tok::Ident("cpu".into()),
+                Tok::Eof
+            ],
+        );
+        // `80.cpu` lexes as number then dot then ident.
+        assert_eq!(
+            toks("80.cpu"),
+            vec![
+                Tok::Number(80.0),
+                Tok::Dot,
+                Tok::Ident("cpu".into()),
+                Tok::Eof
+            ],
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("< <= > >="),
+            vec![Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = toks("# a comment\ntrue // trailing\n=> pin(x);");
+        assert_eq!(t[0], Tok::Ident("true".into()));
+        assert_eq!(t[1], Tok::Arrow);
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let spanned = lex("a\n  b").unwrap();
+        assert_eq!(spanned[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(spanned[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn lone_equals_is_an_error() {
+        let err = lex("a = b").unwrap_err();
+        assert!(err.to_string().contains("expected `=>`"), "{err}");
+    }
+
+    #[test]
+    fn stray_character_is_an_error() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("a / b").is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Integration tests of the `eplc` command-line compiler.
+
+use std::process::Command;
+
+fn eplc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_eplc"))
+}
+
+fn write_tmp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("plasma-eplc-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+const SCHEMA: &str = "actor Worker { func run; }\nactor Table { prop rows; func get; }";
+
+#[test]
+fn check_accepts_valid_policy() {
+    let schema = write_tmp("ok.acts", SCHEMA);
+    let policy = write_tmp(
+        "ok.epl",
+        "server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);",
+    );
+    let out = eplc()
+        .args([
+            "check",
+            policy.to_str().unwrap(),
+            "--schema",
+            schema.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 rule(s) OK"), "{stdout}");
+}
+
+#[test]
+fn check_reports_conflicts_but_succeeds() {
+    let schema = write_tmp("warn.acts", SCHEMA);
+    let policy = write_tmp(
+        "warn.epl",
+        "true => pin(Worker);\nserver.cpu.perc > 80 => balance({Worker}, cpu);",
+    );
+    let out = eplc()
+        .args([
+            "check",
+            policy.to_str().unwrap(),
+            "--schema",
+            schema.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("warning"), "{stdout}");
+    assert!(stdout.contains("1 diagnostic(s)"), "{stdout}");
+}
+
+#[test]
+fn check_fails_on_semantic_error() {
+    let schema = write_tmp("bad.acts", SCHEMA);
+    let policy = write_tmp("bad.epl", "true => balance({Ghost}, cpu);");
+    let out = eplc()
+        .args([
+            "check",
+            policy.to_str().unwrap(),
+            "--schema",
+            schema.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown actor type"), "{stderr}");
+}
+
+#[test]
+fn explain_classifies_behaviors() {
+    let schema = write_tmp("exp.acts", SCHEMA);
+    let policy = write_tmp(
+        "exp.epl",
+        "Worker(w).call(Table(t).get).count > 0 => colocate(t, w);\n\
+         server.cpu.perc > 80 => balance({Worker}, cpu);",
+    );
+    let out = eplc()
+        .args([
+            "explain",
+            policy.to_str().unwrap(),
+            "--schema",
+            schema.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("LEM side"), "{stdout}");
+    assert!(stdout.contains("GEM side"), "{stdout}");
+    assert!(stdout.contains("var w: Worker"), "{stdout}");
+}
+
+#[test]
+fn fmt_emits_reparsable_canonical_form() {
+    let schema = write_tmp("fmt.acts", SCHEMA);
+    let policy = write_tmp(
+        "fmt.epl",
+        "server.cpu.perc>80    or server.cpu.perc<60=>balance({Worker},cpu);",
+    );
+    let out = eplc()
+        .args([
+            "fmt",
+            policy.to_str().unwrap(),
+            "--schema",
+            schema.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout.trim(),
+        "server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);"
+    );
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = eplc().args(["check"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = eplc()
+        .args(["frobnicate", "x", "--schema", "y"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,132 @@
+//! Synthetic social-graph generation.
+//!
+//! LiveJournal (the paper's dataset) is a power-law social network. A
+//! preferential-attachment process reproduces the property that matters for
+//! the experiments: a heavy-tailed degree distribution, so partitions that
+//! are balanced in *vertices* carry very different *edge* (and therefore
+//! CPU) loads.
+
+use plasma_sim::DetRng;
+
+use crate::graph::Graph;
+
+/// Generates a directed preferential-attachment (Barabási-Albert style)
+/// graph with `n` vertices, each new vertex attaching `m` out-edges to
+/// earlier vertices chosen proportionally to their current degree.
+///
+/// The first `m + 1` vertices form a seed clique-ish core. Deterministic
+/// for a given RNG state.
+///
+/// # Panics
+///
+/// Panics if `n <= m` or `m == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use plasma_graph::gen::preferential_attachment;
+/// use plasma_sim::DetRng;
+///
+/// let g = preferential_attachment(1_000, 4, &mut DetRng::new(42));
+/// assert_eq!(g.vertex_count(), 1_000);
+/// // Heavy tail: the max degree dwarfs the mean.
+/// assert!(g.max_out_degree() + g.in_degrees().iter().max().unwrap() > 40);
+/// ```
+pub fn preferential_attachment(n: u32, m: u32, rng: &mut DetRng) -> Graph {
+    assert!(m > 0, "attachment degree must be positive");
+    assert!(n > m, "need more vertices than attachment edges");
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity((n as usize) * (m as usize));
+    // Repeated-endpoint list: sampling uniformly from it is sampling
+    // proportionally to degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * edges.capacity());
+    // Seed: a ring over the first m+1 vertices.
+    for v in 0..=m {
+        let w = (v + 1) % (m + 1);
+        edges.push((v, w));
+        endpoints.push(v);
+        endpoints.push(w);
+    }
+    for v in (m + 1)..n {
+        let mut chosen = Vec::with_capacity(m as usize);
+        let mut guard = 0;
+        while chosen.len() < m as usize && guard < 10 * m {
+            let t = *rng.choose(&endpoints);
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+            guard += 1;
+        }
+        for &t in &chosen {
+            edges.push((v, t));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Generates a uniform random directed graph (Erdős-Rényi style) with
+/// exactly `n * m` edges — the "no skew" control used by tests.
+pub fn uniform_random(n: u32, m: u32, rng: &mut DetRng) -> Graph {
+    let mut edges = Vec::with_capacity((n as usize) * (m as usize));
+    for u in 0..n {
+        for _ in 0..m {
+            let mut v = rng.below(n as u64) as u32;
+            if v == u {
+                v = (v + 1) % n;
+            }
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_exact() {
+        let mut rng = DetRng::new(1);
+        let g = preferential_attachment(500, 3, &mut rng);
+        assert_eq!(g.vertex_count(), 500);
+        // Seed ring contributes m+1 edges; each later vertex adds up to m.
+        assert!(g.edge_count() >= 3 * (500 - 4) + 4);
+    }
+
+    #[test]
+    fn preferential_attachment_is_skewed() {
+        let mut rng = DetRng::new(7);
+        let g = preferential_attachment(5_000, 4, &mut rng);
+        let in_deg = g.in_degrees();
+        let max = *in_deg.iter().max().unwrap() as f64;
+        let mean = in_deg.iter().sum::<u64>() as f64 / in_deg.len() as f64;
+        assert!(
+            max > 12.0 * mean,
+            "expected heavy tail, max {max} mean {mean}"
+        );
+    }
+
+    #[test]
+    fn uniform_is_not_skewed() {
+        let mut rng = DetRng::new(7);
+        let g = uniform_random(5_000, 4, &mut rng);
+        let in_deg = g.in_degrees();
+        let max = *in_deg.iter().max().unwrap() as f64;
+        let mean = in_deg.iter().sum::<u64>() as f64 / in_deg.len() as f64;
+        assert!(
+            max < 6.0 * mean,
+            "uniform should be flat, max {max} mean {mean}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g1 = preferential_attachment(1_000, 3, &mut DetRng::new(9));
+        let g2 = preferential_attachment(1_000, 3, &mut DetRng::new(9));
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        for v in 0..g1.vertex_count() {
+            assert_eq!(g1.out_neighbors(v), g2.out_neighbors(v));
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! A compact directed graph in compressed adjacency form.
+
+/// A directed graph with vertices `0..n`.
+///
+/// Stored as out-adjacency in CSR form: cheap to iterate, cheap to clone,
+/// no per-vertex allocation.
+///
+/// # Examples
+///
+/// ```
+/// use plasma_graph::Graph;
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+/// assert_eq!(g.vertex_count(), 3);
+/// assert_eq!(g.edge_count(), 3);
+/// assert_eq!(g.out_neighbors(0), &[1, 2]);
+/// assert_eq!(g.out_degree(2), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Graph {
+    offsets: Vec<u64>,
+    targets: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list. Duplicate edges are kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn from_edges(n: u32, edges: &[(u32, u32)]) -> Self {
+        let mut degree = vec![0u64; n as usize];
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge ({u}, {v}) out of range 0..{n}");
+            degree[u as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n as usize + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut targets = vec![0u32; edges.len()];
+        let mut cursor: Vec<u64> = offsets[..n as usize].to_vec();
+        for &(u, v) in edges {
+            let c = &mut cursor[u as usize];
+            targets[*c as usize] = v;
+            *c += 1;
+        }
+        Graph { offsets, targets }
+    }
+
+    /// Returns the number of vertices.
+    pub fn vertex_count(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Returns the number of directed edges.
+    pub fn edge_count(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// Returns the out-neighbors of `v`.
+    pub fn out_neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Returns the out-degree of `v`.
+    pub fn out_degree(&self, v: u32) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Computes in-degrees for every vertex.
+    pub fn in_degrees(&self) -> Vec<u64> {
+        let mut deg = vec![0u64; self.vertex_count() as usize];
+        for &t in &self.targets {
+            deg[t as usize] += 1;
+        }
+        deg
+    }
+
+    /// Returns the maximum out-degree.
+    pub fn max_out_degree(&self) -> u64 {
+        (0..self.vertex_count())
+            .map(|v| self.out_degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_layout() {
+        let g = Graph::from_edges(4, &[(1, 0), (1, 2), (3, 1), (1, 3)]);
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_degree(0), 0);
+        assert_eq!(g.out_degree(1), 3);
+        assert_eq!(g.out_neighbors(1), &[0, 2, 3]);
+        assert_eq!(g.out_neighbors(3), &[1]);
+    }
+
+    #[test]
+    fn in_degrees() {
+        let g = Graph::from_edges(3, &[(0, 2), (1, 2), (2, 0)]);
+        assert_eq!(g.in_degrees(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_out_degree(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let _ = Graph::from_edges(2, &[(0, 2)]);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Graph substrate for the PageRank experiments (§2.1, §5.4).
+//!
+//! The paper partitions SNAP's LiveJournal social network with METIS and
+//! runs an actor-based PageRank over the partitions. Neither artifact is
+//! available here, so this crate provides faithful substitutes (see
+//! `DESIGN.md`):
+//!
+//! - [`gen`] — a seeded preferential-attachment generator producing the
+//!   skewed degree distributions that make vertex-balanced partitions have
+//!   *unequal work*, the root cause PLASMA's CPU-balance rule addresses.
+//! - [`partition`] — a METIS-flavored balanced partitioner (BFS region
+//!   growth plus boundary refinement) and a random-assignment baseline.
+//! - [`pagerank`] — a reference PageRank and the per-partition work/traffic
+//!   model the actor application runs on.
+
+pub mod gen;
+pub mod graph;
+pub mod pagerank;
+pub mod partition;
+
+pub use graph::Graph;
+pub use partition::Partitioning;

@@ -1,0 +1,167 @@
+//! PageRank: a sequential reference implementation and the distributed
+//! per-partition work model the actor application executes.
+
+use crate::graph::Graph;
+use crate::partition::Partitioning;
+
+/// Damping factor used throughout (the classic 0.85).
+pub const DAMPING: f64 = 0.85;
+
+/// Runs `iters` synchronous PageRank iterations, returning the rank vector.
+///
+/// Dangling mass is redistributed uniformly, so the ranks always sum to 1.
+///
+/// # Examples
+///
+/// ```
+/// use plasma_graph::pagerank::pagerank;
+/// use plasma_graph::Graph;
+///
+/// // 1 and 2 both point at 0, which points back at 1.
+/// let g = Graph::from_edges(3, &[(1, 0), (2, 0), (0, 1)]);
+/// let ranks = pagerank(&g, 30);
+/// assert!(ranks[0] > ranks[1] && ranks[1] > ranks[2]);
+/// assert!((ranks.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// ```
+pub fn pagerank(graph: &Graph, iters: u32) -> Vec<f64> {
+    let n = graph.vertex_count() as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut ranks = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0; n];
+    for _ in 0..iters {
+        step(graph, &ranks, &mut next);
+        std::mem::swap(&mut ranks, &mut next);
+    }
+    ranks
+}
+
+/// One synchronous PageRank step: reads `ranks`, writes `next`.
+pub fn step(graph: &Graph, ranks: &[f64], next: &mut [f64]) {
+    let n = graph.vertex_count() as usize;
+    let base = (1.0 - DAMPING) / n as f64;
+    let mut dangling = 0.0;
+    next.fill(0.0);
+    for v in 0..n as u32 {
+        let deg = graph.out_degree(v);
+        let r = ranks[v as usize];
+        if deg == 0 {
+            dangling += r;
+            continue;
+        }
+        let share = DAMPING * r / deg as f64;
+        for &w in graph.out_neighbors(v) {
+            next[w as usize] += share;
+        }
+    }
+    let dangling_share = DAMPING * dangling / n as f64;
+    for x in next.iter_mut() {
+        *x += base + dangling_share;
+    }
+}
+
+/// Returns the L1 distance between two rank vectors (convergence check).
+pub fn l1_delta(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// The cost model of one distributed PageRank iteration, per partition.
+///
+/// CPU work scales with the edges a worker processes; network traffic with
+/// its boundary (cut) edges — each cut edge ships one 12-byte
+/// `(vertex, rank)` update per iteration.
+#[derive(Clone, Debug)]
+pub struct PartitionCost {
+    /// CPU work units per iteration, per partition.
+    pub work: Vec<f64>,
+    /// Bytes exchanged per iteration, per partition.
+    pub traffic: Vec<u64>,
+}
+
+/// Work units charged per edge processed (calibrated so a LiveJournal-scale
+/// partition takes on the order of a second per iteration on one vCPU).
+pub const WORK_PER_EDGE: f64 = 40e-9 * 50.0;
+
+/// Bytes shipped per cut edge per iteration.
+pub const BYTES_PER_CUT_EDGE: u64 = 12;
+
+/// Computes the per-iteration cost of every partition.
+pub fn partition_costs(graph: &Graph, parts: &Partitioning) -> PartitionCost {
+    let edges = parts.part_edges(graph);
+    let boundary = parts.boundary_edges(graph);
+    PartitionCost {
+        work: edges.iter().map(|&e| e as f64 * WORK_PER_EDGE).collect(),
+        traffic: boundary.iter().map(|&b| b * BYTES_PER_CUT_EDGE).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::preferential_attachment;
+    use crate::partition::partition_balanced;
+    use plasma_sim::DetRng;
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let g = preferential_attachment(1_000, 3, &mut DetRng::new(1));
+        let ranks = pagerank(&g, 20);
+        assert!((ranks.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_in_degree_gets_high_rank() {
+        let g = preferential_attachment(2_000, 3, &mut DetRng::new(2));
+        let ranks = pagerank(&g, 30);
+        let in_deg = g.in_degrees();
+        let hub = in_deg
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &d)| d)
+            .map(|(i, _)| i)
+            .unwrap();
+        let leaf = in_deg
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &d)| d)
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(ranks[hub] > 5.0 * ranks[leaf]);
+    }
+
+    #[test]
+    fn iteration_converges() {
+        let g = preferential_attachment(1_000, 3, &mut DetRng::new(3));
+        let a = pagerank(&g, 60);
+        let b = pagerank(&g, 120);
+        let d60 = l1_delta(&a, &b);
+        let early = pagerank(&g, 5);
+        let d5 = l1_delta(&early, &b);
+        assert!(d60 < 1e-3, "delta after 60 iters {d60}");
+        assert!(d60 < d5 / 10.0, "converging: {d5} -> {d60}");
+    }
+
+    #[test]
+    fn dangling_mass_preserved() {
+        // Vertex 2 has no out-edges.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let ranks = pagerank(&g, 50);
+        assert!((ranks.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(ranks.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn costs_track_partition_structure() {
+        let g = preferential_attachment(2_000, 4, &mut DetRng::new(4));
+        let p = partition_balanced(&g, 8, 1.03, &mut DetRng::new(5));
+        let costs = partition_costs(&g, &p);
+        assert_eq!(costs.work.len(), 8);
+        let total_work: f64 = costs.work.iter().sum();
+        let expected = g.edge_count() as f64 * WORK_PER_EDGE;
+        assert!((total_work - expected).abs() < 1e-9);
+        // Traffic is symmetric: each cut edge charged to both sides.
+        let total_traffic: u64 = costs.traffic.iter().sum();
+        assert_eq!(total_traffic, 2 * p.edge_cut(&g) * BYTES_PER_CUT_EDGE);
+    }
+}

@@ -1,0 +1,96 @@
+//! The *live* multi-threaded cluster: real OS threads, crossbeam channels,
+//! and live actor migration under load — the same runtime architecture the
+//! simulator models, over real concurrency.
+//!
+//! ```sh
+//! cargo run --release --example live_cluster
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use plasma_actor::live::{LiveActor, LiveCluster, LiveCtx};
+
+/// A bank-account actor: `deposit` adds the payload amount, `balance`
+/// returns the total. State must survive every migration.
+struct Account {
+    balance: u64,
+}
+
+impl LiveActor for Account {
+    fn on_message(
+        &mut self,
+        _ctx: &mut LiveCtx<'_>,
+        fname: &str,
+        payload: &Bytes,
+    ) -> Option<Bytes> {
+        match fname {
+            "deposit" => {
+                let amount = u64::from_le_bytes(payload[..8].try_into().ok()?);
+                self.balance += amount;
+                Some(Bytes::copy_from_slice(&self.balance.to_le_bytes()))
+            }
+            "balance" => Some(Bytes::copy_from_slice(&self.balance.to_le_bytes())),
+            _ => None,
+        }
+    }
+}
+
+fn main() {
+    let servers = 4;
+    let cluster = Arc::new(LiveCluster::start(servers));
+    let account = cluster.spawn(0, Box::new(Account { balance: 0 }));
+    println!("account actor started on server 0 of {servers}");
+
+    let started = Instant::now();
+    let deposits_per_client = 5_000u64;
+    let clients = 4u64;
+
+    // Four client threads deposit concurrently...
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let cluster = Arc::clone(&cluster);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..deposits_per_client {
+                let one = Bytes::copy_from_slice(&1u64.to_le_bytes());
+                cluster
+                    .request(account, "deposit", one)
+                    .expect("deposit acknowledged");
+            }
+            c
+        }));
+    }
+    // ...while the account migrates between all four server threads.
+    let migrator = {
+        let cluster = Arc::clone(&cluster);
+        std::thread::spawn(move || {
+            for round in 0..60usize {
+                cluster.migrate(account, round % servers);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        })
+    };
+    for h in handles {
+        h.join().unwrap();
+    }
+    migrator.join().unwrap();
+
+    let balance = cluster
+        .request(account, "balance", Bytes::new())
+        .map(|b| u64::from_le_bytes(b[..8].try_into().unwrap()))
+        .unwrap();
+    let expected = clients * deposits_per_client;
+    let final_home = cluster.actor_server(account);
+    let stats = Arc::try_unwrap(cluster).ok().unwrap().shutdown();
+    println!(
+        "{expected} concurrent deposits in {:?}; final balance {balance}",
+        started.elapsed()
+    );
+    println!(
+        "actor ended on server {final_home:?} after {} migrations; {} messages forwarded mid-flight, {} dropped",
+        stats.migrations, stats.forwarded, stats.dropped
+    );
+    assert_eq!(balance, expected, "no deposit lost across live migrations");
+    println!("state and every request survived live migration under load.");
+}

@@ -1,0 +1,49 @@
+//! The Media Service under a daily load wave: clients join, watch and
+//! review movies, then leave; the EMR grows and shrinks the cluster
+//! following the six-rule policy of §3.3.
+//!
+//! ```sh
+//! cargo run --release --example media_service
+//! ```
+
+use plasma_apps::media::{run, MediaConfig};
+use plasma_sim::SimDuration;
+
+fn main() {
+    let cfg = MediaConfig {
+        clients: 64,
+        max_servers: 40,
+        period: SimDuration::from_secs(60),
+        ..MediaConfig::default()
+    };
+    println!(
+        "Media Service: {} clients joining around t={}s, leaving around t={}s\n",
+        cfg.clients,
+        cfg.join_mean.as_secs_f64(),
+        cfg.leave_mean.as_secs_f64()
+    );
+    println!("policy:\n{}\n", plasma_apps::media::policy());
+    let report = run(&cfg);
+    println!("timeline (10s buckets):");
+    println!("{:>8} {:>12} {:>9}", "time", "latency", "servers");
+    let mut server_iter = report.server_series.iter().peekable();
+    let mut current_servers = 4.0;
+    for &(t, lat) in report.latency_series.iter().step_by(6) {
+        while let Some(&&(st, sv)) = server_iter.peek() {
+            if st <= t {
+                current_servers = sv;
+                server_iter.next();
+            } else {
+                break;
+            }
+        }
+        println!("{t:>7.0}s {lat:>10.1}ms {current_servers:>9.0}");
+    }
+    println!("\nmean latency   : {:.1} ms", report.mean_ms);
+    println!("plateau latency: {:.1} ms", report.plateau_ms);
+    println!(
+        "servers        : peak {}, final {} (started at 4)",
+        report.peak_servers, report.final_servers
+    );
+    println!("migrations     : {}", report.migrations);
+}

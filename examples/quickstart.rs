@@ -1,0 +1,131 @@
+//! Quickstart: a stateful key-value service whose hot shard overloads its
+//! server, fixed by a three-line elasticity policy.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use plasma::prelude::*;
+use plasma_sim::SimTime;
+
+/// A shard of the key-value store: real entries, real CPU per request.
+struct Shard {
+    entries: std::collections::BTreeMap<u64, u64>,
+    get_work: f64,
+}
+
+impl ActorLogic for Shard {
+    fn on_message(&mut self, ctx: &mut ActorCtx<'_>, msg: &mut Message) {
+        ctx.work(self.get_work);
+        let value = msg
+            .take_payload::<u64>()
+            .and_then(|k| self.entries.get(&k).copied())
+            .unwrap_or(0);
+        ctx.reply_with(128, Box::new(value));
+    }
+}
+
+/// A client hammering one shard (closed loop with a short think time).
+struct ShardClient {
+    shard: ActorId,
+    think: SimDuration,
+}
+
+impl ClientLogic for ShardClient {
+    fn on_start(&mut self, ctx: &mut ClientCtx<'_>) {
+        let key = ctx.rng().below(1_000);
+        ctx.request_with(self.shard, "get", 64, Box::new(key));
+    }
+    fn on_reply(
+        &mut self,
+        ctx: &mut ClientCtx<'_>,
+        _request: u64,
+        _latency: SimDuration,
+        _payload: Option<Payload>,
+    ) {
+        ctx.set_timer(self.think, 0);
+    }
+    fn on_timer(&mut self, ctx: &mut ClientCtx<'_>, _token: u64) {
+        let key = ctx.rng().below(1_000);
+        ctx.request_with(self.shard, "get", 64, Box::new(key));
+    }
+}
+
+fn main() {
+    // 1. Describe the application to the policy compiler.
+    let mut schema = ActorSchema::new();
+    schema.actor_type("Shard").func("get");
+
+    // 2. The elasticity policy: keep every server's CPU between 60% and
+    //    80% by migrating shards.
+    let policy = "server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Shard}, cpu);";
+
+    // 3. Build the system.
+    let mut app = Plasma::builder()
+        .seed(42)
+        .policy(policy, &schema)
+        .build()
+        .expect("policy compiles");
+    for warning in app.warnings() {
+        println!("compiler: {warning}");
+    }
+
+    // 4. Two servers; all six shards start piled onto the first one.
+    let rt = app.runtime_mut();
+    let s0 = rt.add_server(InstanceType::m1_small());
+    let s1 = rt.add_server(InstanceType::m1_small());
+    for shard_no in 0..6 {
+        let entries = (0..1_000u64).map(|k| (k, k * shard_no)).collect();
+        let shard = rt.spawn_actor(
+            "Shard",
+            Box::new(Shard {
+                entries,
+                get_work: 0.004,
+            }),
+            8 << 20,
+            s0,
+        );
+        for _ in 0..3 {
+            rt.add_client(Box::new(ShardClient {
+                shard,
+                think: SimDuration::from_millis(50),
+            }));
+        }
+    }
+
+    // 5. Run five simulated minutes and report.
+    app.run_until(SimTime::from_secs(300));
+    let rt = app.runtime();
+    println!("\nafter 5 simulated minutes:");
+    println!(
+        "  shards per server: {} on {s0:?}, {} on {s1:?}",
+        rt.actor_count_on(s0),
+        rt.actor_count_on(s1)
+    );
+    for sid in rt.cluster().running_ids() {
+        let cpu = rt
+            .snapshot()
+            .server(sid)
+            .map(|s| s.usage.cpu())
+            .unwrap_or(0.0);
+        println!("  {sid:?} cpu: {:.0}%", cpu * 100.0);
+    }
+    let report = app.report();
+    println!("  requests answered : {}", report.replies);
+    println!("  mean latency      : {:.1} ms", report.mean_latency_ms());
+    println!("  migrations        : {}", report.migrations.len());
+    for m in &report.migrations {
+        println!(
+            "    t={:.0}s {:?} {:?} -> {:?}",
+            m.at.as_secs_f64(),
+            m.actor,
+            m.src,
+            m.dst
+        );
+    }
+    assert!(
+        rt.actor_count_on(s1) >= 2,
+        "the balance rule should have spread the shards"
+    );
+    println!("\nthe balance rule spread the hot shards automatically.");
+}

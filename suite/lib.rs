@@ -1,0 +1,7 @@
+//! Host crate for the workspace-level integration tests (`tests/`) and the
+//! runnable examples (`examples/`).
+//!
+//! The library itself only re-exports the public API so examples and tests
+//! can `use plasma_suite::prelude::*`.
+
+pub use plasma::prelude;

@@ -1,0 +1,130 @@
+//! Fast smoke runs of every Table-1 application through its public entry
+//! point (the full-size experiments live in `crates/bench/benches/`).
+
+use plasma_apps::{
+    bptree, cassandra, chatroom, estore, halo, media, metadata, pagerank, piccolo, zexpander,
+};
+use plasma_sim::SimDuration;
+
+#[test]
+fn chatroom_smoke() {
+    let r = chatroom::run(&chatroom::ChatConfig {
+        users: 4,
+        messages_per_user: 10,
+        ..chatroom::ChatConfig::default()
+    });
+    assert!(r.makespan < SimDuration::from_secs(3_600));
+}
+
+#[test]
+fn metadata_smoke() {
+    let r = metadata::run(&metadata::MetadataConfig {
+        folders: 2,
+        files_per_folder: 2,
+        clients: 4,
+        run_for: SimDuration::from_secs(60),
+        ..metadata::MetadataConfig::default()
+    });
+    assert!(r.before_ms > 0.0);
+}
+
+#[test]
+fn pagerank_smoke() {
+    let r = pagerank::run(&pagerank::PageRankConfig {
+        vertices: 2_000,
+        attach: 4,
+        partitions: 8,
+        servers: 2,
+        max_iters: 5,
+        ..pagerank::PageRankConfig::default()
+    });
+    assert_eq!(r.iteration_times.len(), 5);
+    assert!(r.final_delta.is_finite());
+}
+
+#[test]
+fn estore_smoke() {
+    let r = estore::run(&estore::EstoreConfig {
+        roots: 8,
+        children_per_root: 2,
+        clients: 8,
+        run_for: SimDuration::from_secs(80),
+        ..estore::EstoreConfig::default()
+    });
+    assert!(r.tail_ms > 0.0);
+}
+
+#[test]
+fn media_smoke() {
+    let r = media::run(&media::MediaConfig {
+        clients: 12,
+        max_servers: 12,
+        run_for: SimDuration::from_secs(700),
+        leave_mean: SimDuration::from_secs(500),
+        ..media::MediaConfig::default()
+    });
+    assert!(r.mean_ms > 0.0);
+    assert!(r.peak_servers >= 4);
+}
+
+#[test]
+fn halo_smoke() {
+    let r = halo::run(&halo::HaloConfig {
+        clients: 8,
+        rounds: 2,
+        round_len: SimDuration::from_secs(60),
+        ..halo::HaloConfig::default()
+    });
+    assert!(r.mean_ms > 0.0);
+    assert_eq!(
+        r.colocated.0, r.colocated.1,
+        "inter-rule colocates everyone"
+    );
+}
+
+#[test]
+fn bptree_smoke() {
+    let r = bptree::run(&bptree::BptreeConfig {
+        fanout: 2,
+        leaves_per_inner: 2,
+        clients: 4,
+        run_for: SimDuration::from_secs(80),
+        ..bptree::BptreeConfig::default()
+    });
+    assert!(r.lookups > 0);
+}
+
+#[test]
+fn piccolo_smoke() {
+    let r = piccolo::run(&piccolo::PiccoloConfig {
+        workers: 4,
+        servers: 2,
+        run_for: SimDuration::from_secs(80),
+        ..piccolo::PiccoloConfig::default()
+    });
+    assert!(r.colocated > 0);
+}
+
+#[test]
+fn zexpander_smoke() {
+    let r = zexpander::run(&zexpander::ZexpanderConfig {
+        leaves: 4,
+        clients: 8,
+        run_for: SimDuration::from_secs(120),
+        ..zexpander::ZexpanderConfig::default()
+    });
+    assert!(r.before_after_ms.0 > 0.0);
+}
+
+#[test]
+fn cassandra_smoke() {
+    let r = cassandra::run(&cassandra::CassandraConfig {
+        tables: 2,
+        replication: 2,
+        servers: 3,
+        clients: 4,
+        run_for: SimDuration::from_secs(80),
+        ..cassandra::CassandraConfig::default()
+    });
+    assert_eq!(r.tables, 2);
+}

@@ -1,0 +1,190 @@
+//! Failure injection: GEM crashes, decommission races, actor removal races,
+//! and malformed policies.
+
+use plasma::prelude::*;
+use plasma_epl::compile;
+use plasma_sim::SimTime;
+
+struct Worker {
+    work: f64,
+}
+
+impl ActorLogic for Worker {
+    fn on_message(&mut self, ctx: &mut ActorCtx<'_>, _msg: &mut Message) {
+        ctx.work(self.work);
+        ctx.reply(32);
+    }
+}
+
+struct Driver {
+    target: ActorId,
+    period: SimDuration,
+}
+
+impl ClientLogic for Driver {
+    fn on_start(&mut self, ctx: &mut ClientCtx<'_>) {
+        ctx.set_timer(SimDuration::ZERO, 0);
+    }
+    fn on_reply(
+        &mut self,
+        _ctx: &mut ClientCtx<'_>,
+        _r: u64,
+        _l: SimDuration,
+        _p: Option<Payload>,
+    ) {
+    }
+    fn on_timer(&mut self, ctx: &mut ClientCtx<'_>, _t: u64) {
+        ctx.request(self.target, "run", 64);
+        ctx.set_timer(self.period, 0);
+    }
+}
+
+fn worker_schema() -> ActorSchema {
+    let mut s = ActorSchema::new();
+    s.actor_type("Worker").func("run");
+    s
+}
+
+#[test]
+fn all_gems_failed_still_serves_traffic() {
+    // With every GEM dead, resource rules stop executing but the
+    // application keeps running untouched (the EMR never blocks the data
+    // plane).
+    let compiled = compile(
+        "server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);",
+        &worker_schema(),
+    )
+    .unwrap();
+    let mut emr = PlasmaEmr::new(
+        compiled,
+        EmrConfig {
+            num_gems: 2,
+            ..EmrConfig::default()
+        },
+    );
+    emr.fail_gem(0);
+    emr.fail_gem(1);
+    assert_eq!(emr.alive_gems(), 0);
+    let mut rt = Runtime::new(RuntimeConfig {
+        seed: 5,
+        ..RuntimeConfig::default()
+    });
+    rt.set_controller(Box::new(emr));
+    let s0 = rt.add_server(InstanceType::m1_small());
+    let _s1 = rt.add_server(InstanceType::m1_small());
+    for _ in 0..4 {
+        let w = rt.spawn_actor("Worker", Box::new(Worker { work: 0.02 }), 1 << 16, s0);
+        rt.add_client(Box::new(Driver {
+            target: w,
+            period: SimDuration::from_millis(100),
+        }));
+    }
+    rt.run_until(SimTime::from_secs(150));
+    assert!(rt.report().replies > 1_000, "traffic kept flowing");
+    assert!(
+        rt.report().migrations.is_empty(),
+        "no GEM, no resource moves"
+    );
+}
+
+#[test]
+fn decommission_refused_while_migration_inbound() {
+    let mut rt = Runtime::new(RuntimeConfig {
+        seed: 6,
+        min_residency: SimDuration::ZERO,
+        ..RuntimeConfig::default()
+    });
+    let s0 = rt.add_server(InstanceType::m1_small());
+    let s1 = rt.add_server(InstanceType::m1_small());
+    let s2 = rt.add_server(InstanceType::m1_small());
+    let w = rt.spawn_actor("Worker", Box::new(Worker { work: 0.01 }), 64 << 20, s0);
+    rt.migrate(w, s1).unwrap();
+    // The transfer of 64 MB is still in flight: s1 must refuse to die.
+    assert!(!rt.decommission_server(s1), "inbound migration protects s1");
+    assert!(rt.decommission_server(s2), "unrelated empty server may die");
+    rt.run_until(SimTime::from_secs(30));
+    assert_eq!(rt.actor_server(w), s1);
+}
+
+#[test]
+fn remove_actor_mid_service_and_mid_migration() {
+    let mut rt = Runtime::new(RuntimeConfig {
+        seed: 7,
+        min_residency: SimDuration::ZERO,
+        ..RuntimeConfig::default()
+    });
+    let s0 = rt.add_server(InstanceType::m1_small());
+    let s1 = rt.add_server(InstanceType::m1_small());
+    // Mid-service removal: long-running handler.
+    let slow = rt.spawn_actor("Worker", Box::new(Worker { work: 2.0 }), 1 << 16, s0);
+    rt.inject(slow, "run", 8, None);
+    rt.run_until(SimTime::from_secs(1)); // Handler busy until t=2.
+    assert!(rt.remove_actor(slow));
+    assert!(!rt.remove_actor(slow), "double remove rejected");
+    rt.run_until(SimTime::from_secs(5));
+    assert!(!rt.actor_alive(slow));
+    // Mid-migration removal: large state, slow transfer.
+    let big = rt.spawn_actor("Worker", Box::new(Worker { work: 0.001 }), 512 << 20, s0);
+    rt.migrate(big, s1).unwrap();
+    assert!(rt.remove_actor(big));
+    rt.run_until(SimTime::from_secs(60));
+    assert!(!rt.actor_alive(big));
+    assert_eq!(rt.actor_count_on(s0), 0);
+    assert_eq!(rt.actor_count_on(s1), 0);
+}
+
+#[test]
+fn messages_to_removed_actors_are_dropped_not_fatal() {
+    let mut rt = Runtime::new(RuntimeConfig {
+        seed: 8,
+        ..RuntimeConfig::default()
+    });
+    let s0 = rt.add_server(InstanceType::m1_small());
+    let w = rt.spawn_actor("Worker", Box::new(Worker { work: 0.001 }), 64, s0);
+    rt.add_client(Box::new(Driver {
+        target: w,
+        period: SimDuration::from_millis(50),
+    }));
+    rt.run_until(SimTime::from_secs(2));
+    rt.remove_actor(w);
+    rt.run_until(SimTime::from_secs(4));
+    let report = rt.report();
+    assert!(
+        report.dropped_messages > 10,
+        "requests after removal dropped"
+    );
+    assert!(report.replies > 0, "requests before removal were served");
+}
+
+#[test]
+fn malformed_policies_fail_compilation_cleanly() {
+    let schema = worker_schema();
+    for bad in [
+        "server.cpu.perc > 80",                           // no behavior
+        "=> balance({Worker}, cpu);",                     // no condition
+        "server.cpu.perc > 80 => balance({Ghost}, cpu);", // unknown type
+        "server.gpu.perc > 80 => pin(Worker);",           // unknown resource
+        "server.cpu.count > 80 => pin(Worker);",          // bad statistic
+        "server.cpu.perc > 800 => pin(Worker);",          // bad bound
+        "true => pin(zorp);",                             // unknown name
+    ] {
+        assert!(compile(bad, &schema).is_err(), "should reject: {bad}");
+    }
+}
+
+#[test]
+fn boot_race_actor_placement_waits_for_running_server() {
+    // Spawning onto a still-booting server must be impossible through the
+    // placement path: placed actors land on running servers only.
+    let mut rt = Runtime::new(RuntimeConfig {
+        seed: 9,
+        ..RuntimeConfig::default()
+    });
+    let s0 = rt.add_server(InstanceType::m1_small());
+    let booting = rt.request_server(InstanceType::m1_small()).unwrap();
+    let a = rt.spawn_placed("Worker", Box::new(Worker { work: 0.001 }), 64, Some(s0));
+    assert_eq!(rt.actor_server(a), s0);
+    assert!(!rt.cluster().server(booting).is_running());
+    rt.run_until(SimTime::from_secs(120));
+    assert!(rt.cluster().server(booting).is_running());
+}

@@ -1,0 +1,162 @@
+//! Whole-system conservation and sanity invariants, property-tested over
+//! random topologies and workloads.
+
+use plasma::prelude::*;
+use plasma_sim::SimTime;
+use proptest::prelude::*;
+
+struct Echo {
+    work: f64,
+    fanout: Option<ActorId>,
+}
+
+impl ActorLogic for Echo {
+    fn on_message(&mut self, ctx: &mut ActorCtx<'_>, msg: &mut Message) {
+        ctx.work(self.work);
+        if let Some(peer) = self.fanout {
+            if msg.corr.is_some() {
+                ctx.send(peer, "relay", 64);
+                return;
+            }
+        }
+        if msg.corr.is_some() {
+            ctx.reply(32);
+        }
+    }
+}
+
+struct Loop {
+    target: ActorId,
+    remaining: u64,
+}
+
+impl ClientLogic for Loop {
+    fn on_start(&mut self, ctx: &mut ClientCtx<'_>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.request(self.target, "run", 64);
+        }
+    }
+    fn on_reply(&mut self, ctx: &mut ClientCtx<'_>, _r: u64, _l: SimDuration, _p: Option<Payload>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.request(self.target, "run", 64);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No request is ever lost: every issued request is answered, across
+    /// arbitrary topologies, worker costs, and periodic migrations.
+    #[test]
+    fn requests_conserved_under_migration(
+        seed in 0u64..500,
+        servers in 2usize..5,
+        chains in 1usize..5,
+        work_us in 100u64..5_000,
+        requests in 10u64..60,
+    ) {
+        let mut rt = Runtime::new(RuntimeConfig {
+            seed,
+            min_residency: SimDuration::ZERO,
+            ..RuntimeConfig::default()
+        });
+        let server_ids: Vec<ServerId> = (0..servers)
+            .map(|_| rt.add_server(InstanceType::m1_small()))
+            .collect();
+        let mut heads = Vec::new();
+        for i in 0..chains {
+            let tail = rt.spawn_actor(
+                "Tail",
+                Box::new(Echo { work: work_us as f64 / 1e6, fanout: None }),
+                1 << 16,
+                server_ids[i % servers],
+            );
+            let head = rt.spawn_actor(
+                "Head",
+                Box::new(Echo { work: work_us as f64 / 2e6, fanout: Some(tail) }),
+                1 << 16,
+                server_ids[(i + 1) % servers],
+            );
+            rt.add_client(Box::new(Loop { target: head, remaining: requests }));
+            heads.push((head, tail));
+        }
+        // Stir the pot: migrate actors round-robin every simulated second.
+        for round in 0..10u64 {
+            rt.run_until(SimTime::from_secs(round + 1));
+            for (k, &(head, tail)) in heads.iter().enumerate() {
+                let dst = server_ids[(round as usize + k) % servers];
+                let _ = rt.migrate(head, dst);
+                let _ = rt.migrate(tail, dst);
+            }
+        }
+        rt.run_until(SimTime::from_secs(400));
+        let report = rt.report();
+        prop_assert_eq!(report.requests, requests * chains as u64);
+        prop_assert_eq!(report.replies, report.requests, "every request answered");
+        prop_assert_eq!(report.dropped_messages, 0);
+        prop_assert_eq!(report.orphan_replies, 0);
+    }
+
+    /// Each actor is resident on exactly one running server, and per-server
+    /// actor counts are consistent with per-actor server records.
+    #[test]
+    fn placement_is_a_partition(
+        seed in 0u64..500,
+        servers in 1usize..6,
+        actors in 1usize..40,
+    ) {
+        let mut rt = Runtime::new(RuntimeConfig { seed, ..RuntimeConfig::default() });
+        let server_ids: Vec<ServerId> = (0..servers)
+            .map(|_| rt.add_server(InstanceType::m1_small()))
+            .collect();
+        let mut rng = DetRng::new(seed);
+        let ids: Vec<ActorId> = (0..actors)
+            .map(|_| {
+                let s = *rng.choose(&server_ids);
+                rt.spawn_actor("A", Box::new(Echo { work: 0.0, fanout: None }), 64, s)
+            })
+            .collect();
+        rt.run_until(SimTime::from_secs(5));
+        let mut total = 0usize;
+        for &s in &server_ids {
+            let on_s = rt.actors_on(s);
+            total += on_s.len();
+            for a in on_s {
+                prop_assert_eq!(rt.actor_server(a), s);
+            }
+        }
+        prop_assert_eq!(total, ids.len());
+    }
+
+    /// Server utilization snapshots stay within [0, 1] whatever the load.
+    #[test]
+    fn utilization_bounded(
+        seed in 0u64..500,
+        load_us in 100u64..50_000,
+        clients in 1usize..12,
+    ) {
+        let mut rt = Runtime::new(RuntimeConfig { seed, ..RuntimeConfig::default() });
+        let s = rt.add_server(InstanceType::m1_small());
+        let a = rt.spawn_actor(
+            "A",
+            Box::new(Echo { work: load_us as f64 / 1e6, fanout: None }),
+            64,
+            s,
+        );
+        for _ in 0..clients {
+            rt.add_client(Box::new(Loop { target: a, remaining: u64::MAX }));
+        }
+        rt.run_until(SimTime::from_secs(10));
+        let snap = rt.snapshot();
+        let usage = snap.server(s).unwrap().usage;
+        prop_assert!((0.0..=1.0).contains(&usage.cpu()));
+        prop_assert!((0.0..=1.0).contains(&usage.mem()));
+        prop_assert!((0.0..=1.0).contains(&usage.net()));
+        for actor in &snap.actors {
+            prop_assert!((0.0..=1.0).contains(&actor.cpu_share));
+        }
+    }
+}

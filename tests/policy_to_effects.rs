@@ -1,0 +1,155 @@
+//! Cross-crate integration: EPL source -> compiled policy -> EMR -> observable
+//! runtime effects, all through the public `plasma` facade.
+
+use plasma::prelude::*;
+use plasma_sim::SimTime;
+
+struct Burner {
+    work: f64,
+}
+
+impl ActorLogic for Burner {
+    fn on_message(&mut self, ctx: &mut ActorCtx<'_>, _msg: &mut Message) {
+        ctx.work(self.work);
+        ctx.reply(32);
+    }
+}
+
+struct Driver {
+    target: ActorId,
+    period: SimDuration,
+}
+
+impl ClientLogic for Driver {
+    fn on_start(&mut self, ctx: &mut ClientCtx<'_>) {
+        ctx.set_timer(SimDuration::ZERO, 0);
+    }
+    fn on_reply(
+        &mut self,
+        _ctx: &mut ClientCtx<'_>,
+        _r: u64,
+        _l: SimDuration,
+        _p: Option<Payload>,
+    ) {
+    }
+    fn on_timer(&mut self, ctx: &mut ClientCtx<'_>, _t: u64) {
+        ctx.request(self.target, "work", 64);
+        ctx.set_timer(self.period, 0);
+    }
+}
+
+fn schema() -> ActorSchema {
+    let mut s = ActorSchema::new();
+    s.actor_type("Hot").func("work");
+    s.actor_type("Cold").func("work");
+    s
+}
+
+#[test]
+fn end_to_end_balance_through_facade() {
+    let mut app = Plasma::builder()
+        .seed(2024)
+        .policy(
+            "server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Hot}, cpu);",
+            &schema(),
+        )
+        .build()
+        .unwrap();
+    let rt = app.runtime_mut();
+    let s0 = rt.add_server(InstanceType::m1_small());
+    let s1 = rt.add_server(InstanceType::m1_small());
+    for _ in 0..4 {
+        let a = rt.spawn_actor("Hot", Box::new(Burner { work: 0.035 }), 1 << 16, s0);
+        rt.add_client(Box::new(Driver {
+            target: a,
+            period: SimDuration::from_millis(100),
+        }));
+    }
+    app.run_until(SimTime::from_secs(240));
+    let rt = app.runtime();
+    assert_eq!(rt.actor_count_on(s0) + rt.actor_count_on(s1), 4);
+    assert!(rt.actor_count_on(s1) >= 1, "balance moved work to s1");
+    assert!(!app.report().migrations.is_empty());
+    assert_eq!(app.report().dropped_messages, 0);
+}
+
+#[test]
+fn type_scoped_balance_does_not_touch_other_types() {
+    let mut app = Plasma::builder()
+        .seed(7)
+        .policy(
+            "server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Hot}, cpu);",
+            &schema(),
+        )
+        .build()
+        .unwrap();
+    let rt = app.runtime_mut();
+    let s0 = rt.add_server(InstanceType::m1_small());
+    let _s1 = rt.add_server(InstanceType::m1_small());
+    // Cold actors also burn CPU but are not in the balance set.
+    let mut cold = Vec::new();
+    for _ in 0..2 {
+        let a = rt.spawn_actor("Cold", Box::new(Burner { work: 0.03 }), 1 << 16, s0);
+        rt.add_client(Box::new(Driver {
+            target: a,
+            period: SimDuration::from_millis(100),
+        }));
+        cold.push(a);
+    }
+    for _ in 0..2 {
+        let a = rt.spawn_actor("Hot", Box::new(Burner { work: 0.03 }), 1 << 16, s0);
+        rt.add_client(Box::new(Driver {
+            target: a,
+            period: SimDuration::from_millis(100),
+        }));
+    }
+    app.run_until(SimTime::from_secs(240));
+    let rt = app.runtime();
+    for &c in &cold {
+        assert_eq!(rt.actor_server(c), s0, "Cold actors never migrate");
+    }
+}
+
+#[test]
+fn warnings_surface_but_do_not_block() {
+    let app = Plasma::builder()
+        .policy(
+            "true => pin(Hot);\nserver.cpu.perc > 80 => balance({Hot}, cpu);",
+            &schema(),
+        )
+        .build()
+        .unwrap();
+    assert_eq!(app.warnings().len(), 1);
+    assert!(app.warnings()[0].message.contains("pinned"));
+}
+
+#[test]
+fn deterministic_full_stack_rerun() {
+    let run_once = || {
+        let mut app = Plasma::builder()
+            .seed(99)
+            .policy(
+                "server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Hot}, cpu);",
+                &schema(),
+            )
+            .build()
+            .unwrap();
+        let rt = app.runtime_mut();
+        let s0 = rt.add_server(InstanceType::m1_small());
+        let _s1 = rt.add_server(InstanceType::m1_small());
+        for _ in 0..4 {
+            let a = rt.spawn_actor("Hot", Box::new(Burner { work: 0.03 }), 1 << 16, s0);
+            rt.add_client(Box::new(Driver {
+                target: a,
+                period: SimDuration::from_millis(90),
+            }));
+        }
+        app.run_until(SimTime::from_secs(180));
+        (
+            app.report().mean_latency_ms(),
+            app.report().replies,
+            app.report().migrations.len(),
+        )
+    };
+    assert_eq!(run_once(), run_once());
+}
