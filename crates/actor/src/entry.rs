@@ -74,6 +74,9 @@ pub struct ActorEntry {
     pub tombstone: bool,
     /// Profiling counters for the current window.
     pub counters: ActorCounters,
+    /// Trace id of the admission decision that caused the pending/in-flight
+    /// migration; becomes the parent of the `MigrationStart` event.
+    pub migration_trace: Option<plasma_trace::EventId>,
 }
 
 impl ActorEntry {
@@ -101,6 +104,7 @@ impl ActorEntry {
             pinned: false,
             tombstone: false,
             counters: ActorCounters::default(),
+            migration_trace: None,
         }
     }
 
@@ -243,6 +247,7 @@ mod tests {
             dest_server_at_send: None,
             forwarded: false,
             was_remote: false,
+            trace: None,
         });
         assert!(e.runnable());
         e.servicing = true;

@@ -59,6 +59,8 @@ pub struct Message {
     pub(crate) forwarded: bool,
     /// Whether the message crossed servers (for NIC accounting on delivery).
     pub(crate) was_remote: bool,
+    /// Trace id of the `MessageSend` event, linked to by the delivery event.
+    pub(crate) trace: Option<plasma_trace::EventId>,
 }
 
 impl Message {
@@ -109,6 +111,7 @@ mod tests {
             dest_server_at_send: None,
             forwarded: false,
             was_remote: false,
+            trace: None,
         }
     }
 

@@ -23,6 +23,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use plasma_cluster::topology::ClusterLimits;
 use plasma_cluster::{Cluster, InstanceType, NetworkModel, ServerId};
 use plasma_sim::{DetRng, EventQueue, SimDuration, SimTime};
+use plasma_trace::{Component, EventId, TraceEventKind, Tracer};
 
 use crate::controller::ElasticityController;
 use crate::entry::{ActorEntry, MigrationBlocked, MigrationState};
@@ -106,6 +107,7 @@ enum Event {
         actor: ActorId,
         dst: ServerId,
         started: SimTime,
+        trace: Option<EventId>,
     },
     ServerReady(ServerId),
     ClientStart(ClientId),
@@ -135,6 +137,7 @@ pub struct Runtime {
     clients: Vec<ClientEntry>,
     controller: Option<Box<dyn ElasticityController>>,
     rng: DetRng,
+    tracer: Tracer,
     stopped: bool,
     snapshot: ProfileSnapshot,
     report: RunReport,
@@ -166,6 +169,7 @@ impl Runtime {
             clients: Vec::new(),
             controller: None,
             rng,
+            tracer: Tracer::disabled(),
             stopped: false,
             snapshot: ProfileSnapshot::default(),
             report,
@@ -181,6 +185,18 @@ impl Runtime {
     /// Installs the elasticity controller.
     pub fn set_controller(&mut self, controller: Box<dyn ElasticityController>) {
         self.controller = Some(controller);
+    }
+
+    /// Installs the tracer runtime events are emitted to; the cluster's
+    /// provisioning events feed the same recorder.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.cluster.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Returns the tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Adds a server that is usable immediately (initial deployment).
@@ -275,6 +291,13 @@ impl Runtime {
         self.actors.push(Some(entry));
         self.actors_by_server[server.0 as usize].insert(id);
         self.cluster.server_mut(server).add_mem(state_size);
+        self.tracer.emit(self.now, Component::Runtime, None, || {
+            TraceEventKind::ActorCreated {
+                actor: id.0,
+                actor_type: self.names.type_name(type_id).to_string(),
+                server: server.0,
+            }
+        });
         id
     }
 
@@ -317,6 +340,12 @@ impl Runtime {
             self.runq[server.0 as usize].retain(|&a| a != actor);
         }
         self.report.dropped_messages += entry.mailbox.len() as u64;
+        self.tracer.emit(self.now, Component::Runtime, None, || {
+            TraceEventKind::ActorRemoved {
+                actor: actor.0,
+                server: server.0,
+            }
+        });
     }
 
     /// Registers a client and schedules its `on_start` immediately.
@@ -500,6 +529,18 @@ impl Runtime {
     /// liveness. If the actor is mid-service, the migration starts when the
     /// current message completes.
     pub fn migrate(&mut self, actor: ActorId, dst: ServerId) -> Result<(), MigrationBlocked> {
+        self.migrate_traced(actor, dst, None)
+    }
+
+    /// [`Runtime::migrate`] with a causal trace parent: the emitted
+    /// `MigrationStart` event links back to `parent` (typically the
+    /// admission decision that approved the move).
+    pub fn migrate_traced(
+        &mut self,
+        actor: ActorId,
+        dst: ServerId,
+        parent: Option<EventId>,
+    ) -> Result<(), MigrationBlocked> {
         if !self.cluster.server(dst).is_running() {
             return Err(MigrationBlocked::DestinationDown);
         }
@@ -507,6 +548,7 @@ impl Runtime {
         let now = self.now;
         let entry = self.try_entry(actor).ok_or(MigrationBlocked::Gone)?;
         entry.check_migratable(dst, now, min_res)?;
+        self.entry_mut(actor).migration_trace = parent;
         if self.entry(actor).servicing {
             self.entry_mut(actor).migration = Some(MigrationState::Pending { dst });
         } else {
@@ -554,6 +596,15 @@ impl Runtime {
         };
         let bps = self.cluster.server(dest_server).instance().net_bps;
         let delay = self.cfg.network.client_delay(bytes, bps);
+        let trace = self.tracer.emit(self.now, Component::Runtime, None, || {
+            TraceEventKind::MessageSend {
+                from_actor: None,
+                from_client: Some(client.0),
+                to: actor.0,
+                func: fname.0,
+                bytes,
+            }
+        });
         let msg = Message {
             to: actor,
             fname,
@@ -565,6 +616,7 @@ impl Runtime {
             dest_server_at_send: Some(dest_server),
             forwarded: false,
             was_remote: true,
+            trace,
         };
         self.report.requests += 1;
         self.events.push(self.now + delay, Event::DeliverActor(msg));
@@ -580,6 +632,15 @@ impl Runtime {
             self.report.dropped_messages += 1;
             return;
         };
+        let trace = self.tracer.emit(self.now, Component::Runtime, None, || {
+            TraceEventKind::MessageSend {
+                from_actor: None,
+                from_client: None,
+                to: to.0,
+                func: fname.0,
+                bytes,
+            }
+        });
         let msg = Message {
             to,
             fname,
@@ -591,6 +652,7 @@ impl Runtime {
             dest_server_at_send: Some(dest_server),
             forwarded: false,
             was_remote: false,
+            trace,
         };
         self.events.push(self.now, Event::DeliverActor(msg));
     }
@@ -638,7 +700,8 @@ impl Runtime {
                 actor,
                 dst,
                 started,
-            } => self.on_migration_arrive(actor, dst, started),
+                trace,
+            } => self.on_migration_arrive(actor, dst, started, trace),
             Event::ServerReady(id) => self.on_server_ready(id),
             Event::ClientStart(id) => self.with_client(id, |logic, ctx| logic.on_start(ctx)),
             Event::ClientTimer { client, token } => {
@@ -680,6 +743,15 @@ impl Runtime {
         } else {
             self.report.local_messages += 1;
         }
+        self.tracer
+            .emit(self.now, Component::Runtime, msg.trace, || {
+                TraceEventKind::MessageDeliver {
+                    to: msg.to.0,
+                    server: here.0,
+                    func: msg.fname.0,
+                    forwarded: msg.forwarded,
+                }
+            });
         let entry = self.entry_mut(msg.to);
         entry.mailbox.push_back(msg);
         let id = entry.id;
@@ -815,6 +887,15 @@ impl Runtime {
                 .add_net_bytes(send.bytes);
         }
         self.entry_mut(from_actor).counters.bytes_sent += send.bytes;
+        let trace = self.tracer.emit(self.now, Component::Runtime, None, || {
+            TraceEventKind::MessageSend {
+                from_actor: Some(from_actor.0),
+                from_client: None,
+                to: send.to.0,
+                func: send.fname.0,
+                bytes: send.bytes,
+            }
+        });
         let msg = Message {
             to: send.to,
             fname: send.fname,
@@ -826,6 +907,7 @@ impl Runtime {
             dest_server_at_send: Some(dest_server),
             forwarded: false,
             was_remote: !same,
+            trace,
         };
         self.events.push(self.now + delay, Event::DeliverActor(msg));
     }
@@ -850,17 +932,33 @@ impl Runtime {
             .cfg
             .network
             .transfer_delay(state_size, src_bps.min(dst_bps));
+        let parent = self.entry_mut(actor).migration_trace.take();
+        let trace = self.tracer.emit(self.now, Component::Runtime, parent, || {
+            TraceEventKind::MigrationStart {
+                actor: actor.0,
+                src: src.0,
+                dst: dst.0,
+                state_bytes: state_size,
+            }
+        });
         self.events.push(
             self.now + delay,
             Event::MigrationArrive {
                 actor,
                 dst,
                 started: self.now,
+                trace,
             },
         );
     }
 
-    fn on_migration_arrive(&mut self, actor: ActorId, dst: ServerId, started: SimTime) {
+    fn on_migration_arrive(
+        &mut self,
+        actor: ActorId,
+        dst: ServerId,
+        started: SimTime,
+        trace: Option<EventId>,
+    ) {
         // The actor may have been removed while its state was in transit.
         if self
             .actors
@@ -887,6 +985,14 @@ impl Runtime {
             src,
             dst,
             transfer_time: now.saturating_since(started),
+        });
+        self.tracer.emit(now, Component::Runtime, trace, || {
+            TraceEventKind::MigrationComplete {
+                actor: actor.0,
+                src: src.0,
+                dst: dst.0,
+                transfer_us: now.saturating_since(started).as_micros(),
+            }
         });
         let entry = self.entry_mut(actor);
         if entry.runnable() {

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use plasma_sim::metrics::TimeSeries;
 use plasma_sim::SimTime;
+use plasma_trace::{Component, TraceEventKind, Tracer};
 
 use crate::instance::InstanceType;
 use crate::network::NetworkModel;
@@ -37,6 +38,7 @@ pub struct Cluster {
     network: NetworkModel,
     limits: ClusterLimits,
     server_count_series: TimeSeries,
+    tracer: Tracer,
 }
 
 impl Cluster {
@@ -47,7 +49,13 @@ impl Cluster {
             network,
             limits,
             server_count_series: TimeSeries::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs the tracer provisioning events are emitted to.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Returns the interconnect model.
@@ -81,6 +89,13 @@ impl Cluster {
             _ => unreachable!("new servers always boot"),
         };
         self.servers.push(server);
+        self.tracer.emit(now, Component::Provisioner, None, || {
+            TraceEventKind::ServerBoot {
+                server: id.0,
+                instance: self.servers[id.0 as usize].instance().name.clone(),
+                ready_at_us: ready_at.as_micros(),
+            }
+        });
         Some((id, ready_at))
     }
 
@@ -115,6 +130,9 @@ impl Cluster {
         self.servers[id.0 as usize].mark_stopped(now);
         let count = self.running_count();
         self.server_count_series.push(now, count as f64);
+        self.tracer.emit(now, Component::Provisioner, None, || {
+            TraceEventKind::ServerDrain { server: id.0 }
+        });
         true
     }
 

@@ -18,6 +18,7 @@
 //! | `plasma-actor` | the actor cluster runtime (mailboxes, migration) |
 //! | `plasma-epl` | the elasticity programming language |
 //! | `plasma-emr` | the elasticity management runtime (LEM/GEM) |
+//! | `plasma-trace` | structured tracing and elasticity decision audit |
 //!
 //! # Quickstart
 //!
@@ -61,6 +62,7 @@ use plasma_emr::{EmrConfig, PlasmaEmr};
 use plasma_epl::error::Warning;
 use plasma_epl::{compile, ActorSchema, CompileError};
 use plasma_sim::SimTime;
+use plasma_trace::{TraceConfig, Tracer};
 
 pub mod prelude;
 
@@ -92,6 +94,13 @@ impl Plasma {
         &self.warnings
     }
 
+    /// Returns the tracer (disabled unless [`PlasmaBuilder::tracing`] was
+    /// called). Use it to export the trace or run
+    /// [`Tracer::explain`](plasma_trace::Tracer::explain) after a run.
+    pub fn tracer(&self) -> &Tracer {
+        self.runtime.tracer()
+    }
+
     /// Runs the simulation until `end` (or until stopped).
     pub fn run_until(&mut self, end: SimTime) {
         self.runtime.run_until(end);
@@ -115,6 +124,7 @@ pub struct PlasmaBuilder {
     emr_cfg: EmrConfig,
     policy: Option<(String, ActorSchema)>,
     controller: Option<Box<dyn ElasticityController>>,
+    tracing: Option<TraceConfig>,
 }
 
 impl PlasmaBuilder {
@@ -151,9 +161,20 @@ impl PlasmaBuilder {
         self
     }
 
+    /// Enables structured tracing: every runtime, EMR, and provisioning
+    /// event is recorded per `cfg` and available through
+    /// [`Plasma::tracer`] after (or during) the run.
+    pub fn tracing(mut self, cfg: TraceConfig) -> Self {
+        self.tracing = Some(cfg);
+        self
+    }
+
     /// Builds the system, compiling the policy if one was attached.
     pub fn build(self) -> Result<Plasma, CompileError> {
         let mut runtime = Runtime::new(self.runtime_cfg);
+        if let Some(cfg) = self.tracing {
+            runtime.set_tracer(Tracer::new(cfg));
+        }
         let mut warnings = Vec::new();
         if let Some(controller) = self.controller {
             runtime.set_controller(controller);

@@ -16,5 +16,9 @@ pub use plasma_emr::baselines::{FrequencyColocate, HeavyToIdle, OrleansBalance};
 pub use plasma_emr::{EmrConfig, PlasmaEmr};
 pub use plasma_epl::{compile, ActorSchema, CompileError};
 pub use plasma_sim::{DetRng, SimDuration, SimTime};
+pub use plasma_trace::{
+    explain, render_explanation, results_dir, to_chrome_trace, to_jsonl, write_under, Category,
+    CategorySet, Component, EventId, TraceConfig, TraceEvent, TraceEventKind, Tracer,
+};
 
 pub use crate::{Plasma, PlasmaBuilder};

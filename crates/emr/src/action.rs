@@ -36,6 +36,22 @@ pub struct Action {
     pub priority: u32,
     /// Index of the producing rule, for diagnostics.
     pub rule: usize,
+    /// Trace id of the `RuleFired` event that produced this action, when
+    /// tracing is enabled.
+    pub trace: Option<plasma_trace::EventId>,
+}
+
+/// Per-rule evaluation tally returned alongside a plan, so the caller can
+/// emit rule-level trace events without the planners themselves holding a
+/// tracer.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleStat {
+    /// Index of the evaluated rule.
+    pub rule: usize,
+    /// How many environments the rule's pattern matched.
+    pub matches: u64,
+    /// How many actions the rule's behaviors produced.
+    pub actions: u64,
 }
 
 /// Resolves conflicting actions: for each actor, keeps the action with the
@@ -73,6 +89,7 @@ mod tests {
             kind: ActionKind::Balance,
             priority,
             rule,
+            trace: None,
         }
     }
 
@@ -111,6 +128,7 @@ mod tests {
             kind: ActionKind::Colocate,
             priority: 50,
             rule: 0,
+            trace: None,
         }]);
         assert!(resolved.is_empty());
     }

@@ -25,14 +25,36 @@ use plasma_actor::{ElasticityController, Runtime};
 use plasma_cluster::{InstanceType, ServerId};
 use plasma_epl::analyze::CompiledPolicy;
 use plasma_epl::ast::{ActorRef, Behavior, Cond, Feature};
+use plasma_trace::{Component, EventId, TraceEventKind, Tracer};
 
-use crate::action::{resolve_conflicts, Action, ActionKind};
+use crate::action::{resolve_conflicts, Action, ActionKind, RuleStat};
 use crate::gem::{Bounds, GemConfig};
 use crate::view::EvalCtx;
 use crate::{gem, lem};
 
 /// Control token for the apply phase.
 const TOKEN_APPLY: u64 = 1;
+
+/// Trace label for a behavior kind.
+fn kind_str(kind: ActionKind) -> &'static str {
+    match kind {
+        ActionKind::Balance => "balance",
+        ActionKind::Reserve => "reserve",
+        ActionKind::Colocate => "colocate",
+        ActionKind::Separate => "separate",
+    }
+}
+
+/// Rule index as it appears in trace events: internal actions (scale-in
+/// drains, marked `usize::MAX`) map to `u64::MAX`, which exporters render
+/// as `null`.
+fn rule_trace_id(rule: usize) -> u64 {
+    if rule == usize::MAX {
+        u64::MAX
+    } else {
+        rule as u64
+    }
+}
 
 /// Configuration of the EMR.
 #[derive(Clone, Debug)]
@@ -77,6 +99,8 @@ impl Default for EmrConfig {
 
 /// One planned-but-not-yet-applied elasticity round.
 struct Round {
+    /// The tick that planned the round (for trace correlation).
+    number: u64,
     actions: Vec<Action>,
 }
 
@@ -211,11 +235,47 @@ impl PlasmaEmr {
         }
     }
 
+    /// Emits `RuleEvaluated`/`RuleFired` events for one planner pass and
+    /// links each produced action to the event of the rule that fired it.
+    fn trace_rule_events(
+        tracer: &Tracer,
+        now: plasma_sim::SimTime,
+        component: Component,
+        stats: &[RuleStat],
+        actions: &mut [Action],
+    ) {
+        if !tracer.is_enabled() {
+            return;
+        }
+        let mut fired: BTreeMap<usize, EventId> = BTreeMap::new();
+        for stat in stats {
+            let eval = tracer.emit(now, component, None, || TraceEventKind::RuleEvaluated {
+                rule: stat.rule as u64,
+                matches: stat.matches,
+            });
+            if stat.actions > 0 {
+                if let Some(id) = tracer.emit(now, component, eval, || TraceEventKind::RuleFired {
+                    rule: stat.rule as u64,
+                    actions: stat.actions,
+                }) {
+                    fired.insert(stat.rule, id);
+                }
+            }
+        }
+        for action in actions {
+            if action.trace.is_none() {
+                action.trace = fired.get(&action.rule).copied();
+            }
+        }
+    }
+
     fn plan_round(&mut self, rt: &mut Runtime) {
         let scope = self.in_scope_servers(rt);
         if scope.is_empty() {
             return;
         }
+        let tracer = rt.tracer().clone();
+        let trace_now = rt.now();
         let gem_cfg = GemConfig {
             default_bounds: self.cfg.default_bounds,
             max_balance_moves: self.cfg.max_balance_moves,
@@ -235,7 +295,7 @@ impl PlasmaEmr {
         let assignment = self.gem_assignment(&scope);
         let gem_count = assignment.len();
         let debug = std::env::var_os("PLASMA_EMR_DEBUG").is_some();
-        for servers in &assignment {
+        for (gem_idx, servers) in assignment.iter().enumerate() {
             // Alg. 2 line 8: wait for more than K reports before planning.
             if servers.len() <= self.cfg.k_reports {
                 continue;
@@ -258,7 +318,21 @@ impl PlasmaEmr {
                     );
                 }
             }
-            let plan = gem::plan(&self.policy, &ctx, &gem_cfg, &self.reserved_servers);
+            let mut plan = gem::plan(&self.policy, &ctx, &gem_cfg, &self.reserved_servers);
+            Self::trace_rule_events(
+                &tracer,
+                trace_now,
+                Component::Gem,
+                &plan.rule_stats,
+                &mut plan.actions,
+            );
+            tracer.emit(trace_now, Component::Gem, None, || {
+                TraceEventKind::ScaleVote {
+                    gem: gem_idx as u32,
+                    scale_out: plan.scale_out_vote,
+                    scale_in: plan.scale_in_vote,
+                }
+            });
             if debug {
                 eprintln!(
                     "[emr] planned {} actions (out={} in={})",
@@ -280,7 +354,7 @@ impl PlasmaEmr {
         let pending_dst: BTreeMap<ActorId, ServerId> =
             all_actions.iter().map(|a| (a.actor, a.dst)).collect();
         let bounds = self.policy_bounds();
-        let lem_plan = {
+        let mut lem_plan = {
             let ctx = EvalCtx::new(rt, &scope);
             lem::plan(
                 &self.policy,
@@ -290,6 +364,13 @@ impl PlasmaEmr {
                 &self.reserved_servers,
             )
         };
+        Self::trace_rule_events(
+            &tracer,
+            trace_now,
+            Component::Lem,
+            &lem_plan.rule_stats,
+            &mut lem_plan.actions,
+        );
         // Pin set is recomputed every round: pin while the rule fires,
         // release when it no longer does.
         let new_pins: BTreeSet<ActorId> = lem_plan.pins.iter().copied().collect();
@@ -330,8 +411,31 @@ impl PlasmaEmr {
             }
         }
 
+        let mut actions = resolve_conflicts(all_actions);
+        let round_no = self.stats.ticks;
+        if tracer.is_enabled() {
+            for action in &mut actions {
+                let component = match action.kind {
+                    ActionKind::Balance | ActionKind::Reserve => Component::Gem,
+                    ActionKind::Colocate | ActionKind::Separate => Component::Lem,
+                };
+                let parent = action.trace;
+                action.trace = tracer.emit(trace_now, component, parent, || {
+                    TraceEventKind::PlanProposed {
+                        round: round_no,
+                        actor: action.actor.0,
+                        src: action.src.0,
+                        dst: action.dst.0,
+                        action: kind_str(action.kind).to_string(),
+                        priority: action.priority,
+                        rule: rule_trace_id(action.rule),
+                    }
+                });
+            }
+        }
         self.pending = Some(Round {
-            actions: resolve_conflicts(all_actions),
+            number: round_no,
+            actions,
         });
         // Model the LEM -> GEM -> LEM control round-trip before applying.
         rt.schedule_control(rt.control_latency() * 2, TOKEN_APPLY);
@@ -381,6 +485,7 @@ impl PlasmaEmr {
                     kind: ActionKind::Balance,
                     priority: 100,
                     rule: usize::MAX,
+                    trace: None,
                 });
             }
         }
@@ -391,6 +496,9 @@ impl PlasmaEmr {
         let Some(round) = self.pending.take() else {
             return;
         };
+        let tracer = rt.tracer().clone();
+        let trace_now = rt.now();
+        let round_no = round.number;
         let bounds = self.policy_bounds();
         // Admission control: the QUERY/QREPLY handshake of Alg. 1. Each
         // target accepts an actor only while its projected usage stays
@@ -415,8 +523,29 @@ impl PlasmaEmr {
                 .unwrap_or(0.0);
             let src_speed = rt.cluster().server(action.src).instance().total_speed();
             let dst = action.dst;
+            // Alg. 1's QUERY to the destination LEM.
+            let query = tracer.emit(trace_now, Component::Lem, action.trace, || {
+                TraceEventKind::QuerySent {
+                    round: round_no,
+                    actor: action.actor.0,
+                    src: action.src.0,
+                    dst: dst.0,
+                }
+            });
+            let reply = |admitted: bool, reason: &str| {
+                tracer.emit(trace_now, Component::Lem, query, || {
+                    TraceEventKind::QueryReply {
+                        round: round_no,
+                        actor: action.actor.0,
+                        dst: dst.0,
+                        admitted,
+                        reason: reason.to_string(),
+                    }
+                })
+            };
             if !rt.cluster().server(dst).is_running() {
                 self.stats.rejected += 1;
+                reply(false, "destination-down");
                 continue;
             }
             let dst_speed = rt.cluster().server(dst).instance().total_speed();
@@ -429,20 +558,33 @@ impl PlasmaEmr {
             };
             let projected_dst = projected.get(&dst).copied().unwrap_or(0.0);
             let projected_src = projected.get(&action.src).copied().unwrap_or(0.0);
-            let accept = match action.kind {
-                ActionKind::Reserve => true,
+            let within_headroom = projected_dst + incoming <= headroom_limit + 1e-9;
+            let (accept, reason) = match action.kind {
+                ActionKind::Reserve => (true, "reserve"),
                 // A balance move is admitted when the target stays within
                 // bounds, or - when the whole cluster runs hot - when it
                 // still strictly improves on the source (otherwise a
                 // saturated-but-skewed cluster could never rebalance).
                 ActionKind::Balance => {
-                    projected_dst + incoming <= headroom_limit + 1e-9
-                        || projected_dst + incoming < projected_src - share * 0.5
+                    if within_headroom {
+                        (true, "within-headroom")
+                    } else if projected_dst + incoming < projected_src - share * 0.5 {
+                        (true, "improves-source")
+                    } else {
+                        (false, "no-headroom")
+                    }
                 }
                 // Interaction moves must find genuinely idle capacity
                 // (the paper's balance-over-colocate admission, §4.3).
-                _ => projected_dst + incoming <= headroom_limit + 1e-9,
+                _ => {
+                    if within_headroom {
+                        (true, "within-headroom")
+                    } else {
+                        (false, "no-headroom")
+                    }
+                }
             };
+            let reply_id = reply(accept, reason);
             if !accept {
                 self.stats.rejected += 1;
                 if std::env::var_os("PLASMA_EMR_DEBUG").is_some() {
@@ -450,7 +592,7 @@ impl PlasmaEmr {
                 }
                 continue;
             }
-            match rt.migrate(action.actor, dst) {
+            match rt.migrate_traced(action.actor, dst, reply_id) {
                 Ok(()) => {
                     self.stats.admitted += 1;
                     if action.kind == ActionKind::Reserve {
@@ -463,6 +605,18 @@ impl PlasmaEmr {
                 }
                 Err(e) => {
                     self.stats.rejected += 1;
+                    // The admission said yes but the runtime's migration
+                    // guards (pin/residency/in-flight) said no; record the
+                    // veto as a second, negative QREPLY.
+                    tracer.emit(trace_now, Component::Lem, query, || {
+                        TraceEventKind::QueryReply {
+                            round: round_no,
+                            actor: action.actor.0,
+                            dst: dst.0,
+                            admitted: false,
+                            reason: format!("blocked-{e:?}"),
+                        }
+                    });
                     if std::env::var_os("PLASMA_EMR_DEBUG").is_some() {
                         eprintln!("[emr] reject({e:?}) {action:?}");
                     }

@@ -14,7 +14,7 @@ use plasma_cluster::ServerId;
 use plasma_epl::analyze::{CompiledPolicy, CompiledRule};
 use plasma_epl::ast::{AType, Behavior, Comp, Cond, Feature, Res, Stat};
 
-use crate::action::{Action, ActionKind};
+use crate::action::{Action, ActionKind, RuleStat};
 use crate::eval::{expand_behavior_ref, solve};
 use crate::view::EvalCtx;
 
@@ -93,6 +93,8 @@ pub struct GemPlan {
     pub reserved: BTreeSet<ServerId>,
     /// Reserve actions that found no viable target (drives scale-out size).
     pub unplaced_reserves: usize,
+    /// Per-rule evaluation tallies, in evaluation order (for tracing).
+    pub rule_stats: Vec<RuleStat>,
 }
 
 /// Configuration for GEM planning.
@@ -139,7 +141,13 @@ pub fn plan(
             continue;
         }
         let envs = solve(rule, ctx);
+        let actions_before = plan.actions.len();
         if envs.is_empty() {
+            plan.rule_stats.push(RuleStat {
+                rule: rule.index,
+                matches: 0,
+                actions: 0,
+            });
             continue;
         }
         for cb in &rule.behaviors {
@@ -182,6 +190,11 @@ pub fn plan(
                 _ => {}
             }
         }
+        plan.rule_stats.push(RuleStat {
+            rule: rule.index,
+            matches: envs.len() as u64,
+            actions: (plan.actions.len() - actions_before) as u64,
+        });
     }
     plan
 }
@@ -308,6 +321,7 @@ fn plan_balance(
             kind: ActionKind::Balance,
             priority,
             rule: rule.index,
+            trace: None,
         });
     }
     // Scale votes for this rule's bounds.
@@ -378,6 +392,7 @@ fn plan_reserve(
                     kind: ActionKind::Reserve,
                     priority,
                     rule: rule.index,
+                    trace: None,
                 });
             }
             None => {

@@ -13,7 +13,7 @@ use plasma_cluster::ServerId;
 use plasma_epl::analyze::{CompiledPolicy, CompiledRule};
 use plasma_epl::ast::{ActorRef, Behavior};
 
-use crate::action::{Action, ActionKind};
+use crate::action::{Action, ActionKind, RuleStat};
 use crate::eval::{expand_behavior_ref, solve, Env};
 use crate::view::EvalCtx;
 
@@ -26,6 +26,8 @@ pub struct LemPlan {
     pub pins: Vec<ActorId>,
     /// Colocate/separate pairs skipped because both sides were ambiguous.
     pub ambiguous_pairs: u64,
+    /// Per-rule evaluation tallies, in evaluation order (for tracing).
+    pub rule_stats: Vec<RuleStat>,
 }
 
 /// Plans interaction-rule actions over the whole snapshot.
@@ -57,6 +59,7 @@ pub fn plan(
             continue;
         }
         let envs = solve(rule, ctx);
+        let actions_before = plan.actions.len();
         for env in &envs {
             for cb in &rule.behaviors {
                 match &cb.behavior {
@@ -99,6 +102,11 @@ pub fn plan(
                 }
             }
         }
+        plan.rule_stats.push(RuleStat {
+            rule: rule.index,
+            matches: envs.len() as u64,
+            actions: (plan.actions.len() - actions_before) as u64,
+        });
     }
     plan.pins = pins.into_iter().collect();
     plan
@@ -211,6 +219,7 @@ fn plan_pair(
                     kind: ActionKind::Colocate,
                     priority,
                     rule: rule.index,
+                    trace: None,
                 });
             }
             PairMode::Separate => {
@@ -247,6 +256,7 @@ fn plan_pair(
                     kind: ActionKind::Separate,
                     priority,
                     rule: rule.index,
+                    trace: None,
                 });
             }
         }

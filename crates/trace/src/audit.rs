@@ -1,0 +1,231 @@
+//! Decision audit: reconstruct *why* the elasticity machinery moved an
+//! actor.
+//!
+//! Every elasticity decision leaves a causal chain in the trace —
+//! `RuleEvaluated ← RuleFired ← PlanProposed ← QuerySent ← QueryReply ←
+//! MigrationStart ← MigrationComplete` — linked through each event's
+//! `parent` id. [`explain`] walks that chain backwards from the latest
+//! decision event concerning an actor at (or before) a point in simulated
+//! time, and returns it root-first.
+
+use plasma_sim::SimTime;
+
+use crate::event::{Category, EventId, TraceEvent};
+
+/// Reconstructs the decision chain that explains what the elasticity
+/// machinery last did to `actor` at or before `at`.
+///
+/// The anchor is the most recent migration / admission / plan event whose
+/// subject is `actor` with timestamp `<= at`; from there the `parent` links
+/// are followed to the root (typically the GEM's `RuleEvaluated`). The
+/// returned slice is ordered root-first, so timestamps are nondecreasing
+/// and each event's `parent` is the id of the one before it. Empty when no
+/// decision about the actor is retained in `events`.
+pub fn explain(events: &[TraceEvent], actor: u64, at: SimTime) -> Vec<TraceEvent> {
+    let anchor = events
+        .iter()
+        .filter(|e| {
+            e.at <= at
+                && e.kind.subject_actor() == Some(actor)
+                && matches!(
+                    e.kind.category(),
+                    Category::Migration | Category::Admission | Category::Plan
+                )
+        })
+        .max_by_key(|e| e.id);
+    let Some(anchor) = anchor else {
+        return Vec::new();
+    };
+    let mut chain = vec![anchor.clone()];
+    let mut parent = anchor.parent;
+    while let Some(pid) = parent {
+        let Some(prev) = find(events, pid) else { break };
+        parent = prev.parent;
+        chain.push(prev.clone());
+    }
+    chain.reverse();
+    chain
+}
+
+/// Looks up an event by id. Events are stored in id order (the recorder
+/// assigns sequential ids), so binary search applies even after ring-buffer
+/// eviction.
+fn find(events: &[TraceEvent], id: EventId) -> Option<&TraceEvent> {
+    events
+        .binary_search_by_key(&id, |e| e.id)
+        .ok()
+        .map(|i| &events[i])
+}
+
+/// Renders an explanation chain as indented human-readable lines, one per
+/// hop.
+pub fn render_explanation(chain: &[TraceEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (depth, e) in chain.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{}[{:>10} us] {} #{} {:?}",
+            "  ".repeat(depth),
+            e.at.as_micros(),
+            e.component.as_str(),
+            e.id.0,
+            e.kind,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Component, TraceEventKind};
+
+    fn chain_fixture() -> Vec<TraceEvent> {
+        let mk = |id: u64, at: u64, parent: Option<u64>, kind: TraceEventKind| TraceEvent {
+            id: EventId(id),
+            at: SimTime::from_micros(at),
+            component: Component::Gem,
+            parent: parent.map(EventId),
+            kind,
+        };
+        vec![
+            mk(
+                1,
+                10,
+                None,
+                TraceEventKind::RuleEvaluated {
+                    rule: 0,
+                    matches: 1,
+                },
+            ),
+            mk(
+                2,
+                10,
+                Some(1),
+                TraceEventKind::RuleFired {
+                    rule: 0,
+                    actions: 1,
+                },
+            ),
+            mk(
+                3,
+                10,
+                Some(2),
+                TraceEventKind::PlanProposed {
+                    round: 1,
+                    actor: 7,
+                    src: 0,
+                    dst: 1,
+                    action: "balance".into(),
+                    priority: 5,
+                    rule: 0,
+                },
+            ),
+            mk(
+                4,
+                20,
+                Some(3),
+                TraceEventKind::QuerySent {
+                    round: 1,
+                    actor: 7,
+                    src: 0,
+                    dst: 1,
+                },
+            ),
+            mk(
+                5,
+                20,
+                Some(4),
+                TraceEventKind::QueryReply {
+                    round: 1,
+                    actor: 7,
+                    dst: 1,
+                    admitted: true,
+                    reason: "headroom".into(),
+                },
+            ),
+            mk(
+                6,
+                20,
+                Some(5),
+                TraceEventKind::MigrationStart {
+                    actor: 7,
+                    src: 0,
+                    dst: 1,
+                    state_bytes: 64,
+                },
+            ),
+            mk(
+                7,
+                45,
+                Some(6),
+                TraceEventKind::MigrationComplete {
+                    actor: 7,
+                    src: 0,
+                    dst: 1,
+                    transfer_us: 25,
+                },
+            ),
+            // A decision about a *different* actor, later — must not anchor.
+            mk(
+                8,
+                50,
+                None,
+                TraceEventKind::MigrationStart {
+                    actor: 9,
+                    src: 1,
+                    dst: 0,
+                    state_bytes: 1,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn explain_walks_full_chain_root_first() {
+        let events = chain_fixture();
+        let chain = explain(&events, 7, SimTime::from_secs(1));
+        let ids: Vec<u64> = chain.iter().map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5, 6, 7]);
+        for pair in chain.windows(2) {
+            assert!(pair[0].at <= pair[1].at, "timestamps nondecreasing");
+            assert_eq!(pair[1].parent, Some(pair[0].id), "parent links chain up");
+        }
+    }
+
+    #[test]
+    fn explain_respects_time_bound() {
+        let events = chain_fixture();
+        // At t=20us the migration has started but not completed: the anchor
+        // is MigrationStart, not MigrationComplete.
+        let chain = explain(&events, 7, SimTime::from_micros(20));
+        assert_eq!(chain.last().unwrap().id, EventId(6));
+        assert_eq!(chain.len(), 6);
+    }
+
+    #[test]
+    fn explain_unknown_actor_is_empty() {
+        let events = chain_fixture();
+        assert!(explain(&events, 1234, SimTime::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn explain_survives_evicted_parents() {
+        // Drop the first two events (ring-buffer eviction): the walk stops
+        // at the earliest retained link instead of panicking.
+        let events: Vec<TraceEvent> = chain_fixture()[2..].to_vec();
+        let chain = explain(&events, 7, SimTime::from_secs(1));
+        let ids: Vec<u64> = chain.iter().map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn render_is_one_line_per_hop() {
+        let events = chain_fixture();
+        let chain = explain(&events, 7, SimTime::from_secs(1));
+        let text = render_explanation(&chain);
+        assert_eq!(text.lines().count(), 7);
+        assert!(text.contains("MigrationComplete"));
+    }
+}

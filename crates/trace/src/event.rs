@@ -1,0 +1,462 @@
+//! The trace event model: ids, components, categories, and event kinds.
+//!
+//! Every record the tracing subsystem captures is a [`TraceEvent`]: a
+//! sequentially-numbered, virtually-timestamped fact about one step of the
+//! system — a message hop, an actor lifecycle change, a planning decision,
+//! an admission verdict, or a provisioning action. Events carry an optional
+//! *causal parent* so a migration can be traced back through the
+//! QUERY/QREPLY admission handshake to the plan and rule that produced it.
+
+use plasma_sim::SimTime;
+
+/// Identifier of one recorded trace event.
+///
+/// Ids are assigned sequentially (starting at 1) in emission order, so they
+/// double as a tie-breaker for events sharing a [`SimTime`]: a larger id
+/// never precedes a smaller one causally.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(pub u64);
+
+/// Which PLASMA component emitted an event.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Component {
+    /// The actor runtime: delivery, scheduling, migration mechanics.
+    Runtime,
+    /// A Local Elasticity Manager (interaction rules, QUERY side).
+    Lem,
+    /// A Global Elasticity Manager (resource rules, QREPLY side, votes).
+    Gem,
+    /// The cluster provisioner (server boot/drain).
+    Provisioner,
+}
+
+impl Component {
+    /// Stable lowercase name used by the exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Component::Runtime => "runtime",
+            Component::Lem => "lem",
+            Component::Gem => "gem",
+            Component::Provisioner => "provisioner",
+        }
+    }
+}
+
+/// Coarse event family, the unit of recording filters.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Category {
+    /// Message sends and deliveries (the high-volume family).
+    Message,
+    /// Actor creation and removal.
+    Actor,
+    /// Live-migration start/completion.
+    Migration,
+    /// EPL rule evaluation and firing.
+    Rule,
+    /// Planned elasticity actions.
+    Plan,
+    /// QUERY/QREPLY admission control.
+    Admission,
+    /// GEM scale votes.
+    Scale,
+    /// Server provisioning lifecycle.
+    Server,
+}
+
+impl Category {
+    /// All categories, in declaration order.
+    pub const ALL: [Category; 8] = [
+        Category::Message,
+        Category::Actor,
+        Category::Migration,
+        Category::Rule,
+        Category::Plan,
+        Category::Admission,
+        Category::Scale,
+        Category::Server,
+    ];
+
+    /// Stable lowercase name used by the exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Category::Message => "message",
+            Category::Actor => "actor",
+            Category::Migration => "migration",
+            Category::Rule => "rule",
+            Category::Plan => "plan",
+            Category::Admission => "admission",
+            Category::Scale => "scale",
+            Category::Server => "server",
+        }
+    }
+
+    fn bit(self) -> u16 {
+        1 << (self as u16)
+    }
+}
+
+/// A set of [`Category`] values, used for per-category recording filters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CategorySet(u16);
+
+impl CategorySet {
+    /// The set containing every category.
+    pub fn all() -> Self {
+        CategorySet(Category::ALL.iter().map(|c| c.bit()).sum())
+    }
+
+    /// The empty set.
+    pub fn none() -> Self {
+        CategorySet(0)
+    }
+
+    /// Returns the set with `cat` added.
+    pub fn with(self, cat: Category) -> Self {
+        CategorySet(self.0 | cat.bit())
+    }
+
+    /// Returns the set with `cat` removed.
+    pub fn without(self, cat: Category) -> Self {
+        CategorySet(self.0 & !cat.bit())
+    }
+
+    /// Returns whether `cat` is in the set.
+    pub fn contains(self, cat: Category) -> bool {
+        self.0 & cat.bit() != 0
+    }
+}
+
+impl Default for CategorySet {
+    fn default() -> Self {
+        CategorySet::all()
+    }
+}
+
+/// What happened. Ids are raw integers (`ActorId.0`, `ServerId.0`, interned
+/// function/rule indices) so this crate stays below the actor and cluster
+/// crates in the dependency graph.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TraceEventKind {
+    /// A message left its sender (actor send, client request, or injection).
+    MessageSend {
+        /// Sending actor, when the sender is an actor.
+        from_actor: Option<u64>,
+        /// Issuing client, when the sender is an external client.
+        from_client: Option<u32>,
+        /// Destination actor.
+        to: u64,
+        /// Interned function id of the invoked method.
+        func: u32,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// A message reached its destination actor's mailbox.
+    MessageDeliver {
+        /// Destination actor.
+        to: u64,
+        /// Server the actor resides on at delivery.
+        server: u32,
+        /// Interned function id of the invoked method.
+        func: u32,
+        /// Whether the message paid a forwarding hop after racing a
+        /// migration.
+        forwarded: bool,
+    },
+    /// An actor came into existence.
+    ActorCreated {
+        /// The new actor.
+        actor: u64,
+        /// Its actor type name.
+        actor_type: String,
+        /// Its initial server.
+        server: u32,
+    },
+    /// An actor was removed (reaped).
+    ActorRemoved {
+        /// The removed actor.
+        actor: u64,
+        /// Its last server.
+        server: u32,
+    },
+    /// Live state transfer of an actor began.
+    MigrationStart {
+        /// The migrating actor.
+        actor: u64,
+        /// Source server.
+        src: u32,
+        /// Destination server.
+        dst: u32,
+        /// Serialized-state size being transferred.
+        state_bytes: u64,
+    },
+    /// An actor finished migrating and resumed on its destination.
+    MigrationComplete {
+        /// The migrated actor.
+        actor: u64,
+        /// Source server.
+        src: u32,
+        /// Destination server.
+        dst: u32,
+        /// Transfer time in microseconds.
+        transfer_us: u64,
+    },
+    /// An EPL rule was evaluated against the profiling snapshot.
+    RuleEvaluated {
+        /// Rule index within the compiled policy.
+        rule: u64,
+        /// Number of variable environments that satisfied the condition.
+        matches: u64,
+    },
+    /// A rule produced at least one action this round.
+    RuleFired {
+        /// Rule index within the compiled policy.
+        rule: u64,
+        /// Number of actions the rule contributed.
+        actions: u64,
+    },
+    /// One action survived conflict resolution and entered the round plan.
+    PlanProposed {
+        /// Elasticity round (tick count).
+        round: u64,
+        /// The actor the action moves.
+        actor: u64,
+        /// Source server.
+        src: u32,
+        /// Destination server.
+        dst: u32,
+        /// Behavior name: `balance`, `reserve`, `colocate`, or `separate`.
+        action: String,
+        /// Action priority.
+        priority: u32,
+        /// Originating rule index; `u64::MAX` for internal scale-in drains.
+        rule: u64,
+    },
+    /// A LEM asked the destination whether it can admit a migration
+    /// (the QUERY of Alg. 1).
+    QuerySent {
+        /// Elasticity round (tick count).
+        round: u64,
+        /// The actor to admit.
+        actor: u64,
+        /// Source server.
+        src: u32,
+        /// Destination server queried.
+        dst: u32,
+    },
+    /// The destination's admission verdict (the QREPLY of Alg. 1).
+    QueryReply {
+        /// Elasticity round (tick count).
+        round: u64,
+        /// The actor in question.
+        actor: u64,
+        /// Destination server replying.
+        dst: u32,
+        /// Whether the migration was admitted.
+        admitted: bool,
+        /// Why (e.g. `within-headroom`, `improves-source`, `no-headroom`).
+        reason: String,
+    },
+    /// One GEM's scale vote for this round (§4.2 majority voting).
+    ScaleVote {
+        /// Voting GEM index.
+        gem: u32,
+        /// The GEM observed overload with nowhere to rebalance.
+        scale_out: bool,
+        /// The GEM observed every managed server idle.
+        scale_in: bool,
+    },
+    /// A server was requested from the cloud provider.
+    ServerBoot {
+        /// The new server.
+        server: u32,
+        /// Instance flavor name.
+        instance: String,
+        /// When it becomes usable, in microseconds since start.
+        ready_at_us: u64,
+    },
+    /// A running server was decommissioned.
+    ServerDrain {
+        /// The stopped server.
+        server: u32,
+    },
+}
+
+impl TraceEventKind {
+    /// The recording-filter family this kind belongs to.
+    pub fn category(&self) -> Category {
+        match self {
+            TraceEventKind::MessageSend { .. } | TraceEventKind::MessageDeliver { .. } => {
+                Category::Message
+            }
+            TraceEventKind::ActorCreated { .. } | TraceEventKind::ActorRemoved { .. } => {
+                Category::Actor
+            }
+            TraceEventKind::MigrationStart { .. } | TraceEventKind::MigrationComplete { .. } => {
+                Category::Migration
+            }
+            TraceEventKind::RuleEvaluated { .. } | TraceEventKind::RuleFired { .. } => {
+                Category::Rule
+            }
+            TraceEventKind::PlanProposed { .. } => Category::Plan,
+            TraceEventKind::QuerySent { .. } | TraceEventKind::QueryReply { .. } => {
+                Category::Admission
+            }
+            TraceEventKind::ScaleVote { .. } => Category::Scale,
+            TraceEventKind::ServerBoot { .. } | TraceEventKind::ServerDrain { .. } => {
+                Category::Server
+            }
+        }
+    }
+
+    /// Stable kind name used by the exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEventKind::MessageSend { .. } => "MessageSend",
+            TraceEventKind::MessageDeliver { .. } => "MessageDeliver",
+            TraceEventKind::ActorCreated { .. } => "ActorCreated",
+            TraceEventKind::ActorRemoved { .. } => "ActorRemoved",
+            TraceEventKind::MigrationStart { .. } => "MigrationStart",
+            TraceEventKind::MigrationComplete { .. } => "MigrationComplete",
+            TraceEventKind::RuleEvaluated { .. } => "RuleEvaluated",
+            TraceEventKind::RuleFired { .. } => "RuleFired",
+            TraceEventKind::PlanProposed { .. } => "PlanProposed",
+            TraceEventKind::QuerySent { .. } => "QuerySent",
+            TraceEventKind::QueryReply { .. } => "QueryReply",
+            TraceEventKind::ScaleVote { .. } => "ScaleVote",
+            TraceEventKind::ServerBoot { .. } => "ServerBoot",
+            TraceEventKind::ServerDrain { .. } => "ServerDrain",
+        }
+    }
+
+    /// The actor this event is about, when it is about exactly one.
+    pub fn subject_actor(&self) -> Option<u64> {
+        match self {
+            TraceEventKind::ActorCreated { actor, .. }
+            | TraceEventKind::ActorRemoved { actor, .. }
+            | TraceEventKind::MigrationStart { actor, .. }
+            | TraceEventKind::MigrationComplete { actor, .. }
+            | TraceEventKind::PlanProposed { actor, .. }
+            | TraceEventKind::QuerySent { actor, .. }
+            | TraceEventKind::QueryReply { actor, .. } => Some(*actor),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TraceEvent {
+    /// Sequential id (see [`EventId`]).
+    pub id: EventId,
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Emitting component.
+    pub component: Component,
+    /// Causal parent, when the emitter knows one.
+    pub parent: Option<EventId>,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_set_operations() {
+        let all = CategorySet::all();
+        for c in Category::ALL {
+            assert!(all.contains(c));
+        }
+        let none = CategorySet::none();
+        for c in Category::ALL {
+            assert!(!none.contains(c));
+        }
+        let only_msg = CategorySet::none().with(Category::Message);
+        assert!(only_msg.contains(Category::Message));
+        assert!(!only_msg.contains(Category::Rule));
+        let no_msg = CategorySet::all().without(Category::Message);
+        assert!(!no_msg.contains(Category::Message));
+        assert!(no_msg.contains(Category::Migration));
+    }
+
+    #[test]
+    fn kind_category_mapping_is_total() {
+        let kinds = [
+            TraceEventKind::MessageSend {
+                from_actor: None,
+                from_client: Some(0),
+                to: 1,
+                func: 0,
+                bytes: 8,
+            },
+            TraceEventKind::ActorCreated {
+                actor: 0,
+                actor_type: "A".into(),
+                server: 0,
+            },
+            TraceEventKind::MigrationStart {
+                actor: 0,
+                src: 0,
+                dst: 1,
+                state_bytes: 64,
+            },
+            TraceEventKind::RuleEvaluated {
+                rule: 0,
+                matches: 1,
+            },
+            TraceEventKind::PlanProposed {
+                round: 1,
+                actor: 0,
+                src: 0,
+                dst: 1,
+                action: "reserve".into(),
+                priority: 0,
+                rule: 0,
+            },
+            TraceEventKind::QuerySent {
+                round: 1,
+                actor: 0,
+                src: 0,
+                dst: 1,
+            },
+            TraceEventKind::ScaleVote {
+                gem: 0,
+                scale_out: true,
+                scale_in: false,
+            },
+            TraceEventKind::ServerDrain { server: 3 },
+        ];
+        let cats: Vec<Category> = kinds.iter().map(|k| k.category()).collect();
+        assert_eq!(
+            cats,
+            vec![
+                Category::Message,
+                Category::Actor,
+                Category::Migration,
+                Category::Rule,
+                Category::Plan,
+                Category::Admission,
+                Category::Scale,
+                Category::Server,
+            ]
+        );
+    }
+
+    #[test]
+    fn subject_actor_extraction() {
+        let k = TraceEventKind::MigrationComplete {
+            actor: 7,
+            src: 0,
+            dst: 1,
+            transfer_us: 10,
+        };
+        assert_eq!(k.subject_actor(), Some(7));
+        let k = TraceEventKind::ServerBoot {
+            server: 1,
+            instance: "m1.small".into(),
+            ready_at_us: 0,
+        };
+        assert_eq!(k.subject_actor(), None);
+    }
+}

@@ -1,0 +1,170 @@
+//! Tracing and decision audit: run the Metadata Server hot-folder
+//! scenario with tracing enabled, then ask the tracer *why* the hot
+//! folder moved and export the run for chrome://tracing.
+//!
+//! ```sh
+//! cargo run --release --example tracing_audit
+//! ```
+
+use plasma::prelude::*;
+
+/// A folder actor: opening it touches every file in it.
+struct Folder {
+    files: Vec<ActorId>,
+    next_responder: usize,
+}
+
+impl ActorLogic for Folder {
+    fn on_message(&mut self, ctx: &mut ActorCtx<'_>, _msg: &mut Message) {
+        ctx.work(0.001);
+        if self.files.is_empty() {
+            ctx.reply(256);
+            return;
+        }
+        let responder = self.files[self.next_responder % self.files.len()];
+        self.next_responder += 1;
+        ctx.send(responder, "read", 128);
+        for &f in &self.files {
+            if f != responder {
+                ctx.send_detached(f, "read", 128);
+            }
+        }
+    }
+}
+
+struct File;
+
+impl ActorLogic for File {
+    fn on_message(&mut self, ctx: &mut ActorCtx<'_>, msg: &mut Message) {
+        ctx.work(0.0016);
+        if msg.corr.is_some() {
+            ctx.reply(512);
+        }
+    }
+}
+
+/// Clients hit folder 0 half the time, the rest uniformly.
+struct MetadataClient {
+    folders: Vec<ActorId>,
+}
+
+impl MetadataClient {
+    fn fire(&mut self, ctx: &mut ClientCtx<'_>) {
+        let target = if ctx.rng().chance(0.5) {
+            self.folders[0]
+        } else {
+            let rest = self.folders.len() - 1;
+            self.folders[1 + ctx.rng().index(rest)]
+        };
+        ctx.request(target, "open", 96);
+    }
+}
+
+impl ClientLogic for MetadataClient {
+    fn on_start(&mut self, ctx: &mut ClientCtx<'_>) {
+        self.fire(ctx);
+    }
+    fn on_reply(
+        &mut self,
+        ctx: &mut ClientCtx<'_>,
+        _request: u64,
+        _latency: SimDuration,
+        _payload: Option<Payload>,
+    ) {
+        ctx.set_timer(SimDuration::from_millis(60), 0);
+    }
+    fn on_timer(&mut self, ctx: &mut ClientCtx<'_>, _token: u64) {
+        self.fire(ctx);
+    }
+}
+
+fn main() {
+    let mut schema = ActorSchema::new();
+    schema.actor_type("Folder").prop("files").func("open");
+    schema.actor_type("File").func("read");
+    let policy = "server.cpu.perc > 80 and \
+                  client.call(Folder(fo).open).perc > 40 and \
+                  File(fi) in ref(fo.files) => \
+                  reserve(fo, cpu); colocate(fo, fi);";
+
+    let period = SimDuration::from_secs(80);
+    let mut app = Plasma::builder()
+        .runtime_config(RuntimeConfig {
+            seed: 11,
+            elasticity_period: period,
+            min_residency: period,
+            ..RuntimeConfig::default()
+        })
+        .policy(policy, &schema)
+        // Keep decisions, drop per-message events: the whole run's decision
+        // history then fits the default ring.
+        .tracing(TraceConfig::default().without(Category::Message))
+        .build()
+        .expect("policy compiles");
+
+    let rt = app.runtime_mut();
+    let s0 = rt.add_server(InstanceType::m1_small());
+    rt.add_server(InstanceType::m1_small());
+    let mut folders = Vec::new();
+    for _ in 0..4 {
+        let files: Vec<ActorId> = (0..8)
+            .map(|_| rt.spawn_actor("File", Box::new(File), 256 << 10, s0))
+            .collect();
+        let folder = rt.spawn_actor(
+            "Folder",
+            Box::new(Folder {
+                files: files.clone(),
+                next_responder: 0,
+            }),
+            128 << 10,
+            s0,
+        );
+        for f in files {
+            rt.actor_add_ref(folder, "files", f);
+        }
+        folders.push(folder);
+    }
+    for _ in 0..16 {
+        rt.add_client(Box::new(MetadataClient {
+            folders: folders.clone(),
+        }));
+    }
+
+    app.run_until(SimTime::from_secs(200));
+
+    let hot = folders[0];
+    let now = app.runtime().now();
+    println!(
+        "hot folder #{} now lives on server {:?}\n",
+        hot.0,
+        app.runtime().actor_server(hot)
+    );
+
+    println!("why did it move? (root cause first)");
+    let chain = app.tracer().explain(hot.0, now);
+    print!("{}", render_explanation(&chain));
+
+    let file = app.runtime().actor_refs(hot, "files")[0];
+    println!("\nwhy did its first file follow?");
+    let chain = app.tracer().explain(file.0, now);
+    print!("{}", render_explanation(&chain));
+
+    let dir = results_dir();
+    let jsonl = write_under(&dir, "tracing_audit.jsonl", &app.tracer().jsonl()).unwrap();
+    let chrome = write_under(
+        &dir,
+        "tracing_audit.chrome.json",
+        &app.tracer().chrome_trace(),
+    )
+    .unwrap();
+    println!(
+        "\n{} events recorded ({} dropped)",
+        app.tracer().len(),
+        app.tracer().dropped()
+    );
+    println!("JSONL:        {}", jsonl.display());
+    println!(
+        "chrome trace: {}  (open in chrome://tracing)",
+        chrome.display()
+    );
+}

@@ -160,3 +160,48 @@ proptest! {
         }
     }
 }
+
+/// Deterministic replay of the input recorded in
+/// `tests/invariants.proptest-regressions` (`seed = 0, load_us = 6915,
+/// clients = 3`). Three closed-loop clients against one ~6.9 ms/request actor
+/// saturate an `m1_small`, so the snapshot must report *exactly* full CPU —
+/// the boundary of the `[0, 1]` invariant, where an unclamped utilization sum
+/// historically overshot. Pinned here so the case runs on every toolchain,
+/// including the offline proptest stand-in, which does not read regression
+/// files.
+#[test]
+fn utilization_bounded_regression_saturated_server() {
+    let mut rt = Runtime::new(RuntimeConfig {
+        seed: 0,
+        ..RuntimeConfig::default()
+    });
+    let s = rt.add_server(InstanceType::m1_small());
+    let a = rt.spawn_actor(
+        "A",
+        Box::new(Echo {
+            work: 6915.0 / 1e6,
+            fanout: None,
+        }),
+        64,
+        s,
+    );
+    for _ in 0..3 {
+        rt.add_client(Box::new(Loop {
+            target: a,
+            remaining: u64::MAX,
+        }));
+    }
+    rt.run_until(SimTime::from_secs(10));
+    let snap = rt.snapshot();
+    let usage = snap.server(s).unwrap().usage;
+    assert_eq!(
+        usage.cpu(),
+        1.0,
+        "saturated server reports exactly full CPU"
+    );
+    assert!((0.0..=1.0).contains(&usage.mem()));
+    assert!((0.0..=1.0).contains(&usage.net()));
+    for actor in &snap.actors {
+        assert!((0.0..=1.0).contains(&actor.cpu_share));
+    }
+}
