@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/apps_smoke-662dd07ede930829.d: tests/apps_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapps_smoke-662dd07ede930829.rmeta: tests/apps_smoke.rs Cargo.toml
+
+tests/apps_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

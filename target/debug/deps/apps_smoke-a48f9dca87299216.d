@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apps_smoke-a48f9dca87299216.d: tests/apps_smoke.rs
+
+/root/repo/target/debug/deps/apps_smoke-a48f9dca87299216: tests/apps_smoke.rs
+
+tests/apps_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apps_smoke-daa03cb20e28ecf7.d: tests/apps_smoke.rs
+
+/root/repo/target/debug/deps/apps_smoke-daa03cb20e28ecf7: tests/apps_smoke.rs
+
+tests/apps_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-61bee9a2a2d602a2.d: third_party/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-61bee9a2a2d602a2.rmeta: third_party/bytes/src/lib.rs Cargo.toml
+
+third_party/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-8c47a2873d77f817.d: third_party/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-8c47a2873d77f817.rlib: third_party/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-8c47a2873d77f817.rmeta: third_party/bytes/src/lib.rs
+
+third_party/bytes/src/lib.rs:

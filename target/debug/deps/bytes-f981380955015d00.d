@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-f981380955015d00.d: third_party/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-f981380955015d00: third_party/bytes/src/lib.rs
+
+third_party/bytes/src/lib.rs:

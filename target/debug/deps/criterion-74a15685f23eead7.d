@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-74a15685f23eead7.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-74a15685f23eead7.rlib: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-74a15685f23eead7.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

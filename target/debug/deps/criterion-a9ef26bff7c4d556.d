@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-a9ef26bff7c4d556.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-a9ef26bff7c4d556: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

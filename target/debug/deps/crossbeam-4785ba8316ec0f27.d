@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-4785ba8316ec0f27.d: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-4785ba8316ec0f27: third_party/crossbeam/src/lib.rs
+
+third_party/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-5109934fc3df7821.d: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-5109934fc3df7821.rlib: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-5109934fc3df7821.rmeta: third_party/crossbeam/src/lib.rs
+
+third_party/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-8be0598838366793.d: third_party/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-8be0598838366793.rmeta: third_party/crossbeam/src/lib.rs Cargo.toml
+
+third_party/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/emr_behavior-49ec9e39458fce4e.d: crates/emr/tests/emr_behavior.rs
+
+/root/repo/target/debug/deps/emr_behavior-49ec9e39458fce4e: crates/emr/tests/emr_behavior.rs
+
+crates/emr/tests/emr_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/emr_behavior-4fb6efc8d1000f93.d: crates/emr/tests/emr_behavior.rs
+
+/root/repo/target/debug/deps/emr_behavior-4fb6efc8d1000f93: crates/emr/tests/emr_behavior.rs
+
+crates/emr/tests/emr_behavior.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/emr_behavior-a939b1de32ee0738.d: crates/emr/tests/emr_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libemr_behavior-a939b1de32ee0738.rmeta: crates/emr/tests/emr_behavior.rs Cargo.toml
+
+crates/emr/tests/emr_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eplc-203204c4d694a61e.d: crates/epl/src/bin/eplc.rs
+
+/root/repo/target/debug/deps/eplc-203204c4d694a61e: crates/epl/src/bin/eplc.rs
+
+crates/epl/src/bin/eplc.rs:

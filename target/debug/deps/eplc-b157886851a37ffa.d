@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eplc-b157886851a37ffa.d: crates/epl/src/bin/eplc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeplc-b157886851a37ffa.rmeta: crates/epl/src/bin/eplc.rs Cargo.toml
+
+crates/epl/src/bin/eplc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

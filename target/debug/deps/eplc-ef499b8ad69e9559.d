@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eplc-ef499b8ad69e9559.d: crates/epl/src/bin/eplc.rs
+
+/root/repo/target/debug/deps/eplc-ef499b8ad69e9559: crates/epl/src/bin/eplc.rs
+
+crates/epl/src/bin/eplc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eplc-f17702c9219e04ee.d: crates/epl/src/bin/eplc.rs
+
+/root/repo/target/debug/deps/eplc-f17702c9219e04ee: crates/epl/src/bin/eplc.rs
+
+crates/epl/src/bin/eplc.rs:

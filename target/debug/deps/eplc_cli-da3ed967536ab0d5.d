@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/eplc_cli-da3ed967536ab0d5.d: crates/epl/tests/eplc_cli.rs
+
+/root/repo/target/debug/deps/eplc_cli-da3ed967536ab0d5: crates/epl/tests/eplc_cli.rs
+
+crates/epl/tests/eplc_cli.rs:
+
+# env-dep:CARGO_BIN_EXE_eplc=/root/repo/target/debug/eplc

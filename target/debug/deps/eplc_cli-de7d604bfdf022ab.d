@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/eplc_cli-de7d604bfdf022ab.d: crates/epl/tests/eplc_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeplc_cli-de7d604bfdf022ab.rmeta: crates/epl/tests/eplc_cli.rs Cargo.toml
+
+crates/epl/tests/eplc_cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_eplc=placeholder:eplc
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eval_semantics-2b9eb4a38cb7c48c.d: crates/emr/tests/eval_semantics.rs
+
+/root/repo/target/debug/deps/eval_semantics-2b9eb4a38cb7c48c: crates/emr/tests/eval_semantics.rs
+
+crates/emr/tests/eval_semantics.rs:

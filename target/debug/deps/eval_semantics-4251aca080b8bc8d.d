@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eval_semantics-4251aca080b8bc8d.d: crates/emr/tests/eval_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeval_semantics-4251aca080b8bc8d.rmeta: crates/emr/tests/eval_semantics.rs Cargo.toml
+
+crates/emr/tests/eval_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eval_semantics-7cb75e41a56610dd.d: crates/emr/tests/eval_semantics.rs
+
+/root/repo/target/debug/deps/eval_semantics-7cb75e41a56610dd: crates/emr/tests/eval_semantics.rs
+
+crates/emr/tests/eval_semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-27d4b7f8b8b618c5.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-27d4b7f8b8b618c5: tests/failure_injection.rs
+
+tests/failure_injection.rs:

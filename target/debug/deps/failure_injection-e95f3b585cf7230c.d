@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-e95f3b585cf7230c.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-e95f3b585cf7230c: tests/failure_injection.rs
+
+tests/failure_injection.rs:

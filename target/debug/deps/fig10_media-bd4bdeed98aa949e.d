@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_media-bd4bdeed98aa949e.d: crates/bench/benches/fig10_media.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_media-bd4bdeed98aa949e.rmeta: crates/bench/benches/fig10_media.rs Cargo.toml
+
+crates/bench/benches/fig10_media.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

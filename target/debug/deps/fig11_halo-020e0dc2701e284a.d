@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_halo-020e0dc2701e284a.d: crates/bench/benches/fig11_halo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_halo-020e0dc2701e284a.rmeta: crates/bench/benches/fig11_halo.rs Cargo.toml
+
+crates/bench/benches/fig11_halo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

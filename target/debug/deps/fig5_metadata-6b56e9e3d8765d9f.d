@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_metadata-6b56e9e3d8765d9f.d: crates/bench/benches/fig5_metadata.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_metadata-6b56e9e3d8765d9f.rmeta: crates/bench/benches/fig5_metadata.rs Cargo.toml
+
+crates/bench/benches/fig5_metadata.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

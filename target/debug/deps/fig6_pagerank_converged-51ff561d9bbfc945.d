@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_pagerank_converged-51ff561d9bbfc945.d: crates/bench/benches/fig6_pagerank_converged.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_pagerank_converged-51ff561d9bbfc945.rmeta: crates/bench/benches/fig6_pagerank_converged.rs Cargo.toml
+
+crates/bench/benches/fig6_pagerank_converged.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

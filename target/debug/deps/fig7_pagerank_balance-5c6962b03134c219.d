@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_pagerank_balance-5c6962b03134c219.d: crates/bench/benches/fig7_pagerank_balance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_pagerank_balance-5c6962b03134c219.rmeta: crates/bench/benches/fig7_pagerank_balance.rs Cargo.toml
+
+crates/bench/benches/fig7_pagerank_balance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

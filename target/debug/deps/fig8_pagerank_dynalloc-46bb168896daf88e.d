@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_pagerank_dynalloc-46bb168896daf88e.d: crates/bench/benches/fig8_pagerank_dynalloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_pagerank_dynalloc-46bb168896daf88e.rmeta: crates/bench/benches/fig8_pagerank_dynalloc.rs Cargo.toml
+
+crates/bench/benches/fig8_pagerank_dynalloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_estore-021e142e00f7dec9.d: crates/bench/benches/fig9_estore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_estore-021e142e00f7dec9.rmeta: crates/bench/benches/fig9_estore.rs Cargo.toml
+
+crates/bench/benches/fig9_estore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

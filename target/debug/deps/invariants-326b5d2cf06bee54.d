@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-326b5d2cf06bee54.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-326b5d2cf06bee54: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-35a805f79203340c.d: tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-35a805f79203340c.rmeta: tests/invariants.rs Cargo.toml
+
+tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-9ecc2ca1bf7eab99.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-9ecc2ca1bf7eab99: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_properties-04289cea2506900c.d: crates/sim/tests/kernel_properties.rs
+
+/root/repo/target/debug/deps/kernel_properties-04289cea2506900c: crates/sim/tests/kernel_properties.rs
+
+crates/sim/tests/kernel_properties.rs:

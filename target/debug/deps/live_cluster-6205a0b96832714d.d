@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/live_cluster-6205a0b96832714d.d: crates/actor/tests/live_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblive_cluster-6205a0b96832714d.rmeta: crates/actor/tests/live_cluster.rs Cargo.toml
+
+crates/actor/tests/live_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_cluster-7d6c1ef70a44768c.d: crates/actor/tests/live_cluster.rs
+
+/root/repo/target/debug/deps/live_cluster-7d6c1ef70a44768c: crates/actor/tests/live_cluster.rs
+
+crates/actor/tests/live_cluster.rs:

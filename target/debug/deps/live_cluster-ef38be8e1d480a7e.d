@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_cluster-ef38be8e1d480a7e.d: crates/actor/tests/live_cluster.rs
+
+/root/repo/target/debug/deps/live_cluster-ef38be8e1d480a7e: crates/actor/tests/live_cluster.rs
+
+crates/actor/tests/live_cluster.rs:

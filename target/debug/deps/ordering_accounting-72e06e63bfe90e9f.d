@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ordering_accounting-72e06e63bfe90e9f.d: crates/actor/tests/ordering_accounting.rs
+
+/root/repo/target/debug/deps/ordering_accounting-72e06e63bfe90e9f: crates/actor/tests/ordering_accounting.rs
+
+crates/actor/tests/ordering_accounting.rs:

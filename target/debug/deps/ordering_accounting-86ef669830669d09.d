@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ordering_accounting-86ef669830669d09.d: crates/actor/tests/ordering_accounting.rs
+
+/root/repo/target/debug/deps/ordering_accounting-86ef669830669d09: crates/actor/tests/ordering_accounting.rs
+
+crates/actor/tests/ordering_accounting.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ordering_accounting-bfa73b7c4feb0a7c.d: crates/actor/tests/ordering_accounting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libordering_accounting-bfa73b7c4feb0a7c.rmeta: crates/actor/tests/ordering_accounting.rs Cargo.toml
+
+crates/actor/tests/ordering_accounting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-55f5ee7c91af0038.d: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-55f5ee7c91af0038.rlib: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-55f5ee7c91af0038.rmeta: third_party/parking_lot/src/lib.rs
+
+third_party/parking_lot/src/lib.rs:

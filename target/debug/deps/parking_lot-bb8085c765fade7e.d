@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-bb8085c765fade7e.d: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-bb8085c765fade7e: third_party/parking_lot/src/lib.rs
+
+third_party/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-bc6c602ac8765255.d: third_party/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-bc6c602ac8765255.rmeta: third_party/parking_lot/src/lib.rs Cargo.toml
+
+third_party/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

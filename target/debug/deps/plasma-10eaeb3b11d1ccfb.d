@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/plasma-10eaeb3b11d1ccfb.d: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/debug/deps/plasma-10eaeb3b11d1ccfb: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+crates/core/src/lib.rs:
+crates/core/src/prelude.rs:

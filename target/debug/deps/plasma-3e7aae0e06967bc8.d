@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/plasma-3e7aae0e06967bc8.d: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/debug/deps/libplasma-3e7aae0e06967bc8.rlib: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/debug/deps/libplasma-3e7aae0e06967bc8.rmeta: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+crates/core/src/lib.rs:
+crates/core/src/prelude.rs:

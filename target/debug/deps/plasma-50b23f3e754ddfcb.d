@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/plasma-50b23f3e754ddfcb.d: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/debug/deps/plasma-50b23f3e754ddfcb: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+crates/core/src/lib.rs:
+crates/core/src/prelude.rs:

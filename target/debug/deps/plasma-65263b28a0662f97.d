@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/plasma-65263b28a0662f97.d: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/debug/deps/libplasma-65263b28a0662f97.rlib: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/debug/deps/libplasma-65263b28a0662f97.rmeta: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+crates/core/src/lib.rs:
+crates/core/src/prelude.rs:

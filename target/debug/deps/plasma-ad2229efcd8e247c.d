@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/plasma-ad2229efcd8e247c.d: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/debug/deps/libplasma-ad2229efcd8e247c.rlib: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/debug/deps/libplasma-ad2229efcd8e247c.rmeta: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+crates/core/src/lib.rs:
+crates/core/src/prelude.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/plasma-b5e34429f1e5b6bb.d: crates/core/src/lib.rs crates/core/src/prelude.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplasma-b5e34429f1e5b6bb.rmeta: crates/core/src/lib.rs crates/core/src/prelude.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/prelude.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

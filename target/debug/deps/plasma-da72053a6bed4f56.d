@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/plasma-da72053a6bed4f56.d: crates/core/src/lib.rs crates/core/src/prelude.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplasma-da72053a6bed4f56.rmeta: crates/core/src/lib.rs crates/core/src/prelude.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/prelude.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/plasma_actor-366f4cab01277a2a.d: crates/actor/src/lib.rs crates/actor/src/controller.rs crates/actor/src/entry.rs crates/actor/src/ids.rs crates/actor/src/live.rs crates/actor/src/logic.rs crates/actor/src/message.rs crates/actor/src/report.rs crates/actor/src/runtime.rs crates/actor/src/stats.rs
+
+/root/repo/target/debug/deps/plasma_actor-366f4cab01277a2a: crates/actor/src/lib.rs crates/actor/src/controller.rs crates/actor/src/entry.rs crates/actor/src/ids.rs crates/actor/src/live.rs crates/actor/src/logic.rs crates/actor/src/message.rs crates/actor/src/report.rs crates/actor/src/runtime.rs crates/actor/src/stats.rs
+
+crates/actor/src/lib.rs:
+crates/actor/src/controller.rs:
+crates/actor/src/entry.rs:
+crates/actor/src/ids.rs:
+crates/actor/src/live.rs:
+crates/actor/src/logic.rs:
+crates/actor/src/message.rs:
+crates/actor/src/report.rs:
+crates/actor/src/runtime.rs:
+crates/actor/src/stats.rs:

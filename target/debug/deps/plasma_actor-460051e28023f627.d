@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/plasma_actor-460051e28023f627.d: crates/actor/src/lib.rs crates/actor/src/controller.rs crates/actor/src/entry.rs crates/actor/src/ids.rs crates/actor/src/live.rs crates/actor/src/logic.rs crates/actor/src/message.rs crates/actor/src/report.rs crates/actor/src/runtime.rs crates/actor/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplasma_actor-460051e28023f627.rmeta: crates/actor/src/lib.rs crates/actor/src/controller.rs crates/actor/src/entry.rs crates/actor/src/ids.rs crates/actor/src/live.rs crates/actor/src/logic.rs crates/actor/src/message.rs crates/actor/src/report.rs crates/actor/src/runtime.rs crates/actor/src/stats.rs Cargo.toml
+
+crates/actor/src/lib.rs:
+crates/actor/src/controller.rs:
+crates/actor/src/entry.rs:
+crates/actor/src/ids.rs:
+crates/actor/src/live.rs:
+crates/actor/src/logic.rs:
+crates/actor/src/message.rs:
+crates/actor/src/report.rs:
+crates/actor/src/runtime.rs:
+crates/actor/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

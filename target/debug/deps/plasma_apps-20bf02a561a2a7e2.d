@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/plasma_apps-20bf02a561a2a7e2.d: crates/apps/src/lib.rs crates/apps/src/bptree.rs crates/apps/src/cassandra.rs crates/apps/src/chatroom.rs crates/apps/src/common.rs crates/apps/src/estore.rs crates/apps/src/halo.rs crates/apps/src/media.rs crates/apps/src/metadata.rs crates/apps/src/pagerank.rs crates/apps/src/piccolo.rs crates/apps/src/table1.rs crates/apps/src/zexpander.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplasma_apps-20bf02a561a2a7e2.rmeta: crates/apps/src/lib.rs crates/apps/src/bptree.rs crates/apps/src/cassandra.rs crates/apps/src/chatroom.rs crates/apps/src/common.rs crates/apps/src/estore.rs crates/apps/src/halo.rs crates/apps/src/media.rs crates/apps/src/metadata.rs crates/apps/src/pagerank.rs crates/apps/src/piccolo.rs crates/apps/src/table1.rs crates/apps/src/zexpander.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/bptree.rs:
+crates/apps/src/cassandra.rs:
+crates/apps/src/chatroom.rs:
+crates/apps/src/common.rs:
+crates/apps/src/estore.rs:
+crates/apps/src/halo.rs:
+crates/apps/src/media.rs:
+crates/apps/src/metadata.rs:
+crates/apps/src/pagerank.rs:
+crates/apps/src/piccolo.rs:
+crates/apps/src/table1.rs:
+crates/apps/src/zexpander.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plasma_bench-1a7ac72cc0d644af.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libplasma_bench-1a7ac72cc0d644af.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libplasma_bench-1a7ac72cc0d644af.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plasma_bench-5758e11557fbf709.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libplasma_bench-5758e11557fbf709.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libplasma_bench-5758e11557fbf709.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plasma_bench-7fe21454bf5c0cac.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libplasma_bench-7fe21454bf5c0cac.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libplasma_bench-7fe21454bf5c0cac.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plasma_bench-98009b15aa993c57.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/plasma_bench-98009b15aa993c57: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

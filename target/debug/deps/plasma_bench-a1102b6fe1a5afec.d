@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/plasma_bench-a1102b6fe1a5afec.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplasma_bench-a1102b6fe1a5afec.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plasma_bench-b2b4e449939499d9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/plasma_bench-b2b4e449939499d9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/plasma_bench-fb8d2eb34e44e38a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplasma_bench-fb8d2eb34e44e38a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/plasma_cluster-2823c75940b887f9.d: crates/cluster/src/lib.rs crates/cluster/src/instance.rs crates/cluster/src/network.rs crates/cluster/src/resources.rs crates/cluster/src/server.rs crates/cluster/src/topology.rs
+
+/root/repo/target/debug/deps/libplasma_cluster-2823c75940b887f9.rlib: crates/cluster/src/lib.rs crates/cluster/src/instance.rs crates/cluster/src/network.rs crates/cluster/src/resources.rs crates/cluster/src/server.rs crates/cluster/src/topology.rs
+
+/root/repo/target/debug/deps/libplasma_cluster-2823c75940b887f9.rmeta: crates/cluster/src/lib.rs crates/cluster/src/instance.rs crates/cluster/src/network.rs crates/cluster/src/resources.rs crates/cluster/src/server.rs crates/cluster/src/topology.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/instance.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/resources.rs:
+crates/cluster/src/server.rs:
+crates/cluster/src/topology.rs:

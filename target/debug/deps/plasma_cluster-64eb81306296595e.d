@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/plasma_cluster-64eb81306296595e.d: crates/cluster/src/lib.rs crates/cluster/src/instance.rs crates/cluster/src/network.rs crates/cluster/src/resources.rs crates/cluster/src/server.rs crates/cluster/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplasma_cluster-64eb81306296595e.rmeta: crates/cluster/src/lib.rs crates/cluster/src/instance.rs crates/cluster/src/network.rs crates/cluster/src/resources.rs crates/cluster/src/server.rs crates/cluster/src/topology.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/instance.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/resources.rs:
+crates/cluster/src/server.rs:
+crates/cluster/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/plasma_cluster-d0f90876109c3ef4.d: crates/cluster/src/lib.rs crates/cluster/src/instance.rs crates/cluster/src/network.rs crates/cluster/src/resources.rs crates/cluster/src/server.rs crates/cluster/src/topology.rs
+
+/root/repo/target/debug/deps/plasma_cluster-d0f90876109c3ef4: crates/cluster/src/lib.rs crates/cluster/src/instance.rs crates/cluster/src/network.rs crates/cluster/src/resources.rs crates/cluster/src/server.rs crates/cluster/src/topology.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/instance.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/resources.rs:
+crates/cluster/src/server.rs:
+crates/cluster/src/topology.rs:

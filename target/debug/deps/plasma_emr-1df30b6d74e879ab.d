@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/plasma_emr-1df30b6d74e879ab.d: crates/emr/src/lib.rs crates/emr/src/action.rs crates/emr/src/baselines.rs crates/emr/src/emr.rs crates/emr/src/eval.rs crates/emr/src/gem.rs crates/emr/src/lem.rs crates/emr/src/view.rs
+
+/root/repo/target/debug/deps/plasma_emr-1df30b6d74e879ab: crates/emr/src/lib.rs crates/emr/src/action.rs crates/emr/src/baselines.rs crates/emr/src/emr.rs crates/emr/src/eval.rs crates/emr/src/gem.rs crates/emr/src/lem.rs crates/emr/src/view.rs
+
+crates/emr/src/lib.rs:
+crates/emr/src/action.rs:
+crates/emr/src/baselines.rs:
+crates/emr/src/emr.rs:
+crates/emr/src/eval.rs:
+crates/emr/src/gem.rs:
+crates/emr/src/lem.rs:
+crates/emr/src/view.rs:

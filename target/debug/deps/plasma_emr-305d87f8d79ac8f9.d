@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/plasma_emr-305d87f8d79ac8f9.d: crates/emr/src/lib.rs crates/emr/src/action.rs crates/emr/src/baselines.rs crates/emr/src/emr.rs crates/emr/src/eval.rs crates/emr/src/gem.rs crates/emr/src/lem.rs crates/emr/src/view.rs
+
+/root/repo/target/debug/deps/libplasma_emr-305d87f8d79ac8f9.rlib: crates/emr/src/lib.rs crates/emr/src/action.rs crates/emr/src/baselines.rs crates/emr/src/emr.rs crates/emr/src/eval.rs crates/emr/src/gem.rs crates/emr/src/lem.rs crates/emr/src/view.rs
+
+/root/repo/target/debug/deps/libplasma_emr-305d87f8d79ac8f9.rmeta: crates/emr/src/lib.rs crates/emr/src/action.rs crates/emr/src/baselines.rs crates/emr/src/emr.rs crates/emr/src/eval.rs crates/emr/src/gem.rs crates/emr/src/lem.rs crates/emr/src/view.rs
+
+crates/emr/src/lib.rs:
+crates/emr/src/action.rs:
+crates/emr/src/baselines.rs:
+crates/emr/src/emr.rs:
+crates/emr/src/eval.rs:
+crates/emr/src/gem.rs:
+crates/emr/src/lem.rs:
+crates/emr/src/view.rs:

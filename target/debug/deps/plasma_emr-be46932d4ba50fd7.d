@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/plasma_emr-be46932d4ba50fd7.d: crates/emr/src/lib.rs crates/emr/src/action.rs crates/emr/src/baselines.rs crates/emr/src/emr.rs crates/emr/src/eval.rs crates/emr/src/gem.rs crates/emr/src/lem.rs crates/emr/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplasma_emr-be46932d4ba50fd7.rmeta: crates/emr/src/lib.rs crates/emr/src/action.rs crates/emr/src/baselines.rs crates/emr/src/emr.rs crates/emr/src/eval.rs crates/emr/src/gem.rs crates/emr/src/lem.rs crates/emr/src/view.rs Cargo.toml
+
+crates/emr/src/lib.rs:
+crates/emr/src/action.rs:
+crates/emr/src/baselines.rs:
+crates/emr/src/emr.rs:
+crates/emr/src/eval.rs:
+crates/emr/src/gem.rs:
+crates/emr/src/lem.rs:
+crates/emr/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

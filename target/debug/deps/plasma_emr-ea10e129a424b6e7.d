@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/plasma_emr-ea10e129a424b6e7.d: crates/emr/src/lib.rs crates/emr/src/action.rs crates/emr/src/baselines.rs crates/emr/src/emr.rs crates/emr/src/eval.rs crates/emr/src/gem.rs crates/emr/src/lem.rs crates/emr/src/view.rs
+
+/root/repo/target/debug/deps/libplasma_emr-ea10e129a424b6e7.rlib: crates/emr/src/lib.rs crates/emr/src/action.rs crates/emr/src/baselines.rs crates/emr/src/emr.rs crates/emr/src/eval.rs crates/emr/src/gem.rs crates/emr/src/lem.rs crates/emr/src/view.rs
+
+/root/repo/target/debug/deps/libplasma_emr-ea10e129a424b6e7.rmeta: crates/emr/src/lib.rs crates/emr/src/action.rs crates/emr/src/baselines.rs crates/emr/src/emr.rs crates/emr/src/eval.rs crates/emr/src/gem.rs crates/emr/src/lem.rs crates/emr/src/view.rs
+
+crates/emr/src/lib.rs:
+crates/emr/src/action.rs:
+crates/emr/src/baselines.rs:
+crates/emr/src/emr.rs:
+crates/emr/src/eval.rs:
+crates/emr/src/gem.rs:
+crates/emr/src/lem.rs:
+crates/emr/src/view.rs:

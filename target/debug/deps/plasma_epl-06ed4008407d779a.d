@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/plasma_epl-06ed4008407d779a.d: crates/epl/src/lib.rs crates/epl/src/analyze.rs crates/epl/src/ast.rs crates/epl/src/conflict.rs crates/epl/src/error.rs crates/epl/src/parser.rs crates/epl/src/schema.rs crates/epl/src/schema_text.rs crates/epl/src/token.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplasma_epl-06ed4008407d779a.rmeta: crates/epl/src/lib.rs crates/epl/src/analyze.rs crates/epl/src/ast.rs crates/epl/src/conflict.rs crates/epl/src/error.rs crates/epl/src/parser.rs crates/epl/src/schema.rs crates/epl/src/schema_text.rs crates/epl/src/token.rs Cargo.toml
+
+crates/epl/src/lib.rs:
+crates/epl/src/analyze.rs:
+crates/epl/src/ast.rs:
+crates/epl/src/conflict.rs:
+crates/epl/src/error.rs:
+crates/epl/src/parser.rs:
+crates/epl/src/schema.rs:
+crates/epl/src/schema_text.rs:
+crates/epl/src/token.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/plasma_epl-505e10578a5ad652.d: crates/epl/src/lib.rs crates/epl/src/analyze.rs crates/epl/src/ast.rs crates/epl/src/conflict.rs crates/epl/src/error.rs crates/epl/src/parser.rs crates/epl/src/schema.rs crates/epl/src/schema_text.rs crates/epl/src/token.rs
+
+/root/repo/target/debug/deps/libplasma_epl-505e10578a5ad652.rlib: crates/epl/src/lib.rs crates/epl/src/analyze.rs crates/epl/src/ast.rs crates/epl/src/conflict.rs crates/epl/src/error.rs crates/epl/src/parser.rs crates/epl/src/schema.rs crates/epl/src/schema_text.rs crates/epl/src/token.rs
+
+/root/repo/target/debug/deps/libplasma_epl-505e10578a5ad652.rmeta: crates/epl/src/lib.rs crates/epl/src/analyze.rs crates/epl/src/ast.rs crates/epl/src/conflict.rs crates/epl/src/error.rs crates/epl/src/parser.rs crates/epl/src/schema.rs crates/epl/src/schema_text.rs crates/epl/src/token.rs
+
+crates/epl/src/lib.rs:
+crates/epl/src/analyze.rs:
+crates/epl/src/ast.rs:
+crates/epl/src/conflict.rs:
+crates/epl/src/error.rs:
+crates/epl/src/parser.rs:
+crates/epl/src/schema.rs:
+crates/epl/src/schema_text.rs:
+crates/epl/src/token.rs:

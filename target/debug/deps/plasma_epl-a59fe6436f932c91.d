@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/plasma_epl-a59fe6436f932c91.d: crates/epl/src/lib.rs crates/epl/src/analyze.rs crates/epl/src/ast.rs crates/epl/src/conflict.rs crates/epl/src/error.rs crates/epl/src/parser.rs crates/epl/src/schema.rs crates/epl/src/schema_text.rs crates/epl/src/token.rs
+
+/root/repo/target/debug/deps/plasma_epl-a59fe6436f932c91: crates/epl/src/lib.rs crates/epl/src/analyze.rs crates/epl/src/ast.rs crates/epl/src/conflict.rs crates/epl/src/error.rs crates/epl/src/parser.rs crates/epl/src/schema.rs crates/epl/src/schema_text.rs crates/epl/src/token.rs
+
+crates/epl/src/lib.rs:
+crates/epl/src/analyze.rs:
+crates/epl/src/ast.rs:
+crates/epl/src/conflict.rs:
+crates/epl/src/error.rs:
+crates/epl/src/parser.rs:
+crates/epl/src/schema.rs:
+crates/epl/src/schema_text.rs:
+crates/epl/src/token.rs:

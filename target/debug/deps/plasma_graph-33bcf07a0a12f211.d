@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/plasma_graph-33bcf07a0a12f211.d: crates/graph/src/lib.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/pagerank.rs crates/graph/src/partition.rs
+
+/root/repo/target/debug/deps/libplasma_graph-33bcf07a0a12f211.rlib: crates/graph/src/lib.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/pagerank.rs crates/graph/src/partition.rs
+
+/root/repo/target/debug/deps/libplasma_graph-33bcf07a0a12f211.rmeta: crates/graph/src/lib.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/pagerank.rs crates/graph/src/partition.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/partition.rs:

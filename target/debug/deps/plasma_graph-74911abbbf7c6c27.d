@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/plasma_graph-74911abbbf7c6c27.d: crates/graph/src/lib.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/pagerank.rs crates/graph/src/partition.rs
+
+/root/repo/target/debug/deps/libplasma_graph-74911abbbf7c6c27.rlib: crates/graph/src/lib.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/pagerank.rs crates/graph/src/partition.rs
+
+/root/repo/target/debug/deps/libplasma_graph-74911abbbf7c6c27.rmeta: crates/graph/src/lib.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/pagerank.rs crates/graph/src/partition.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/partition.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plasma_graph-bce51a8567e8ea52.d: crates/graph/src/lib.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/pagerank.rs crates/graph/src/partition.rs
+
+/root/repo/target/debug/deps/plasma_graph-bce51a8567e8ea52: crates/graph/src/lib.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/pagerank.rs crates/graph/src/partition.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/partition.rs:

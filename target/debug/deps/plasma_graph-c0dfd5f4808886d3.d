@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/plasma_graph-c0dfd5f4808886d3.d: crates/graph/src/lib.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/pagerank.rs crates/graph/src/partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplasma_graph-c0dfd5f4808886d3.rmeta: crates/graph/src/lib.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/pagerank.rs crates/graph/src/partition.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/plasma_sim-03baee34a47bd51b.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libplasma_sim-03baee34a47bd51b.rlib: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libplasma_sim-03baee34a47bd51b.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:

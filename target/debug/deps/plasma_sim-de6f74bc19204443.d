@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/plasma_sim-de6f74bc19204443.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplasma_sim-de6f74bc19204443.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plasma_suite-363ae178d3255f1b.d: suite/lib.rs
+
+/root/repo/target/debug/deps/libplasma_suite-363ae178d3255f1b.rlib: suite/lib.rs
+
+/root/repo/target/debug/deps/libplasma_suite-363ae178d3255f1b.rmeta: suite/lib.rs
+
+suite/lib.rs:

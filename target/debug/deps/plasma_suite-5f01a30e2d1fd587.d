@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plasma_suite-5f01a30e2d1fd587.d: suite/lib.rs
+
+/root/repo/target/debug/deps/libplasma_suite-5f01a30e2d1fd587.rlib: suite/lib.rs
+
+/root/repo/target/debug/deps/libplasma_suite-5f01a30e2d1fd587.rmeta: suite/lib.rs
+
+suite/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plasma_suite-82b13bb300a82e6b.d: suite/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplasma_suite-82b13bb300a82e6b.rmeta: suite/lib.rs Cargo.toml
+
+suite/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plasma_suite-95233106cbc9b9a6.d: suite/lib.rs
+
+/root/repo/target/debug/deps/plasma_suite-95233106cbc9b9a6: suite/lib.rs
+
+suite/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plasma_suite-9dcaf8827d50540e.d: suite/lib.rs
+
+/root/repo/target/debug/deps/libplasma_suite-9dcaf8827d50540e.rlib: suite/lib.rs
+
+/root/repo/target/debug/deps/libplasma_suite-9dcaf8827d50540e.rmeta: suite/lib.rs
+
+suite/lib.rs:

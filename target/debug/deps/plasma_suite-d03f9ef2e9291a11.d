@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plasma_suite-d03f9ef2e9291a11.d: suite/lib.rs
+
+/root/repo/target/debug/deps/plasma_suite-d03f9ef2e9291a11: suite/lib.rs
+
+suite/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/plasma_trace-333d265a317699f5.d: crates/trace/src/lib.rs crates/trace/src/audit.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/record.rs
+
+/root/repo/target/debug/deps/plasma_trace-333d265a317699f5: crates/trace/src/lib.rs crates/trace/src/audit.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/record.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/audit.rs:
+crates/trace/src/event.rs:
+crates/trace/src/export.rs:
+crates/trace/src/record.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/trace

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/plasma_trace-7fa09b54571c7386.d: crates/trace/src/lib.rs crates/trace/src/audit.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/record.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplasma_trace-7fa09b54571c7386.rmeta: crates/trace/src/lib.rs crates/trace/src/audit.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/record.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/audit.rs:
+crates/trace/src/event.rs:
+crates/trace/src/export.rs:
+crates/trace/src/record.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/trace
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

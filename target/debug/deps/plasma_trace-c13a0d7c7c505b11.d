@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/plasma_trace-c13a0d7c7c505b11.d: crates/trace/src/lib.rs crates/trace/src/audit.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/record.rs
+
+/root/repo/target/debug/deps/libplasma_trace-c13a0d7c7c505b11.rlib: crates/trace/src/lib.rs crates/trace/src/audit.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/record.rs
+
+/root/repo/target/debug/deps/libplasma_trace-c13a0d7c7c505b11.rmeta: crates/trace/src/lib.rs crates/trace/src/audit.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/record.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/audit.rs:
+crates/trace/src/event.rs:
+crates/trace/src/export.rs:
+crates/trace/src/record.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/trace

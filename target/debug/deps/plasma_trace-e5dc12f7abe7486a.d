@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/plasma_trace-e5dc12f7abe7486a.d: crates/trace/src/lib.rs crates/trace/src/audit.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/record.rs
+
+/root/repo/target/debug/deps/libplasma_trace-e5dc12f7abe7486a.rlib: crates/trace/src/lib.rs crates/trace/src/audit.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/record.rs
+
+/root/repo/target/debug/deps/libplasma_trace-e5dc12f7abe7486a.rmeta: crates/trace/src/lib.rs crates/trace/src/audit.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/record.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/audit.rs:
+crates/trace/src/event.rs:
+crates/trace/src/export.rs:
+crates/trace/src/record.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/trace

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policy_to_effects-4c7033caaa39d7d3.d: tests/policy_to_effects.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicy_to_effects-4c7033caaa39d7d3.rmeta: tests/policy_to_effects.rs Cargo.toml
+
+tests/policy_to_effects.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

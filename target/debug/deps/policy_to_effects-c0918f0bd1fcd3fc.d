@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_to_effects-c0918f0bd1fcd3fc.d: tests/policy_to_effects.rs
+
+/root/repo/target/debug/deps/policy_to_effects-c0918f0bd1fcd3fc: tests/policy_to_effects.rs
+
+tests/policy_to_effects.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_to_effects-e3d53ba7eff0864d.d: tests/policy_to_effects.rs
+
+/root/repo/target/debug/deps/policy_to_effects-e3d53ba7eff0864d: tests/policy_to_effects.rs
+
+tests/policy_to_effects.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-6d4796ce5feba7d2.d: third_party/proptest/src/lib.rs third_party/proptest/src/collection.rs third_party/proptest/src/option.rs third_party/proptest/src/strategy.rs third_party/proptest/src/string.rs third_party/proptest/src/test_runner.rs third_party/proptest/src/macros.rs
+
+/root/repo/target/debug/deps/proptest-6d4796ce5feba7d2: third_party/proptest/src/lib.rs third_party/proptest/src/collection.rs third_party/proptest/src/option.rs third_party/proptest/src/strategy.rs third_party/proptest/src/string.rs third_party/proptest/src/test_runner.rs third_party/proptest/src/macros.rs
+
+third_party/proptest/src/lib.rs:
+third_party/proptest/src/collection.rs:
+third_party/proptest/src/option.rs:
+third_party/proptest/src/strategy.rs:
+third_party/proptest/src/string.rs:
+third_party/proptest/src/test_runner.rs:
+third_party/proptest/src/macros.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/proptest-7d9af63d0b9183b6.d: third_party/proptest/src/lib.rs third_party/proptest/src/collection.rs third_party/proptest/src/option.rs third_party/proptest/src/strategy.rs third_party/proptest/src/string.rs third_party/proptest/src/test_runner.rs third_party/proptest/src/macros.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-7d9af63d0b9183b6.rmeta: third_party/proptest/src/lib.rs third_party/proptest/src/collection.rs third_party/proptest/src/option.rs third_party/proptest/src/strategy.rs third_party/proptest/src/string.rs third_party/proptest/src/test_runner.rs third_party/proptest/src/macros.rs Cargo.toml
+
+third_party/proptest/src/lib.rs:
+third_party/proptest/src/collection.rs:
+third_party/proptest/src/option.rs:
+third_party/proptest/src/strategy.rs:
+third_party/proptest/src/string.rs:
+third_party/proptest/src/test_runner.rs:
+third_party/proptest/src/macros.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/proptest-d424892307d3b784.d: third_party/proptest/src/lib.rs third_party/proptest/src/collection.rs third_party/proptest/src/option.rs third_party/proptest/src/strategy.rs third_party/proptest/src/string.rs third_party/proptest/src/test_runner.rs third_party/proptest/src/macros.rs
+
+/root/repo/target/debug/deps/libproptest-d424892307d3b784.rlib: third_party/proptest/src/lib.rs third_party/proptest/src/collection.rs third_party/proptest/src/option.rs third_party/proptest/src/strategy.rs third_party/proptest/src/string.rs third_party/proptest/src/test_runner.rs third_party/proptest/src/macros.rs
+
+/root/repo/target/debug/deps/libproptest-d424892307d3b784.rmeta: third_party/proptest/src/lib.rs third_party/proptest/src/collection.rs third_party/proptest/src/option.rs third_party/proptest/src/strategy.rs third_party/proptest/src/string.rs third_party/proptest/src/test_runner.rs third_party/proptest/src/macros.rs
+
+third_party/proptest/src/lib.rs:
+third_party/proptest/src/collection.rs:
+third_party/proptest/src/option.rs:
+third_party/proptest/src/strategy.rs:
+third_party/proptest/src/string.rs:
+third_party/proptest/src/test_runner.rs:
+third_party/proptest/src/macros.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regression_check_tmp-7c8cc65800e6f3a5.d: tests/regression_check_tmp.rs
+
+/root/repo/target/debug/deps/regression_check_tmp-7c8cc65800e6f3a5: tests/regression_check_tmp.rs
+
+tests/regression_check_tmp.rs:

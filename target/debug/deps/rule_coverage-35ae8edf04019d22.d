@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rule_coverage-35ae8edf04019d22.d: crates/emr/tests/rule_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/librule_coverage-35ae8edf04019d22.rmeta: crates/emr/tests/rule_coverage.rs Cargo.toml
+
+crates/emr/tests/rule_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rule_coverage-bf9c13b0b5781a1a.d: crates/emr/tests/rule_coverage.rs
+
+/root/repo/target/debug/deps/rule_coverage-bf9c13b0b5781a1a: crates/emr/tests/rule_coverage.rs
+
+crates/emr/tests/rule_coverage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rule_coverage-d10c8746c644cf6a.d: crates/emr/tests/rule_coverage.rs
+
+/root/repo/target/debug/deps/rule_coverage-d10c8746c644cf6a: crates/emr/tests/rule_coverage.rs
+
+crates/emr/tests/rule_coverage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_behavior-8d3010c9c9ec7597.d: crates/actor/tests/runtime_behavior.rs
+
+/root/repo/target/debug/deps/runtime_behavior-8d3010c9c9ec7597: crates/actor/tests/runtime_behavior.rs
+
+crates/actor/tests/runtime_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_behavior-cf7e12f6579798fd.d: crates/actor/tests/runtime_behavior.rs
+
+/root/repo/target/debug/deps/runtime_behavior-cf7e12f6579798fd: crates/actor/tests/runtime_behavior.rs
+
+crates/actor/tests/runtime_behavior.rs:

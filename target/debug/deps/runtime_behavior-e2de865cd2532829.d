@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_behavior-e2de865cd2532829.d: crates/actor/tests/runtime_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_behavior-e2de865cd2532829.rmeta: crates/actor/tests/runtime_behavior.rs Cargo.toml
+
+crates/actor/tests/runtime_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

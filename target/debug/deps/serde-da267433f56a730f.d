@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-da267433f56a730f.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-da267433f56a730f: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-4fa7fa17c0a336ac.d: third_party/serde_json/src/lib.rs third_party/serde_json/src/macros.rs third_party/serde_json/src/parse.rs
+
+/root/repo/target/debug/deps/serde_json-4fa7fa17c0a336ac: third_party/serde_json/src/lib.rs third_party/serde_json/src/macros.rs third_party/serde_json/src/parse.rs
+
+third_party/serde_json/src/lib.rs:
+third_party/serde_json/src/macros.rs:
+third_party/serde_json/src/parse.rs:

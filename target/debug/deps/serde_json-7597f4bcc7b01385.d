@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/serde_json-7597f4bcc7b01385.d: third_party/serde_json/src/lib.rs third_party/serde_json/src/macros.rs third_party/serde_json/src/parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-7597f4bcc7b01385.rmeta: third_party/serde_json/src/lib.rs third_party/serde_json/src/macros.rs third_party/serde_json/src/parse.rs Cargo.toml
+
+third_party/serde_json/src/lib.rs:
+third_party/serde_json/src/macros.rs:
+third_party/serde_json/src/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

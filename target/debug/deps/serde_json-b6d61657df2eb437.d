@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-b6d61657df2eb437.d: third_party/serde_json/src/lib.rs third_party/serde_json/src/macros.rs third_party/serde_json/src/parse.rs
+
+/root/repo/target/debug/deps/libserde_json-b6d61657df2eb437.rlib: third_party/serde_json/src/lib.rs third_party/serde_json/src/macros.rs third_party/serde_json/src/parse.rs
+
+/root/repo/target/debug/deps/libserde_json-b6d61657df2eb437.rmeta: third_party/serde_json/src/lib.rs third_party/serde_json/src/macros.rs third_party/serde_json/src/parse.rs
+
+third_party/serde_json/src/lib.rs:
+third_party/serde_json/src/macros.rs:
+third_party/serde_json/src/parse.rs:

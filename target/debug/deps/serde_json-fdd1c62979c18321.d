@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/serde_json-fdd1c62979c18321.d: third_party/serde_json/src/lib.rs third_party/serde_json/src/macros.rs third_party/serde_json/src/parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-fdd1c62979c18321.rmeta: third_party/serde_json/src/lib.rs third_party/serde_json/src/macros.rs third_party/serde_json/src/parse.rs Cargo.toml
+
+third_party/serde_json/src/lib.rs:
+third_party/serde_json/src/macros.rs:
+third_party/serde_json/src/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_overhead-17dfca86bb79b970.d: crates/bench/benches/table3_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_overhead-17dfca86bb79b970.rmeta: crates/bench/benches/table3_overhead.rs Cargo.toml
+
+crates/bench/benches/table3_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

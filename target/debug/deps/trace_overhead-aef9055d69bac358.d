@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_overhead-aef9055d69bac358.d: crates/bench/benches/trace_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_overhead-aef9055d69bac358.rmeta: crates/bench/benches/trace_overhead.rs Cargo.toml
+
+crates/bench/benches/trace_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracing-5b9495e6f7ed6c5a.d: tests/tracing.rs
+
+/root/repo/target/debug/deps/tracing-5b9495e6f7ed6c5a: tests/tracing.rs
+
+tests/tracing.rs:

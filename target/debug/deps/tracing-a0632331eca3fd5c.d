@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tracing-a0632331eca3fd5c.d: tests/tracing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtracing-a0632331eca3fd5c.rmeta: tests/tracing.rs Cargo.toml
+
+tests/tracing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

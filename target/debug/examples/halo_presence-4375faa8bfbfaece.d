@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/halo_presence-4375faa8bfbfaece.d: examples/halo_presence.rs
+
+/root/repo/target/debug/examples/halo_presence-4375faa8bfbfaece: examples/halo_presence.rs
+
+examples/halo_presence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/halo_presence-e863f9786f92a591.d: examples/halo_presence.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhalo_presence-e863f9786f92a591.rmeta: examples/halo_presence.rs Cargo.toml
+
+examples/halo_presence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/halo_presence-e90766bc1aa0063f.d: examples/halo_presence.rs
+
+/root/repo/target/debug/examples/halo_presence-e90766bc1aa0063f: examples/halo_presence.rs
+
+examples/halo_presence.rs:

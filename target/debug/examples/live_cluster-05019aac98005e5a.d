@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/live_cluster-05019aac98005e5a.d: examples/live_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblive_cluster-05019aac98005e5a.rmeta: examples/live_cluster.rs Cargo.toml
+
+examples/live_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_cluster-951b49748bdf5ab4.d: examples/live_cluster.rs
+
+/root/repo/target/debug/examples/live_cluster-951b49748bdf5ab4: examples/live_cluster.rs
+
+examples/live_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_cluster-c79b09c4574dc3f5.d: examples/live_cluster.rs
+
+/root/repo/target/debug/examples/live_cluster-c79b09c4574dc3f5: examples/live_cluster.rs
+
+examples/live_cluster.rs:

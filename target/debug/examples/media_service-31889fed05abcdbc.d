@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/media_service-31889fed05abcdbc.d: examples/media_service.rs
+
+/root/repo/target/debug/examples/media_service-31889fed05abcdbc: examples/media_service.rs
+
+examples/media_service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/media_service-3c71cddb1d945ea8.d: examples/media_service.rs
+
+/root/repo/target/debug/examples/media_service-3c71cddb1d945ea8: examples/media_service.rs
+
+examples/media_service.rs:

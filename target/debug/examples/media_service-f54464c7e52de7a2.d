@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/media_service-f54464c7e52de7a2.d: examples/media_service.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmedia_service-f54464c7e52de7a2.rmeta: examples/media_service.rs Cargo.toml
+
+examples/media_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pagerank_elastic-334cfd8006853658.d: examples/pagerank_elastic.rs
+
+/root/repo/target/debug/examples/pagerank_elastic-334cfd8006853658: examples/pagerank_elastic.rs
+
+examples/pagerank_elastic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pagerank_elastic-860e247345b3d3ec.d: examples/pagerank_elastic.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpagerank_elastic-860e247345b3d3ec.rmeta: examples/pagerank_elastic.rs Cargo.toml
+
+examples/pagerank_elastic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

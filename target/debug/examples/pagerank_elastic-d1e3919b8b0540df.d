@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pagerank_elastic-d1e3919b8b0540df.d: examples/pagerank_elastic.rs
+
+/root/repo/target/debug/examples/pagerank_elastic-d1e3919b8b0540df: examples/pagerank_elastic.rs
+
+examples/pagerank_elastic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/policy_explorer-1c1df3b46de82094.d: examples/policy_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpolicy_explorer-1c1df3b46de82094.rmeta: examples/policy_explorer.rs Cargo.toml
+
+examples/policy_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

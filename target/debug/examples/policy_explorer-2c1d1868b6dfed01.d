@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_explorer-2c1d1868b6dfed01.d: examples/policy_explorer.rs
+
+/root/repo/target/debug/examples/policy_explorer-2c1d1868b6dfed01: examples/policy_explorer.rs
+
+examples/policy_explorer.rs:

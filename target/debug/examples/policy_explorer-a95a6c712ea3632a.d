@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_explorer-a95a6c712ea3632a.d: examples/policy_explorer.rs
+
+/root/repo/target/debug/examples/policy_explorer-a95a6c712ea3632a: examples/policy_explorer.rs
+
+examples/policy_explorer.rs:

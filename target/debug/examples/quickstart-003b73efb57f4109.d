@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-003b73efb57f4109.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-003b73efb57f4109: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-878b9f76ebf11b61.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-878b9f76ebf11b61: examples/quickstart.rs
+
+examples/quickstart.rs:

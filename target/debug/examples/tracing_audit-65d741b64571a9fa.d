@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tracing_audit-65d741b64571a9fa.d: examples/tracing_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtracing_audit-65d741b64571a9fa.rmeta: examples/tracing_audit.rs Cargo.toml
+
+examples/tracing_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tracing_audit-d31355c36797dc80.d: examples/tracing_audit.rs
+
+/root/repo/target/debug/examples/tracing_audit-d31355c36797dc80: examples/tracing_audit.rs
+
+examples/tracing_audit.rs:

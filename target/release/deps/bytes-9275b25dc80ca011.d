@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-9275b25dc80ca011.d: third_party/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-9275b25dc80ca011.rlib: third_party/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-9275b25dc80ca011.rmeta: third_party/bytes/src/lib.rs
+
+third_party/bytes/src/lib.rs:

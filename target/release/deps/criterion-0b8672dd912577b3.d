@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-0b8672dd912577b3.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0b8672dd912577b3.rlib: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0b8672dd912577b3.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

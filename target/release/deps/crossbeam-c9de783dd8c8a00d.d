@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-c9de783dd8c8a00d.d: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-c9de783dd8c8a00d.rlib: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-c9de783dd8c8a00d.rmeta: third_party/crossbeam/src/lib.rs
+
+third_party/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-6adff07ce3cc575f.d: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-6adff07ce3cc575f.rlib: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-6adff07ce3cc575f.rmeta: third_party/parking_lot/src/lib.rs
+
+third_party/parking_lot/src/lib.rs:

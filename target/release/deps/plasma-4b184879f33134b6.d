@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/plasma-4b184879f33134b6.d: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/release/deps/libplasma-4b184879f33134b6.rlib: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/release/deps/libplasma-4b184879f33134b6.rmeta: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+crates/core/src/lib.rs:
+crates/core/src/prelude.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/plasma-b5356a1e1ee2291a.d: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/release/deps/libplasma-b5356a1e1ee2291a.rlib: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/release/deps/libplasma-b5356a1e1ee2291a.rmeta: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+crates/core/src/lib.rs:
+crates/core/src/prelude.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/plasma_actor-56b82beb325c52c1.d: crates/actor/src/lib.rs crates/actor/src/controller.rs crates/actor/src/entry.rs crates/actor/src/ids.rs crates/actor/src/live.rs crates/actor/src/logic.rs crates/actor/src/message.rs crates/actor/src/report.rs crates/actor/src/runtime.rs crates/actor/src/stats.rs
+
+/root/repo/target/release/deps/libplasma_actor-56b82beb325c52c1.rlib: crates/actor/src/lib.rs crates/actor/src/controller.rs crates/actor/src/entry.rs crates/actor/src/ids.rs crates/actor/src/live.rs crates/actor/src/logic.rs crates/actor/src/message.rs crates/actor/src/report.rs crates/actor/src/runtime.rs crates/actor/src/stats.rs
+
+/root/repo/target/release/deps/libplasma_actor-56b82beb325c52c1.rmeta: crates/actor/src/lib.rs crates/actor/src/controller.rs crates/actor/src/entry.rs crates/actor/src/ids.rs crates/actor/src/live.rs crates/actor/src/logic.rs crates/actor/src/message.rs crates/actor/src/report.rs crates/actor/src/runtime.rs crates/actor/src/stats.rs
+
+crates/actor/src/lib.rs:
+crates/actor/src/controller.rs:
+crates/actor/src/entry.rs:
+crates/actor/src/ids.rs:
+crates/actor/src/live.rs:
+crates/actor/src/logic.rs:
+crates/actor/src/message.rs:
+crates/actor/src/report.rs:
+crates/actor/src/runtime.rs:
+crates/actor/src/stats.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/plasma_apps-b08656c8f9ac642f.d: crates/apps/src/lib.rs crates/apps/src/bptree.rs crates/apps/src/cassandra.rs crates/apps/src/chatroom.rs crates/apps/src/common.rs crates/apps/src/estore.rs crates/apps/src/halo.rs crates/apps/src/media.rs crates/apps/src/metadata.rs crates/apps/src/pagerank.rs crates/apps/src/piccolo.rs crates/apps/src/table1.rs crates/apps/src/zexpander.rs
+
+/root/repo/target/release/deps/libplasma_apps-b08656c8f9ac642f.rlib: crates/apps/src/lib.rs crates/apps/src/bptree.rs crates/apps/src/cassandra.rs crates/apps/src/chatroom.rs crates/apps/src/common.rs crates/apps/src/estore.rs crates/apps/src/halo.rs crates/apps/src/media.rs crates/apps/src/metadata.rs crates/apps/src/pagerank.rs crates/apps/src/piccolo.rs crates/apps/src/table1.rs crates/apps/src/zexpander.rs
+
+/root/repo/target/release/deps/libplasma_apps-b08656c8f9ac642f.rmeta: crates/apps/src/lib.rs crates/apps/src/bptree.rs crates/apps/src/cassandra.rs crates/apps/src/chatroom.rs crates/apps/src/common.rs crates/apps/src/estore.rs crates/apps/src/halo.rs crates/apps/src/media.rs crates/apps/src/metadata.rs crates/apps/src/pagerank.rs crates/apps/src/piccolo.rs crates/apps/src/table1.rs crates/apps/src/zexpander.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/bptree.rs:
+crates/apps/src/cassandra.rs:
+crates/apps/src/chatroom.rs:
+crates/apps/src/common.rs:
+crates/apps/src/estore.rs:
+crates/apps/src/halo.rs:
+crates/apps/src/media.rs:
+crates/apps/src/metadata.rs:
+crates/apps/src/pagerank.rs:
+crates/apps/src/piccolo.rs:
+crates/apps/src/table1.rs:
+crates/apps/src/zexpander.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/plasma_bench-7e184da9550cdbb3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libplasma_bench-7e184da9550cdbb3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libplasma_bench-7e184da9550cdbb3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

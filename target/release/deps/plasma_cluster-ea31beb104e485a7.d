@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/plasma_cluster-ea31beb104e485a7.d: crates/cluster/src/lib.rs crates/cluster/src/instance.rs crates/cluster/src/network.rs crates/cluster/src/resources.rs crates/cluster/src/server.rs crates/cluster/src/topology.rs
+
+/root/repo/target/release/deps/libplasma_cluster-ea31beb104e485a7.rlib: crates/cluster/src/lib.rs crates/cluster/src/instance.rs crates/cluster/src/network.rs crates/cluster/src/resources.rs crates/cluster/src/server.rs crates/cluster/src/topology.rs
+
+/root/repo/target/release/deps/libplasma_cluster-ea31beb104e485a7.rmeta: crates/cluster/src/lib.rs crates/cluster/src/instance.rs crates/cluster/src/network.rs crates/cluster/src/resources.rs crates/cluster/src/server.rs crates/cluster/src/topology.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/instance.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/resources.rs:
+crates/cluster/src/server.rs:
+crates/cluster/src/topology.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/plasma_cluster-f47bc76240f2bfbf.d: crates/cluster/src/lib.rs crates/cluster/src/instance.rs crates/cluster/src/network.rs crates/cluster/src/resources.rs crates/cluster/src/server.rs crates/cluster/src/topology.rs
+
+/root/repo/target/release/deps/libplasma_cluster-f47bc76240f2bfbf.rlib: crates/cluster/src/lib.rs crates/cluster/src/instance.rs crates/cluster/src/network.rs crates/cluster/src/resources.rs crates/cluster/src/server.rs crates/cluster/src/topology.rs
+
+/root/repo/target/release/deps/libplasma_cluster-f47bc76240f2bfbf.rmeta: crates/cluster/src/lib.rs crates/cluster/src/instance.rs crates/cluster/src/network.rs crates/cluster/src/resources.rs crates/cluster/src/server.rs crates/cluster/src/topology.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/instance.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/resources.rs:
+crates/cluster/src/server.rs:
+crates/cluster/src/topology.rs:

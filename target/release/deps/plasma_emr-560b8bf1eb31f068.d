@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/plasma_emr-560b8bf1eb31f068.d: crates/emr/src/lib.rs crates/emr/src/action.rs crates/emr/src/baselines.rs crates/emr/src/emr.rs crates/emr/src/eval.rs crates/emr/src/gem.rs crates/emr/src/lem.rs crates/emr/src/view.rs
+
+/root/repo/target/release/deps/libplasma_emr-560b8bf1eb31f068.rlib: crates/emr/src/lib.rs crates/emr/src/action.rs crates/emr/src/baselines.rs crates/emr/src/emr.rs crates/emr/src/eval.rs crates/emr/src/gem.rs crates/emr/src/lem.rs crates/emr/src/view.rs
+
+/root/repo/target/release/deps/libplasma_emr-560b8bf1eb31f068.rmeta: crates/emr/src/lib.rs crates/emr/src/action.rs crates/emr/src/baselines.rs crates/emr/src/emr.rs crates/emr/src/eval.rs crates/emr/src/gem.rs crates/emr/src/lem.rs crates/emr/src/view.rs
+
+crates/emr/src/lib.rs:
+crates/emr/src/action.rs:
+crates/emr/src/baselines.rs:
+crates/emr/src/emr.rs:
+crates/emr/src/eval.rs:
+crates/emr/src/gem.rs:
+crates/emr/src/lem.rs:
+crates/emr/src/view.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/plasma_epl-ba7d13dc9076c660.d: crates/epl/src/lib.rs crates/epl/src/analyze.rs crates/epl/src/ast.rs crates/epl/src/conflict.rs crates/epl/src/error.rs crates/epl/src/parser.rs crates/epl/src/schema.rs crates/epl/src/schema_text.rs crates/epl/src/token.rs
+
+/root/repo/target/release/deps/libplasma_epl-ba7d13dc9076c660.rlib: crates/epl/src/lib.rs crates/epl/src/analyze.rs crates/epl/src/ast.rs crates/epl/src/conflict.rs crates/epl/src/error.rs crates/epl/src/parser.rs crates/epl/src/schema.rs crates/epl/src/schema_text.rs crates/epl/src/token.rs
+
+/root/repo/target/release/deps/libplasma_epl-ba7d13dc9076c660.rmeta: crates/epl/src/lib.rs crates/epl/src/analyze.rs crates/epl/src/ast.rs crates/epl/src/conflict.rs crates/epl/src/error.rs crates/epl/src/parser.rs crates/epl/src/schema.rs crates/epl/src/schema_text.rs crates/epl/src/token.rs
+
+crates/epl/src/lib.rs:
+crates/epl/src/analyze.rs:
+crates/epl/src/ast.rs:
+crates/epl/src/conflict.rs:
+crates/epl/src/error.rs:
+crates/epl/src/parser.rs:
+crates/epl/src/schema.rs:
+crates/epl/src/schema_text.rs:
+crates/epl/src/token.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/plasma_graph-fce55ac54c091a30.d: crates/graph/src/lib.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/pagerank.rs crates/graph/src/partition.rs
+
+/root/repo/target/release/deps/libplasma_graph-fce55ac54c091a30.rlib: crates/graph/src/lib.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/pagerank.rs crates/graph/src/partition.rs
+
+/root/repo/target/release/deps/libplasma_graph-fce55ac54c091a30.rmeta: crates/graph/src/lib.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/pagerank.rs crates/graph/src/partition.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/partition.rs:

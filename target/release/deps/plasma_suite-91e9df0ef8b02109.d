@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/plasma_suite-91e9df0ef8b02109.d: suite/lib.rs
+
+/root/repo/target/release/deps/libplasma_suite-91e9df0ef8b02109.rlib: suite/lib.rs
+
+/root/repo/target/release/deps/libplasma_suite-91e9df0ef8b02109.rmeta: suite/lib.rs
+
+suite/lib.rs:

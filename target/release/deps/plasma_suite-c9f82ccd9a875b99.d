@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/plasma_suite-c9f82ccd9a875b99.d: suite/lib.rs
+
+/root/repo/target/release/deps/libplasma_suite-c9f82ccd9a875b99.rlib: suite/lib.rs
+
+/root/repo/target/release/deps/libplasma_suite-c9f82ccd9a875b99.rmeta: suite/lib.rs
+
+suite/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/plasma_trace-305d894ffe4d44c6.d: crates/trace/src/lib.rs crates/trace/src/audit.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/record.rs
+
+/root/repo/target/release/deps/libplasma_trace-305d894ffe4d44c6.rlib: crates/trace/src/lib.rs crates/trace/src/audit.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/record.rs
+
+/root/repo/target/release/deps/libplasma_trace-305d894ffe4d44c6.rmeta: crates/trace/src/lib.rs crates/trace/src/audit.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/record.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/audit.rs:
+crates/trace/src/event.rs:
+crates/trace/src/export.rs:
+crates/trace/src/record.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/trace

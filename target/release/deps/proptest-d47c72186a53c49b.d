@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/proptest-d47c72186a53c49b.d: third_party/proptest/src/lib.rs third_party/proptest/src/collection.rs third_party/proptest/src/option.rs third_party/proptest/src/strategy.rs third_party/proptest/src/string.rs third_party/proptest/src/test_runner.rs third_party/proptest/src/macros.rs
+
+/root/repo/target/release/deps/libproptest-d47c72186a53c49b.rlib: third_party/proptest/src/lib.rs third_party/proptest/src/collection.rs third_party/proptest/src/option.rs third_party/proptest/src/strategy.rs third_party/proptest/src/string.rs third_party/proptest/src/test_runner.rs third_party/proptest/src/macros.rs
+
+/root/repo/target/release/deps/libproptest-d47c72186a53c49b.rmeta: third_party/proptest/src/lib.rs third_party/proptest/src/collection.rs third_party/proptest/src/option.rs third_party/proptest/src/strategy.rs third_party/proptest/src/string.rs third_party/proptest/src/test_runner.rs third_party/proptest/src/macros.rs
+
+third_party/proptest/src/lib.rs:
+third_party/proptest/src/collection.rs:
+third_party/proptest/src/option.rs:
+third_party/proptest/src/strategy.rs:
+third_party/proptest/src/string.rs:
+third_party/proptest/src/test_runner.rs:
+third_party/proptest/src/macros.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-f8e95132b14ec8ed.d: third_party/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-f8e95132b14ec8ed.rlib: third_party/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-f8e95132b14ec8ed.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

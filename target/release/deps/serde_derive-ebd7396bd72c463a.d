@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-ebd7396bd72c463a.d: third_party/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-ebd7396bd72c463a.so: third_party/serde_derive/src/lib.rs
+
+third_party/serde_derive/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_json-053368f03ae54156.d: third_party/serde_json/src/lib.rs third_party/serde_json/src/macros.rs third_party/serde_json/src/parse.rs
+
+/root/repo/target/release/deps/libserde_json-053368f03ae54156.rlib: third_party/serde_json/src/lib.rs third_party/serde_json/src/macros.rs third_party/serde_json/src/parse.rs
+
+/root/repo/target/release/deps/libserde_json-053368f03ae54156.rmeta: third_party/serde_json/src/lib.rs third_party/serde_json/src/macros.rs third_party/serde_json/src/parse.rs
+
+third_party/serde_json/src/lib.rs:
+third_party/serde_json/src/macros.rs:
+third_party/serde_json/src/parse.rs:

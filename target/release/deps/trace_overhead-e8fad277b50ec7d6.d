@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_overhead-e8fad277b50ec7d6.d: crates/bench/benches/trace_overhead.rs
+
+/root/repo/target/release/deps/trace_overhead-e8fad277b50ec7d6: crates/bench/benches/trace_overhead.rs
+
+crates/bench/benches/trace_overhead.rs:

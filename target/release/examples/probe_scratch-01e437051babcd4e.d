@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_scratch-01e437051babcd4e.d: examples/probe_scratch.rs
+
+/root/repo/target/release/examples/probe_scratch-01e437051babcd4e: examples/probe_scratch.rs
+
+examples/probe_scratch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tracing_audit-e09c41f2f83948b1.d: examples/tracing_audit.rs
+
+/root/repo/target/release/examples/tracing_audit-e09c41f2f83948b1: examples/tracing_audit.rs
+
+examples/tracing_audit.rs:

@@ -1,0 +1,108 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `Criterion` / `Bencher` API shape the workspace's benches
+//! use, backed by a simple adaptive timing loop: each benchmark is calibrated
+//! to roughly 100 ms of measurement, and the mean time per iteration is
+//! printed. No statistics machinery, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            measurement: self.measurement,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        println!(
+            "bench {name:<44} {:>14} ns/iter ({} iters)",
+            format_ns(bencher.mean_ns),
+            bencher.iters,
+        );
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2}", ns)
+    } else {
+        format!("{:.1}", ns)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    measurement: Duration,
+    /// Mean nanoseconds per iteration from the last `iter` call.
+    pub mean_ns: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, first calibrating an iteration count that fills the
+    /// measurement window.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Calibration: time a single call (running it at least once).
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let target = self.measurement.as_nanos();
+        let n = (target / once.as_nanos().max(1)).clamp(1, 10_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.mean_ns = total.as_nanos() as f64 / n as f64;
+        self.iters = n;
+    }
+}
+
+/// Groups benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

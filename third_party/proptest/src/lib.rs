@@ -1,0 +1,30 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property tests
+//! use: the [`strategy::Strategy`] trait with `prop_map` / `prop_filter` /
+//! `prop_recursive` / `boxed`, tuple and numeric-range strategies, regex-like
+//! string strategies, `collection::vec`, `option::of`, `Just`, `prop_oneof!`,
+//! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from the real crate, by design:
+//! - Input generation is **deterministic**: the RNG is seeded from the test's
+//!   module path and name plus the case index, so every run explores the same
+//!   inputs (a reproducibility property the rest of the workspace shares).
+//! - No shrinking. On failure the harness prints the case index; re-running
+//!   reproduces it exactly.
+//! - No persistence: `*.proptest-regressions` files are not read or written.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+mod macros;
+
+/// The conventional glob-import surface.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}

@@ -1,0 +1,172 @@
+//! String generation from a small regex subset.
+//!
+//! Supports what the workspace's tests use: literal characters, character
+//! classes like `[a-zA-Z0-9_]`, the `\PC` "any printable" escape, and `{m,n}`
+//! repetition of the preceding atom. Anything else in the pattern is treated
+//! as a literal character.
+
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any non-control character.
+    Printable,
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces: Vec<Piece> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                i += 1; // consume ']'
+                Atom::Class(ranges)
+            }
+            '\\' if i + 2 < chars.len() && chars[i + 1] == 'P' && chars[i + 2] == 'C' => {
+                i += 3;
+                Atom::Printable
+            }
+            '\\' if i + 1 < chars.len() => {
+                let c = chars[i + 1];
+                i += 2;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional {m,n} / {n} quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| p + i)
+                .unwrap_or(chars.len());
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or(0),
+                    hi.trim().parse().unwrap_or(8),
+                ),
+                None => {
+                    let n = body.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| (hi as u64).saturating_sub(lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total.max(1));
+            for &(lo, hi) in ranges {
+                let span = (hi as u64) - (lo as u64) + 1;
+                if pick < span {
+                    return char::from_u32(lo as u32 + pick as u32).unwrap_or(lo);
+                }
+                pick -= span;
+            }
+            ranges.first().map(|&(lo, _)| lo).unwrap_or('a')
+        }
+        Atom::Printable => {
+            // Mostly printable ASCII, sometimes wider Unicode (all
+            // non-control, matching `\PC`).
+            match rng.below(10) {
+                0 => {
+                    const BLOCKS: &[(u32, u32)] = &[
+                        (0x00A1, 0x024F),   // Latin supplement/extended
+                        (0x0391, 0x03C9),   // Greek
+                        (0x0410, 0x044F),   // Cyrillic
+                        (0x4E00, 0x4E80),   // CJK sample
+                        (0x1F600, 0x1F64F), // emoji
+                    ];
+                    let (lo, hi) = BLOCKS[rng.below(BLOCKS.len() as u64) as usize];
+                    char::from_u32(lo + rng.below((hi - lo + 1) as u64) as u32).unwrap_or('¡')
+                }
+                _ => char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap_or(' '),
+            }
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn pattern_string(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = if piece.max > piece.min {
+            piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize
+        } else {
+            piece.min
+        };
+        for _ in 0..count {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_pattern_shape() {
+        let mut rng = TestRng::for_case(7, 0);
+        for case in 0..200 {
+            let mut rng2 = TestRng::for_case(7, case);
+            let s = pattern_string("[a-zA-Z][a-zA-Z0-9_]{0,6}", &mut rng2);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic(), "{s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "{s:?}"
+            );
+        }
+        let _ = rng.next_u64();
+    }
+
+    #[test]
+    fn printable_pattern_has_no_control_chars() {
+        for case in 0..100 {
+            let mut rng = TestRng::for_case(11, case);
+            let s = pattern_string("\\PC{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(!s.chars().any(char::is_control), "{s:?}");
+        }
+    }
+}

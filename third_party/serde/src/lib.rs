@@ -1,0 +1,29 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and the derive macros
+//! so `use serde::{Deserialize, Serialize}` plus `#[derive(...)]` compile
+//! unchanged. No code in the workspace is generic over these traits — JSON
+//! serialization is done by the `serde_json` stand-in's hand-rolled writer —
+//! so the traits carry no methods and the derives expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+/// Stand-in for the `serde::de` module.
+pub mod de {
+    pub use super::Deserialize;
+    pub use super::DeserializeOwned;
+}
+
+/// Stand-in for the `serde::ser` module.
+pub mod ser {
+    pub use super::Serialize;
+}

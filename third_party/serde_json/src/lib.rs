@@ -1,0 +1,492 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Implements the slice of the `serde_json` API the workspace uses: the
+//! [`Value`] tree with an insertion-ordered [`Map`], the [`json!`] macro,
+//! [`to_string`] / [`to_string_pretty`] writers, and a strict [`from_str`]
+//! parser (used by tests to validate exported trace files). Serialization is
+//! deterministic: maps keep insertion order and floats print via Rust's
+//! shortest-roundtrip formatting.
+
+mod macros;
+mod parse;
+
+use std::fmt;
+
+/// A JSON number: integer or floating point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Floating-point number.
+    Float(f64),
+}
+
+impl Number {
+    /// Returns the value as `f64`.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// Returns the value as `u64` when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64` when it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::PosInt(v) => write!(f, "{v}"),
+            Number::NegInt(v) => write!(f, "{v}"),
+            Number::Float(v) => {
+                if v.is_finite() {
+                    // `{:?}` is the shortest representation that round-trips,
+                    // and always contains a `.` or exponent for non-integers.
+                    let s = format!("{v:?}");
+                    f.write_str(&s)
+                } else {
+                    // JSON has no Inf/NaN; match serde_json's `null`.
+                    f.write_str("null")
+                }
+            }
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map of [`Value`]s.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts `value` under `key`, replacing (in place) any previous entry.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for entry in &mut self.entries {
+            if entry.0 == key {
+                return Some(std::mem::replace(&mut entry.1, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Returns whether the map holds `key`.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// Returns the object map if this value is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if this value is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the string contents if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as `f64` if this value is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as `u64` if this value is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Indexes into an object by key; returns `Value::Null` when absent.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        const NULL: Value = Value::Null;
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(Number::Float(v))
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Number(Number::PosInt(v))
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Number(Number::PosInt(v as u64))
+    }
+}
+impl From<u16> for Value {
+    fn from(v: u16) -> Self {
+        Value::Number(Number::PosInt(v as u64))
+    }
+}
+impl From<u8> for Value {
+    fn from(v: u8) -> Self {
+        Value::Number(Number::PosInt(v as u64))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Number(Number::PosInt(v as u64))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        if v < 0 {
+            Value::Number(Number::NegInt(v))
+        } else {
+            Value::Number(Number::PosInt(v as u64))
+        }
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::from(v as i64)
+    }
+}
+impl From<Map> for Value {
+    fn from(v: Map) -> Self {
+        Value::Object(v)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+impl<A: Into<Value>, B: Into<Value>> From<(A, B)> for Value {
+    fn from(v: (A, B)) -> Self {
+        Value::Array(vec![v.0.into(), v.1.into()])
+    }
+}
+impl<A: Into<Value>, B: Into<Value>, C: Into<Value>> From<(A, B, C)> for Value {
+    fn from(v: (A, B, C)) -> Self {
+        Value::Array(vec![v.0.into(), v.1.into(), v.2.into()])
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_compact(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                write_compact(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, value: &Value, indent: usize) {
+    const STEP: &str = "  ";
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&STEP.repeat(indent + 1));
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&STEP.repeat(indent + 1));
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, v, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_compact(&mut out, self);
+        f.write_str(&out)
+    }
+}
+
+/// Serializes a value to a compact JSON string.
+///
+/// Unlike the real `serde_json::to_string` this operates on [`Value`] (the
+/// only type the workspace serializes); the `Result` shape is kept for
+/// call-site compatibility.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&mut out, value);
+    Ok(out)
+}
+
+/// Serializes a value to a 2-space-indented JSON string.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, value, 0);
+    Ok(out)
+}
+
+/// Parses a JSON document into a [`Value`]. Strict: rejects trailing input,
+/// trailing commas, and malformed literals.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    parse::parse(input)
+}
+
+/// A serialization or parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_object() {
+        let v = json!({
+            "name": "plasma",
+            "count": 3u64,
+            "ratio": 0.5,
+            "tags": ["a", "b"],
+            "nested": { "ok": true, "none": null },
+        });
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str(&text).unwrap(), v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn insertion_order_is_preserved() {
+        let mut m = Map::new();
+        m.insert("z".into(), Value::from(1u64));
+        m.insert("a".into(), Value::from(2u64));
+        assert_eq!(to_string(&Value::Object(m)).unwrap(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("[1] x").is_err());
+        assert!(from_str("nul").is_err());
+    }
+
+    #[test]
+    fn tuples_become_arrays() {
+        let series: Vec<(f64, f64)> = vec![(0.0, 1.5), (2.0, 3.5)];
+        let v = json!({ "series": series });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"series":[[0.0,1.5],[2.0,3.5]]}"#
+        );
+    }
+}
