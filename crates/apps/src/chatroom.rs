@@ -10,7 +10,7 @@
 use plasma::prelude::*;
 use plasma_sim::SimTime;
 
-use crate::common::ClosedLoop;
+use crate::common::{ClosedLoop, ElasticityEval, EvalScale};
 
 /// The EPL-visible schema (no rules are attached in the overhead study;
 /// actors must stay stationary as in the paper).
@@ -47,6 +47,20 @@ impl Default for ChatConfig {
     }
 }
 
+impl ChatConfig {
+    /// The evaluation-harness preset at the given scale.
+    pub fn preset(scale: EvalScale) -> Self {
+        match scale {
+            EvalScale::Full => ChatConfig::default(),
+            EvalScale::Smoke => ChatConfig {
+                users: 4,
+                messages_per_user: 50,
+                ..ChatConfig::default()
+            },
+        }
+    }
+}
+
 /// Results of one chat-room run.
 #[derive(Clone, Copy, Debug)]
 pub struct ChatReport {
@@ -54,6 +68,8 @@ pub struct ChatReport {
     pub makespan: SimDuration,
     /// Mean end-to-end `say` latency in milliseconds.
     pub mean_latency_ms: f64,
+    /// Scenario-independent elasticity stats.
+    pub eval: ElasticityEval,
 }
 
 struct ChatUser {
@@ -159,6 +175,7 @@ pub fn run(cfg: &ChatConfig) -> ChatReport {
     ChatReport {
         makespan,
         mean_latency_ms: rt.report().mean_latency_ms(),
+        eval: ElasticityEval::collect(&rt),
     }
 }
 

@@ -1,6 +1,144 @@
 //! Shared building blocks for the application suite.
 
 use plasma::prelude::*;
+use plasma_sim::metrics::Summary;
+
+/// Workload scale preset for the evaluation harness.
+///
+/// Every §5 scenario exposes `Config::preset(scale)` so the same code path
+/// serves both the full paper-shaped run and a reduced CI smoke run; only
+/// the sizing constants differ, never the logic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EvalScale {
+    /// CI-sized: small actor counts and short runs, finishes in seconds.
+    Smoke,
+    /// Paper-shaped defaults (§5 parameters, possibly trimmed run length).
+    Full,
+}
+
+impl EvalScale {
+    /// Parses `"smoke"` / `"full"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(EvalScale::Smoke),
+            "full" => Some(EvalScale::Full),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvalScale::Smoke => "smoke",
+            EvalScale::Full => "full",
+        }
+    }
+}
+
+/// Scenario-independent elasticity measurements of one finished run.
+///
+/// Collected from the run report and cluster just before a scenario tears
+/// its runtime down; the evaluation harness serializes these per scenario.
+/// All values derive from simulated time and deterministic counters, so
+/// same-seed runs produce bit-identical stats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ElasticityEval {
+    /// Simulated length of the run in seconds.
+    pub run_secs: f64,
+    /// Client requests issued.
+    pub requests: u64,
+    /// Client replies delivered.
+    pub replies: u64,
+    /// Replies per simulated second.
+    pub throughput_rps: f64,
+    /// Inter-actor messages delivered (local + remote).
+    pub delivered_messages: u64,
+    /// Inter-actor messages per simulated second.
+    pub message_throughput_per_s: f64,
+    /// Fraction of inter-actor messages that stayed on-server.
+    pub locality: f64,
+    /// Actor migrations that completed.
+    pub migrations_completed: u64,
+    /// EMR migrations admitted by the QUERY/QREPLY handshake.
+    pub emr_admitted: u64,
+    /// EMR actions rejected (admission control or runtime guards).
+    pub emr_rejected: u64,
+    /// EMR elasticity rounds ticked.
+    pub emr_ticks: u64,
+    /// Cluster scale-out events.
+    pub scale_outs: u64,
+    /// Cluster scale-in events.
+    pub scale_ins: u64,
+    /// Mean simulated LEM→GEM→LEM decision latency, milliseconds.
+    pub decision_latency_ms_mean: f64,
+    /// Worst simulated decision latency, milliseconds.
+    pub decision_latency_ms_max: f64,
+    /// Simulated time of the last completed migration, seconds (0 when the
+    /// run never migrated). With hotspots present from the start of every
+    /// scenario, this is the time-to-rebalance after hotspot onset.
+    pub time_to_rebalance_s: f64,
+    /// End-state balance score in `[0, 1]`: 1 minus the relative CPU spread
+    /// across running servers at the end of the run, floored at 0. An idle
+    /// or perfectly even cluster scores 1.
+    pub balance_score: f64,
+}
+
+impl ElasticityEval {
+    /// Collects the stats from a finished runtime.
+    pub fn collect(rt: &Runtime) -> Self {
+        let report = rt.report();
+        let run_secs = rt.now().as_secs_f64();
+        let per_sec = |n: u64| {
+            if run_secs > 0.0 {
+                n as f64 / run_secs
+            } else {
+                0.0
+            }
+        };
+        let delivered = report.local_messages + report.remote_messages;
+        let decision = report
+            .series("emr.decision_latency_ms")
+            .map(|s| Summary::of(&s.points().iter().map(|&(_, v)| v).collect::<Vec<f64>>()))
+            .unwrap_or_default();
+        // End-state CPU across servers still running: last sample of each
+        // running server's utilization series.
+        let running = rt.cluster().running_ids();
+        let final_cpu: Vec<f64> = running
+            .iter()
+            .filter_map(|sid| report.server_cpu.get(sid).and_then(|ts| ts.last()))
+            .collect();
+        let cpu = Summary::of(&final_cpu);
+        let balance_score = if cpu.count == 0 || cpu.mean < 0.02 {
+            // An idle (or unprofiled) cluster is trivially balanced.
+            1.0
+        } else {
+            (1.0 - cpu.relative_spread()).max(0.0)
+        };
+        ElasticityEval {
+            run_secs,
+            requests: report.requests,
+            replies: report.replies,
+            throughput_rps: per_sec(report.replies),
+            delivered_messages: delivered,
+            message_throughput_per_s: per_sec(delivered),
+            locality: report.locality(),
+            migrations_completed: report.migrations.len() as u64,
+            emr_admitted: report.scalar("emr.admitted").unwrap_or(0.0) as u64,
+            emr_rejected: report.scalar("emr.rejected").unwrap_or(0.0) as u64,
+            emr_ticks: report.scalar("emr.ticks").unwrap_or(0.0) as u64,
+            scale_outs: report.scalar("emr.scale_outs").unwrap_or(0.0) as u64,
+            scale_ins: report.scalar("emr.scale_ins").unwrap_or(0.0) as u64,
+            decision_latency_ms_mean: decision.mean,
+            decision_latency_ms_max: decision.max,
+            time_to_rebalance_s: report
+                .migrations
+                .last()
+                .map(|m| m.at.as_secs_f64())
+                .unwrap_or(0.0),
+            balance_score,
+        }
+    }
+}
 
 /// A generic CPU-burning actor: `work` units per request, then a reply.
 pub struct WorkActor {

@@ -21,6 +21,8 @@ use plasma::prelude::*;
 use plasma_sim::metrics::BucketedSeries;
 use plasma_sim::SimTime;
 
+use crate::common::{ElasticityEval, EvalScale};
+
 /// Schema for the E-Store policy.
 pub fn schema() -> ActorSchema {
     let mut schema = ActorSchema::new();
@@ -85,6 +87,23 @@ impl Default for EstoreConfig {
     }
 }
 
+impl EstoreConfig {
+    /// The evaluation-harness preset at the given scale.
+    pub fn preset(scale: EvalScale) -> Self {
+        match scale {
+            EvalScale::Full => EstoreConfig::default(),
+            EvalScale::Smoke => EstoreConfig {
+                roots: 16,
+                children_per_root: 2,
+                servers: 3,
+                clients: 12,
+                run_for: SimDuration::from_secs(120),
+                ..EstoreConfig::default()
+            },
+        }
+    }
+}
+
 /// Results of one E-Store run.
 #[derive(Debug)]
 pub struct EstoreReport {
@@ -94,6 +113,8 @@ pub struct EstoreReport {
     pub tail_ms: f64,
     /// Migrations performed.
     pub migrations: usize,
+    /// Scenario-independent elasticity stats.
+    pub eval: ElasticityEval,
 }
 
 struct RootPartition {
@@ -327,6 +348,7 @@ pub fn run(cfg: &EstoreConfig) -> EstoreReport {
         },
         migrations: report.migrations.len(),
         latency_series: report.latency_series.clone(),
+        eval: ElasticityEval::collect(app.runtime()),
     }
 }
 

@@ -19,6 +19,8 @@
 use plasma::prelude::*;
 use plasma_sim::SimTime;
 
+use crate::common::{ElasticityEval, EvalScale};
+
 /// Schema for the Halo policies.
 pub fn schema() -> ActorSchema {
     let mut schema = ActorSchema::new();
@@ -214,6 +216,25 @@ impl Default for HaloConfig {
     }
 }
 
+impl HaloConfig {
+    /// The evaluation-harness preset at the given scale.
+    pub fn preset(scale: EvalScale) -> Self {
+        match scale {
+            EvalScale::Full => HaloConfig::default(),
+            EvalScale::Smoke => HaloConfig {
+                routers: 4,
+                sessions: 4,
+                servers: 4,
+                clients: 12,
+                rounds: 2,
+                round_len: SimDuration::from_secs(60),
+                period: SimDuration::from_secs(30),
+                ..HaloConfig::default()
+            },
+        }
+    }
+}
+
 /// Results of one Fig. 11a/b run.
 #[derive(Debug)]
 pub struct HaloReport {
@@ -229,6 +250,8 @@ pub struct HaloReport {
     pub migrations: usize,
     /// Players ending the run on their session's server / total players.
     pub colocated: (usize, usize),
+    /// Scenario-independent elasticity stats.
+    pub eval: ElasticityEval,
 }
 
 /// The slow inter-instance network of the m1.small era: remote hops cost
@@ -331,6 +354,7 @@ pub fn run(cfg: &HaloConfig) -> HaloReport {
         peak_ms: latency_series.iter().map(|&(_, v)| v).fold(0.0, f64::max),
         migrations: report.migrations.len(),
         colocated,
+        eval: ElasticityEval::collect(app.runtime()),
         client_latency: report
             .client_latency
             .iter()

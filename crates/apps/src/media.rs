@@ -21,6 +21,8 @@
 use plasma::prelude::*;
 use plasma_sim::SimTime;
 
+use crate::common::{ElasticityEval, EvalScale};
+
 /// Schema for the Media Service policy.
 pub fn schema() -> ActorSchema {
     let mut schema = ActorSchema::new();
@@ -84,6 +86,24 @@ impl Default for MediaConfig {
     }
 }
 
+impl MediaConfig {
+    /// The evaluation-harness preset at the given scale.
+    pub fn preset(scale: EvalScale) -> Self {
+        match scale {
+            EvalScale::Full => MediaConfig::default(),
+            EvalScale::Smoke => MediaConfig {
+                clients: 32,
+                max_servers: 20,
+                join_mean: SimDuration::from_secs(60),
+                sigma: SimDuration::from_secs(30),
+                leave_mean: SimDuration::from_secs(300),
+                run_for: SimDuration::from_secs(600),
+                ..MediaConfig::default()
+            },
+        }
+    }
+}
+
 /// Results of one Media Service run.
 #[derive(Debug)]
 pub struct MediaReport {
@@ -106,6 +126,8 @@ pub struct MediaReport {
     pub type_spread: Vec<(String, usize, usize, usize)>,
     /// EMR admission counters `(admitted, rejected)`.
     pub emr_actions: (u64, u64),
+    /// Scenario-independent elasticity stats.
+    pub eval: ElasticityEval,
 }
 
 /// Ids a joining client receives from the gateway.
@@ -516,6 +538,7 @@ pub fn run(cfg: &MediaConfig) -> MediaReport {
     MediaReport {
         type_spread,
         emr_actions,
+        eval: ElasticityEval::collect(app.runtime()),
         plateau_ms: if plateau.is_empty() {
             0.0
         } else {

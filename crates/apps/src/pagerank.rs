@@ -20,6 +20,8 @@
 
 use plasma::prelude::*;
 use plasma_graph::gen::preferential_attachment;
+
+use crate::common::{ElasticityEval, EvalScale};
 use plasma_graph::partition::{partition_balanced, Partitioning};
 use plasma_graph::Graph;
 use plasma_sim::SimTime;
@@ -123,6 +125,23 @@ impl Default for PageRankConfig {
     }
 }
 
+impl PageRankConfig {
+    /// The evaluation-harness preset at the given scale.
+    pub fn preset(scale: EvalScale) -> Self {
+        match scale {
+            EvalScale::Full => PageRankConfig::default(),
+            EvalScale::Smoke => PageRankConfig {
+                vertices: 6_000,
+                attach: 6,
+                partitions: 16,
+                servers: 4,
+                max_iters: 12,
+                ..PageRankConfig::default()
+            },
+        }
+    }
+}
+
 /// Results of one PageRank run.
 #[derive(Clone, Debug)]
 pub struct PageRankReport {
@@ -151,6 +170,8 @@ pub struct PageRankReport {
     pub emr_admitted: u64,
     /// Rejected actions (admission control, residency, pinning).
     pub emr_rejected: u64,
+    /// Scenario-independent elasticity stats.
+    pub eval: ElasticityEval,
 }
 
 /// Iteration-tagged control payload.
@@ -534,6 +555,7 @@ pub fn run_on(
             })
             .unwrap_or_default(),
         iteration_times,
+        eval: ElasticityEval::collect(app.runtime()),
     }
 }
 

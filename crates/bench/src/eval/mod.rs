@@ -1,0 +1,15 @@
+//! plasma-eval: the deterministic paper-evaluation harness.
+//!
+//! Drives the §5 application scenarios through the simulator under fixed
+//! seeds ([`runner`]), folds each run into a byte-stable
+//! `BENCH_<scenario>.json` result ([`result`]), and gates changes with a
+//! directional regression comparator ([`mod@compare`]). The `plasma-eval`
+//! binary in this crate is a thin CLI over these modules.
+
+pub mod compare;
+pub mod result;
+pub mod runner;
+
+pub use compare::{compare, CompareOptions, CompareReport, DiffKind, MetricDiff};
+pub use result::{Direction, MetricValue, ScenarioResult, SCHEMA_VERSION};
+pub use runner::{render_summary, run_scenario, spec, ScenarioSpec, SCENARIOS};

@@ -1,0 +1,253 @@
+//! Drives the §5 application scenarios under fixed seeds and folds each run
+//! into a [`ScenarioResult`].
+//!
+//! Every scenario pushes the same block of scenario-independent elasticity
+//! metrics (decision latency, migration outcomes, throughput, balance
+//! score) followed by its paper-specific headline numbers. Metric insertion
+//! order is fixed, which — together with the deterministic simulator — makes
+//! the serialized results byte-identical across same-seed runs.
+
+use plasma_apps::common::{ElasticityEval, EvalScale};
+use plasma_apps::{chatroom, estore, halo, media, pagerank};
+
+use super::result::{Direction, ScenarioResult};
+
+/// One entry of the scenario registry.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioSpec {
+    /// Scenario name as used on the CLI and in file names.
+    pub name: &'static str,
+    /// Paper section the scenario reproduces.
+    pub paper_section: &'static str,
+    /// One-line description for `plasma-eval list`.
+    pub summary: &'static str,
+}
+
+/// The evaluation scenario registry, in canonical run order.
+pub const SCENARIOS: &[ScenarioSpec] = &[
+    ScenarioSpec {
+        name: "chatroom",
+        paper_section: "5.2",
+        summary: "chat-room microbenchmark: CPU-bound makespan and EPR profiling tax",
+    },
+    ScenarioSpec {
+        name: "pagerank",
+        paper_section: "5.4",
+        summary: "distributed PageRank: one balance rule repairs edge-count imbalance",
+    },
+    ScenarioSpec {
+        name: "estore",
+        paper_section: "5.5",
+        summary: "E-Store skew: hot roots reserved and colocated off the overloaded server",
+    },
+    ScenarioSpec {
+        name: "media",
+        paper_section: "5.6",
+        summary: "Media Service join/leave wave: cluster grows and reclaims servers",
+    },
+    ScenarioSpec {
+        name: "halo",
+        paper_section: "5.7",
+        summary: "Halo presence: creation-time colocation vs frequency default rule",
+    },
+];
+
+/// Looks a scenario up by name.
+pub fn spec(name: &str) -> Option<&'static ScenarioSpec> {
+    SCENARIOS.iter().find(|s| s.name == name)
+}
+
+/// Pushes the scenario-independent elasticity metrics.
+///
+/// `rebalance_direction` lets hotspot-at-start scenarios gate on
+/// time-to-rebalance while wave scenarios (where migrations legitimately
+/// continue to the end of the run) keep it informational.
+fn push_common(result: &mut ScenarioResult, eval: &ElasticityEval, rebalance_direction: Direction) {
+    result.push("run_secs", eval.run_secs, Direction::Info);
+    result.push("throughput_rps", eval.throughput_rps, Direction::Higher);
+    result.push(
+        "message_throughput_per_s",
+        eval.message_throughput_per_s,
+        Direction::Higher,
+    );
+    result.push("locality", eval.locality, Direction::Info);
+    result.push(
+        "migrations_completed",
+        eval.migrations_completed as f64,
+        Direction::Info,
+    );
+    result.push("emr_admitted", eval.emr_admitted as f64, Direction::Info);
+    result.push("emr_rejected", eval.emr_rejected as f64, Direction::Info);
+    result.push("emr_ticks", eval.emr_ticks as f64, Direction::Info);
+    result.push("scale_outs", eval.scale_outs as f64, Direction::Info);
+    result.push("scale_ins", eval.scale_ins as f64, Direction::Info);
+    result.push(
+        "decision_latency_ms_mean",
+        eval.decision_latency_ms_mean,
+        Direction::Lower,
+    );
+    result.push(
+        "decision_latency_ms_max",
+        eval.decision_latency_ms_max,
+        Direction::Lower,
+    );
+    result.push(
+        "time_to_rebalance_s",
+        eval.time_to_rebalance_s,
+        rebalance_direction,
+    );
+    result.push("balance_score", eval.balance_score, Direction::Higher);
+}
+
+/// Runs one scenario at the given scale and returns its result, or `None`
+/// for an unknown scenario name.
+///
+/// `seed` overrides the preset's fixed seed when given; CI and the checked
+/// in baselines always use the preset seed.
+pub fn run_scenario(name: &str, scale: EvalScale, seed: Option<u64>) -> Option<ScenarioResult> {
+    let spec = spec(name)?;
+    let mut result = ScenarioResult::new(spec.name, spec.paper_section, scale.name(), 0);
+    match name {
+        "chatroom" => {
+            let mut cfg = chatroom::ChatConfig::preset(scale);
+            if let Some(s) = seed {
+                cfg.seed = s;
+            }
+            result.seed = cfg.seed;
+            let report = chatroom::run(&cfg);
+            let mut off = cfg.clone();
+            off.epr_enabled = false;
+            let base = chatroom::run(&off);
+            push_common(&mut result, &report.eval, Direction::Info);
+            result.push(
+                "makespan_s",
+                report.makespan.as_secs_f64(),
+                Direction::Lower,
+            );
+            result.push("mean_latency_ms", report.mean_latency_ms, Direction::Lower);
+            result.push(
+                "epr_overhead_ratio",
+                report.makespan.as_secs_f64() / base.makespan.as_secs_f64().max(1e-9),
+                Direction::Lower,
+            );
+        }
+        "pagerank" => {
+            let mut cfg = pagerank::PageRankConfig::preset(scale);
+            if let Some(s) = seed {
+                cfg.seed = s;
+            }
+            result.seed = cfg.seed;
+            let report = pagerank::run(&cfg);
+            push_common(&mut result, &report.eval, Direction::Lower);
+            result.push("converged_time_s", report.converged_time, Direction::Lower);
+            let n = report.iteration_times.len();
+            let tail = n.min(5);
+            let tail_mean = if tail == 0 {
+                0.0
+            } else {
+                report.iteration_times[n - tail..].iter().sum::<f64>() / tail as f64
+            };
+            result.push("tail_iteration_s", tail_mean, Direction::Lower);
+            result.push("iterations", n as f64, Direction::Info);
+            result.push("final_delta", report.final_delta, Direction::Info);
+        }
+        "estore" => {
+            let mut cfg = estore::EstoreConfig::preset(scale);
+            if let Some(s) = seed {
+                cfg.seed = s;
+            }
+            result.seed = cfg.seed;
+            let report = estore::run(&cfg);
+            push_common(&mut result, &report.eval, Direction::Lower);
+            result.push("tail_ms", report.tail_ms, Direction::Lower);
+        }
+        "media" => {
+            let mut cfg = media::MediaConfig::preset(scale);
+            if let Some(s) = seed {
+                cfg.seed = s;
+            }
+            result.seed = cfg.seed;
+            let report = media::run(&cfg);
+            push_common(&mut result, &report.eval, Direction::Info);
+            result.push("mean_latency_ms", report.mean_ms, Direction::Lower);
+            result.push("plateau_latency_ms", report.plateau_ms, Direction::Lower);
+            result.push("peak_servers", report.peak_servers as f64, Direction::Info);
+            result.push(
+                "final_servers",
+                report.final_servers as f64,
+                Direction::Lower,
+            );
+        }
+        "halo" => {
+            let mut cfg = halo::HaloConfig::preset(scale);
+            if let Some(s) = seed {
+                cfg.seed = s;
+            }
+            result.seed = cfg.seed;
+            let report = halo::run(&cfg);
+            push_common(&mut result, &report.eval, Direction::Lower);
+            result.push("mean_latency_ms", report.mean_ms, Direction::Lower);
+            result.push("peak_latency_ms", report.peak_ms, Direction::Lower);
+            let (on_home, total) = report.colocated;
+            result.push(
+                "colocated_fraction",
+                if total == 0 {
+                    1.0
+                } else {
+                    on_home as f64 / total as f64
+                },
+                Direction::Higher,
+            );
+        }
+        _ => unreachable!("spec() vetted the name"),
+    }
+    Some(result)
+}
+
+/// Renders the human summary of one result (one line per metric).
+pub fn render_summary(result: &ScenarioResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== {} (§{}, scale={}, seed={}) ==\n",
+        result.scenario, result.paper_section, result.scale, result.seed
+    ));
+    for (name, m) in &result.metrics {
+        let tag = match m.direction {
+            Direction::Lower => "↓",
+            Direction::Higher => "↑",
+            Direction::Info => " ",
+        };
+        out.push_str(&format!("  {tag} {name:<28} {:>14.6}\n", m.value));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        for s in SCENARIOS {
+            assert!(spec(s.name).is_some());
+        }
+        let mut names: Vec<&str> = SCENARIOS.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SCENARIOS.len());
+    }
+
+    #[test]
+    fn unknown_scenario_is_none() {
+        assert!(run_scenario("nope", EvalScale::Smoke, None).is_none());
+    }
+
+    #[test]
+    fn chatroom_smoke_produces_headline_metrics() {
+        let r = run_scenario("chatroom", EvalScale::Smoke, None).unwrap();
+        assert_eq!(r.scenario, "chatroom");
+        assert!(r.metric("makespan_s").unwrap().value > 0.0);
+        assert!(r.metric("epr_overhead_ratio").unwrap().value > 1.0);
+        assert!(r.metric("throughput_rps").unwrap().value > 0.0);
+    }
+}

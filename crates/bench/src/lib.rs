@@ -7,6 +7,8 @@
 use std::fs;
 use std::path::PathBuf;
 
+pub mod eval;
+
 /// Prints a banner naming the experiment.
 pub fn banner(id: &str, claim: &str) {
     println!("================================================================");

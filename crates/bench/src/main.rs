@@ -1,0 +1,198 @@
+//! `plasma-eval`: CLI over the deterministic paper-evaluation harness.
+//!
+//! ```text
+//! plasma-eval run all [--scale smoke|full] [--seed N] [--out DIR]
+//! plasma-eval run <scenario>... [--scale smoke|full] [--seed N] [--out DIR]
+//! plasma-eval compare <baseline-dir-or-file> [current-dir-or-file] [--threshold F]
+//! plasma-eval list
+//! ```
+//!
+//! Exit codes: 0 success / comparison passed, 1 comparison failed
+//! (regression, missing scenario, or identity mismatch), 2 usage or I/O
+//! error.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::str::FromStr;
+
+use plasma_apps::common::EvalScale;
+use plasma_bench::eval::{
+    compare, render_summary, run_scenario, CompareOptions, ScenarioResult, SCENARIOS,
+};
+
+const USAGE: &str = "\
+plasma-eval: deterministic PLASMA paper-evaluation harness
+
+USAGE:
+  plasma-eval run all|<scenario>... [--scale smoke|full] [--seed N] [--out DIR]
+  plasma-eval compare <baseline> [current] [--threshold F]
+  plasma-eval list
+
+`run` writes one BENCH_<scenario>.json per scenario (default: repo root)
+and prints a human summary. `compare` diffs two result sets — each side a
+directory holding BENCH_*.json files or a single file — and exits 1 when a
+gated metric regresses past the threshold (default 0.10); with `current`
+omitted it compares against the repo root. `list` prints the registry.";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("plasma-eval: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// The workspace root, used as the default output / current-results dir.
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+/// Loads results from a `BENCH_*.json` file or a directory of them.
+fn load_results(path: &Path) -> Result<Vec<ScenarioResult>, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    if path.is_dir() {
+        let entries =
+            fs::read_dir(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        for entry in entries.flatten() {
+            let p = entry.path();
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("BENCH_") && name.ends_with(".json") {
+                files.push(p);
+            }
+        }
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("no BENCH_*.json files in {}", path.display()));
+        }
+    } else if path.is_file() {
+        files.push(path.to_path_buf());
+    } else {
+        return Err(format!("{} does not exist", path.display()));
+    }
+    let mut results = Vec::new();
+    for f in files {
+        let text =
+            fs::read_to_string(&f).map_err(|e| format!("cannot read {}: {e}", f.display()))?;
+        let r = ScenarioResult::from_str(&text).map_err(|e| format!("{}: {e}", f.display()))?;
+        results.push(r);
+    }
+    Ok(results)
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut names: Vec<String> = Vec::new();
+    let mut scale = EvalScale::Full;
+    let mut seed: Option<u64> = None;
+    let mut out_dir = repo_root();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().map(|s| EvalScale::parse(s)) {
+                Some(Some(s)) => scale = s,
+                _ => return fail("--scale expects `smoke` or `full`"),
+            },
+            "--seed" => match it.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(s) => seed = Some(s),
+                None => return fail("--seed expects an integer"),
+            },
+            "--out" => match it.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => return fail("--out expects a directory"),
+            },
+            other if other.starts_with("--") => {
+                return fail(&format!("unknown flag `{other}`"));
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        return fail("`run` expects `all` or one or more scenario names");
+    }
+    if names.iter().any(|n| n == "all") {
+        names = SCENARIOS.iter().map(|s| s.name.to_string()).collect();
+    }
+    for name in &names {
+        if plasma_bench::eval::spec(name).is_none() {
+            return fail(&format!(
+                "unknown scenario `{name}` (try `plasma-eval list`)"
+            ));
+        }
+    }
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        return fail(&format!("cannot create {}: {e}", out_dir.display()));
+    }
+    for name in &names {
+        eprintln!("[plasma-eval] running {name} (scale={})...", scale.name());
+        let result = run_scenario(name, scale, seed).expect("scenario name vetted above");
+        let path = out_dir.join(result.file_name());
+        if let Err(e) = fs::write(&path, result.to_pretty_string()) {
+            eprintln!("plasma-eval: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        print!("{}", render_summary(&result));
+        println!("  -> {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut opts = CompareOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => opts.threshold = t,
+                _ => return fail("--threshold expects a non-negative number"),
+            },
+            other if other.starts_with("--") => {
+                return fail(&format!("unknown flag `{other}`"));
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+    let (baseline_path, current_path) = match paths.len() {
+        1 => (paths[0].clone(), repo_root()),
+        2 => (paths[0].clone(), paths[1].clone()),
+        _ => return fail("`compare` expects <baseline> [current]"),
+    };
+    let baseline = match load_results(&baseline_path) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("baseline: {e}")),
+    };
+    let current = match load_results(&current_path) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("current: {e}")),
+    };
+    let report = compare(&baseline, &current, opts);
+    print!("{}", report.render(opts.threshold));
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_list() -> ExitCode {
+    println!("scenarios (run order):");
+    for s in SCENARIOS {
+        println!("  {:<10} §{:<4} {}", s.name, s.paper_section, s.summary);
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("list") => cmd_list(),
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => fail(&format!("unknown subcommand `{other}`")),
+        None => fail("missing subcommand"),
+    }
+}

@@ -1,0 +1,50 @@
+//! Determinism and end-to-end gate tests for the plasma-eval harness.
+//!
+//! The CI regression gate depends on two same-seed runs of a scenario
+//! serializing to byte-identical JSON; these tests pin that property on the
+//! fast scenarios and exercise the run -> serialize -> parse -> compare
+//! path the `plasma-eval` binary is built from.
+
+use std::str::FromStr;
+
+use plasma_apps::common::EvalScale;
+use plasma_bench::eval::{compare, run_scenario, CompareOptions, ScenarioResult};
+
+#[test]
+fn same_seed_runs_serialize_byte_identically() {
+    for name in ["chatroom", "estore"] {
+        let a = run_scenario(name, EvalScale::Smoke, None).unwrap();
+        let b = run_scenario(name, EvalScale::Smoke, None).unwrap();
+        assert_eq!(
+            a.to_pretty_string(),
+            b.to_pretty_string(),
+            "scenario `{name}` is not byte-deterministic"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_change_the_seed_stamp() {
+    let a = run_scenario("chatroom", EvalScale::Smoke, Some(1)).unwrap();
+    let b = run_scenario("chatroom", EvalScale::Smoke, Some(2)).unwrap();
+    assert_eq!(a.seed, 1);
+    assert_eq!(b.seed, 2);
+    assert_ne!(a.to_pretty_string(), b.to_pretty_string());
+}
+
+#[test]
+fn run_round_trips_and_self_compares_clean() {
+    let result = run_scenario("estore", EvalScale::Smoke, None).unwrap();
+    let parsed = ScenarioResult::from_str(&result.to_pretty_string()).unwrap();
+    assert_eq!(parsed, result);
+    let report = compare(
+        std::slice::from_ref(&result),
+        std::slice::from_ref(&parsed),
+        CompareOptions::default(),
+    );
+    assert!(
+        report.passed(),
+        "self-comparison must pass:\n{}",
+        report.render(0.10)
+    );
+}

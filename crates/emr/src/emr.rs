@@ -101,6 +101,9 @@ impl Default for EmrConfig {
 struct Round {
     /// The tick that planned the round (for trace correlation).
     number: u64,
+    /// When planning happened; the plan→apply gap is the LEM→GEM→LEM
+    /// decision latency the evaluation harness reports.
+    planned_at: plasma_sim::SimTime,
     actions: Vec<Action>,
 }
 
@@ -119,6 +122,13 @@ pub struct EmrStats {
     pub scale_outs: u64,
     /// Scale-in (decommission) events.
     pub scale_ins: u64,
+    /// Plan→apply round-trips completed.
+    pub rounds_applied: u64,
+    /// Total simulated plan→apply decision latency over applied rounds, in
+    /// milliseconds (the LEM→GEM→LEM control loop of Alg. 1).
+    pub decision_latency_ms_total: f64,
+    /// Worst simulated plan→apply decision latency, in milliseconds.
+    pub decision_latency_ms_max: f64,
 }
 
 /// The PLASMA elasticity management runtime.
@@ -435,6 +445,7 @@ impl PlasmaEmr {
         }
         self.pending = Some(Round {
             number: round_no,
+            planned_at: trace_now,
             actions,
         });
         // Model the LEM -> GEM -> LEM control round-trip before applying.
@@ -623,8 +634,36 @@ impl PlasmaEmr {
                 }
             }
         }
+        let decision_ms = trace_now.saturating_since(round.planned_at).as_secs_f64() * 1e3;
+        self.stats.rounds_applied += 1;
+        self.stats.decision_latency_ms_total += decision_ms;
+        self.stats.decision_latency_ms_max = self.stats.decision_latency_ms_max.max(decision_ms);
+        rt.record_custom("emr.decision_latency_ms", decision_ms);
         rt.record_custom("emr.admitted", self.stats.admitted as f64);
         rt.record_custom("emr.rejected", self.stats.rejected as f64);
+        self.export_stats(rt);
+    }
+
+    /// Publishes the cumulative counters as report scalars so harnesses can
+    /// read elasticity outcomes without reaching into the controller.
+    fn export_stats(&self, rt: &mut Runtime) {
+        let s = &self.stats;
+        rt.record_scalar("emr.ticks", s.ticks as f64);
+        rt.record_scalar("emr.planned", s.planned as f64);
+        rt.record_scalar("emr.admitted", s.admitted as f64);
+        rt.record_scalar("emr.rejected", s.rejected as f64);
+        rt.record_scalar("emr.scale_outs", s.scale_outs as f64);
+        rt.record_scalar("emr.scale_ins", s.scale_ins as f64);
+        rt.record_scalar("emr.rounds_applied", s.rounds_applied as f64);
+        rt.record_scalar("emr.decision_latency_ms_max", s.decision_latency_ms_max);
+        rt.record_scalar(
+            "emr.decision_latency_ms_mean",
+            if s.rounds_applied == 0 {
+                0.0
+            } else {
+                s.decision_latency_ms_total / s.rounds_applied as f64
+            },
+        );
     }
 
     /// Returns whether the policy wants `type_name` colocated with anything
@@ -698,6 +737,7 @@ impl ElasticityController for PlasmaEmr {
         self.stats.ticks += 1;
         self.progress_draining(rt);
         self.plan_round(rt);
+        self.export_stats(rt);
     }
 
     fn on_control(&mut self, rt: &mut Runtime, token: u64) {

@@ -311,6 +311,78 @@ impl BucketedSeries {
     }
 }
 
+/// Deterministic five-number summary of a sample set.
+///
+/// The evaluation harness folds whole series (decision latencies, iteration
+/// times, per-server CPU) into scalar metrics with this type; every field is
+/// a pure function of the input samples, so same-seed runs summarize to
+/// bit-identical values.
+///
+/// # Examples
+///
+/// ```
+/// use plasma_sim::metrics::Summary;
+///
+/// let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]);
+/// assert_eq!(s.count, 4);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// assert_eq!(s.p50, 2.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of finite samples summarized.
+    pub count: u64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+    /// Median by the nearest-rank method (0 when empty).
+    pub p50: f64,
+    /// 95th percentile by the nearest-rank method (0 when empty).
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Summarizes `samples`, ignoring non-finite values.
+    pub fn of(samples: &[f64]) -> Self {
+        let mut h = Histogram::new();
+        for &v in samples {
+            h.record(v);
+        }
+        Self::of_histogram(&mut h)
+    }
+
+    /// Summarizes an already-populated histogram.
+    pub fn of_histogram(h: &mut Histogram) -> Self {
+        Summary {
+            count: h.len() as u64,
+            mean: h.mean(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.quantile(0.5),
+            p95: h.quantile(0.95),
+        }
+    }
+
+    /// Coefficient of variation (`std-dev`-free spread proxy):
+    /// `(max - min) / mean`, 0 when empty or when the mean is ~0.
+    ///
+    /// Used for end-state balance scores, where "how far apart are the
+    /// busiest and idlest servers relative to typical load" is the question
+    /// the paper's band rules answer.
+    pub fn relative_spread(&self) -> f64 {
+        if self.count == 0 || self.mean.abs() < 1e-9 {
+            0.0
+        } else {
+            (self.max - self.min) / self.mean
+        }
+    }
+}
+
 /// Tracks cumulative busy time to derive utilization over a window.
 ///
 /// Servers accumulate "busy lane-seconds"; at the end of each profiling
@@ -430,6 +502,27 @@ mod tests {
         assert_eq!(b[1].0, SimTime::from_secs(4));
         assert_eq!(s.count(), 3);
         assert!((s.overall_mean().unwrap() - 14.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_is_deterministic_and_exact() {
+        let s = Summary::of(&[5.0, 1.0, 2.0, 4.0, 3.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p95, 5.0);
+        assert_eq!(s, Summary::of(&[5.0, 1.0, 2.0, 4.0, 3.0]));
+        assert!((s.relative_spread() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_handles_empty_and_non_finite() {
+        let s = Summary::of(&[f64::NAN, f64::INFINITY]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.relative_spread(), 0.0);
     }
 
     #[test]
