@@ -12,6 +12,22 @@ use plasma_cluster::ServerId;
 use crate::ids::ActorTypeId;
 use crate::runtime::Runtime;
 
+/// A control-plane fault delivered to the controller by the chaos runtime.
+///
+/// The runtime handles data-plane faults (server crashes, partitions,
+/// message loss) itself; faults that concern the elasticity manager's own
+/// processes are forwarded here, because only the controller knows its
+/// internal topology (e.g. how many GEMs it runs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControlFault {
+    /// The GEM at this index crash-stops (§4.3): its servers must be
+    /// re-shuffled onto the surviving GEMs.
+    GemCrash {
+        /// Index of the crashed GEM.
+        gem: usize,
+    },
+}
+
 /// An elasticity manager driven by the runtime's periodic ticks.
 ///
 /// All methods have no-op defaults so simple baselines only override what
@@ -48,6 +64,13 @@ pub trait ElasticityController: Send {
     /// Called when a provisioned server finishes booting.
     fn on_server_ready(&mut self, rt: &mut Runtime, server: ServerId) {
         let _ = (rt, server);
+    }
+
+    /// Called when the chaos runtime injects a fault into the control
+    /// plane itself (e.g. a GEM crash). Controllers without internal
+    /// failure domains can ignore this.
+    fn on_fault(&mut self, rt: &mut Runtime, fault: ControlFault) {
+        let _ = (rt, fault);
     }
 }
 

@@ -66,6 +66,10 @@ pub struct ActorEntry {
     pub in_runq: bool,
     /// Migration progress, if any.
     pub migration: Option<MigrationState>,
+    /// Monotone counter distinguishing migration attempts: each transfer
+    /// carries the value at launch, and an arrival whose value no longer
+    /// matches is stale (the migration was aborted by a fault in between).
+    pub migration_seq: u64,
     /// When the actor arrived on its current server (residency clock).
     pub arrived_at: SimTime,
     /// Whether a `pin` behavior protects the actor from migration.
@@ -100,6 +104,7 @@ impl ActorEntry {
             servicing: false,
             in_runq: false,
             migration: None,
+            migration_seq: 0,
             arrived_at: now,
             pinned: false,
             tombstone: false,

@@ -23,6 +23,7 @@
 //!
 //! The runtime is deterministic: same seed, same program, same trace.
 
+mod chaos;
 pub mod controller;
 pub mod entry;
 pub mod ids;
@@ -33,9 +34,9 @@ pub mod report;
 pub mod runtime;
 pub mod stats;
 
-pub use controller::{ElasticityController, NullController};
+pub use controller::{ControlFault, ElasticityController, NullController};
 pub use ids::{ActorId, ActorTypeId, ClientId, FnId};
 pub use logic::{ActorCtx, ActorLogic, ClientCtx, ClientLogic};
 pub use message::{CallerKind, Message};
 pub use report::RunReport;
-pub use runtime::{Runtime, RuntimeConfig};
+pub use runtime::{DecommissionError, Runtime, RuntimeConfig};

@@ -20,12 +20,15 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use plasma_chaos::fault::FaultKind;
+use plasma_chaos::{FaultPlan, RecoveryPolicy};
 use plasma_cluster::topology::ClusterLimits;
 use plasma_cluster::{Cluster, InstanceType, NetworkModel, ServerId};
 use plasma_sim::{DetRng, EventQueue, SimDuration, SimTime};
 use plasma_trace::{Component, EventId, TraceEventKind, Tracer};
 
-use crate::controller::ElasticityController;
+use crate::chaos::{ChaosState, CrashRecord, OrphanActor};
+use crate::controller::{ControlFault, ElasticityController};
 use crate::entry::{ActorEntry, MigrationBlocked, MigrationState};
 use crate::ids::{ActorId, ActorTypeId, ClientId, FnId, NameRegistry};
 use crate::logic::{ActorCtx, ActorLogic, ClientCtx, ClientLogic, PendingSend};
@@ -102,11 +105,17 @@ enum Event {
     ServiceDone {
         server: ServerId,
         actor: ActorId,
+        /// Crash epoch of the server at dispatch; a crash in between
+        /// invalidates the service (the CPU it ran on is gone).
+        epoch: u64,
     },
     MigrationArrive {
         actor: ActorId,
         dst: ServerId,
         started: SimTime,
+        /// The actor's migration_seq at launch; a mismatch at arrival means
+        /// the migration was aborted while the state was on the wire.
+        seq: u64,
         trace: Option<EventId>,
     },
     ServerReady(ServerId),
@@ -120,6 +129,35 @@ enum Event {
     Control {
         token: u64,
     },
+    /// Inject fault `i` of the installed plan's schedule.
+    Fault(usize),
+    /// Periodic failure-detector sweep (only scheduled under chaos).
+    HeartbeatCheck,
+    /// Reboot a crashed server (ServerCrash with `restart_after`).
+    ServerRestart(ServerId),
+    /// Retry an aborted migration after backoff.
+    MigrationRetry {
+        actor: ActorId,
+        dst: ServerId,
+        attempt: u32,
+    },
+    /// Heal every active partition (Partition with `heal_after`).
+    PartitionHeal,
+    /// Clear link degradation (LinkDegrade with `heal_after`).
+    LinkHeal,
+}
+
+/// Why [`Runtime::decommission_server`] refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecommissionError {
+    /// Actors are still resident on the server.
+    HasActors,
+    /// An actor is migrating toward the server.
+    InboundMigration,
+    /// Stopping it would violate the cluster's `min_servers` floor.
+    MinServers,
+    /// The server is not running (booting, crashed, or already stopped).
+    NotRunning,
 }
 
 /// The simulation runtime. See the [module docs](self) for the model.
@@ -143,6 +181,12 @@ pub struct Runtime {
     report: RunReport,
     next_request: u64,
     orphan_replies: u64,
+    /// Per-server crash epoch; bumped on crash to cancel stale services.
+    server_epoch: Vec<u64>,
+    /// Per-server count of migrations currently targeting the server.
+    inbound_migrations: Vec<u32>,
+    /// Present only while a non-empty fault plan is installed.
+    chaos: Option<ChaosState>,
 }
 
 impl Runtime {
@@ -175,6 +219,9 @@ impl Runtime {
             report,
             next_request: 0,
             orphan_replies: 0,
+            server_epoch: Vec::new(),
+            inbound_migrations: Vec::new(),
+            chaos: None,
         }
     }
 
@@ -209,7 +256,15 @@ impl Runtime {
     /// Requests a new server; it becomes usable after its boot delay and the
     /// controller is notified via
     /// [`ElasticityController::on_server_ready`].
+    ///
+    /// Fails (returns `None`) while an injected provisioner stall is
+    /// active, in addition to the cluster's own growth limits.
     pub fn request_server(&mut self, itype: InstanceType) -> Option<ServerId> {
+        if let Some(chaos) = &self.chaos {
+            if self.now < chaos.provisioner_stalled_until {
+                return None;
+            }
+        }
         let (id, ready_at) = self.cluster.request_server(itype, self.now)?;
         self.ensure_server_slots(id);
         self.events.push(ready_at, Event::ServerReady(id));
@@ -217,22 +272,48 @@ impl Runtime {
     }
 
     /// Stops an empty running server. Fails if actors are resident or
-    /// migrating toward it, or if `min_servers` would be violated.
-    pub fn decommission_server(&mut self, id: ServerId) -> bool {
+    /// migrating toward it, if the server is not running, or if
+    /// `min_servers` would be violated.
+    pub fn decommission_server(&mut self, id: ServerId) -> Result<(), DecommissionError> {
+        if !self.cluster.server(id).is_running() {
+            return Err(DecommissionError::NotRunning);
+        }
         if !self.actors_by_server[id.0 as usize].is_empty() {
-            return false;
+            return Err(DecommissionError::HasActors);
         }
-        let inbound = self.actors.iter().flatten().any(|e| {
-            matches!(
-                e.migration,
-                Some(MigrationState::Pending { dst } | MigrationState::InTransit { dst })
-                    if dst == id
-            )
-        });
-        if inbound {
-            return false;
+        if self.inbound_migrations[id.0 as usize] > 0 {
+            return Err(DecommissionError::InboundMigration);
         }
-        self.cluster.decommission(id, self.now)
+        if self.cluster.decommission(id, self.now) {
+            Ok(())
+        } else {
+            Err(DecommissionError::MinServers)
+        }
+    }
+
+    /// Installs a fault plan and recovery policy, arming the chaos runtime.
+    ///
+    /// Every fault in the plan is scheduled as a first-class simulation
+    /// event, and the heartbeat failure detector starts sweeping. An empty
+    /// plan is the identity: nothing is scheduled, no chaos state is
+    /// created, and the run stays byte-identical to one without this call.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan, policy: RecoveryPolicy) {
+        if plan.is_empty() {
+            return;
+        }
+        let schedule = plan.schedule();
+        for (i, ev) in schedule.iter().enumerate() {
+            self.events.push(ev.at, Event::Fault(i));
+        }
+        self.events
+            .push(self.now + policy.heartbeat_period, Event::HeartbeatCheck);
+        self.chaos = Some(ChaosState::new(schedule, policy));
+    }
+
+    /// Returns whether servers `a` and `b` can exchange messages (no
+    /// active partition severs them). Always `true` fault-free.
+    pub fn reachable(&self, a: ServerId, b: ServerId) -> bool {
+        !self.cluster.net_faults().severed(a, b)
     }
 
     /// Creates an actor on an explicit server (initial deployment).
@@ -335,6 +416,11 @@ impl Runtime {
         // Mid-transit state was already deducted from the source server.
         if !matches!(entry.migration, Some(MigrationState::InTransit { .. })) {
             self.cluster.server_mut(server).remove_mem(entry.state_size);
+        }
+        if let Some(MigrationState::Pending { dst } | MigrationState::InTransit { dst }) =
+            entry.migration
+        {
+            self.inbound_migrations[dst.0 as usize] -= 1;
         }
         if entry.in_runq {
             self.runq[server.0 as usize].retain(|&a| a != actor);
@@ -548,6 +634,12 @@ impl Runtime {
         let now = self.now;
         let entry = self.try_entry(actor).ok_or(MigrationBlocked::Gone)?;
         entry.check_migratable(dst, now, min_res)?;
+        if !self.reachable(entry.server, dst) {
+            // A partition severs source and destination: the state transfer
+            // could never complete, so refuse up front.
+            return Err(MigrationBlocked::DestinationDown);
+        }
+        self.inbound_migrations[dst.0 as usize] += 1;
         self.entry_mut(actor).migration_trace = parent;
         if self.entry(actor).servicing {
             self.entry_mut(actor).migration = Some(MigrationState::Pending { dst });
@@ -695,13 +787,18 @@ impl Runtime {
                 sent_at,
                 payload,
             } => self.on_reply(client, request, sent_at, payload),
-            Event::ServiceDone { server, actor } => self.on_service_done(server, actor),
+            Event::ServiceDone {
+                server,
+                actor,
+                epoch,
+            } => self.on_service_done(server, actor, epoch),
             Event::MigrationArrive {
                 actor,
                 dst,
                 started,
+                seq,
                 trace,
-            } => self.on_migration_arrive(actor, dst, started, trace),
+            } => self.on_migration_arrive(actor, dst, started, seq, trace),
             Event::ServerReady(id) => self.on_server_ready(id),
             Event::ClientStart(id) => self.with_client(id, |logic, ctx| logic.on_start(ctx)),
             Event::ClientTimer { client, token } => {
@@ -718,11 +815,40 @@ impl Runtime {
                     self.controller = controller;
                 }
             }
+            Event::Fault(i) => self.on_fault_event(i),
+            Event::HeartbeatCheck => self.on_heartbeat_check(),
+            Event::ServerRestart(id) => self.on_server_restart(id),
+            Event::MigrationRetry {
+                actor,
+                dst,
+                attempt,
+            } => self.on_migration_retry(actor, dst, attempt),
+            Event::PartitionHeal => {
+                let healed = self.cluster.net_faults_mut().heal_partitions();
+                self.tracer.emit(self.now, Component::Chaos, None, || {
+                    TraceEventKind::PartitionHealed {
+                        healed: healed as u64,
+                    }
+                });
+            }
+            Event::LinkHeal => {
+                let was_active = self.cluster.net_faults_mut().clear_degradation();
+                self.tracer.emit(self.now, Component::Chaos, None, || {
+                    TraceEventKind::LinksHealed { was_active }
+                });
+            }
         }
     }
 
     fn on_deliver(&mut self, mut msg: Message) {
         let Some(entry) = self.actors.get(msg.to.0 as usize).and_then(|e| e.as_ref()) else {
+            // Arrivals addressed to an orphaned actor (crashed, not yet
+            // respawned) are crash losses, not application bugs.
+            if let Some(chaos) = self.chaos.as_mut() {
+                if chaos.orphaned_ids.contains(&msg.to) {
+                    chaos.stats.messages_lost_crash += 1;
+                }
+            }
             self.report.dropped_messages += 1;
             return;
         };
@@ -822,12 +948,23 @@ impl Runtime {
             self.free_lanes[sidx] -= 1;
             self.in_service
                 .insert(actor, ServiceEffects { sends, replies });
-            self.events
-                .push(self.now + service, Event::ServiceDone { server, actor });
+            self.events.push(
+                self.now + service,
+                Event::ServiceDone {
+                    server,
+                    actor,
+                    epoch: self.server_epoch[sidx],
+                },
+            );
         }
     }
 
-    fn on_service_done(&mut self, server: ServerId, actor: ActorId) {
+    fn on_service_done(&mut self, server: ServerId, actor: ActorId, epoch: u64) {
+        // The server crashed after this service was dispatched: the lane it
+        // occupied no longer exists and its effects died with the server.
+        if epoch != self.server_epoch[server.0 as usize] {
+            return;
+        }
         self.free_lanes[server.0 as usize] += 1;
         let effects = self.in_service.remove(&actor).unwrap_or_default();
         let entry = self.entry_mut(actor);
@@ -879,8 +1016,34 @@ impl Runtime {
         };
         let dest_server = dest_entry.server;
         let same = dest_server == from_server;
-        let bps = self.cluster.server(from_server).instance().net_bps;
-        let delay = self.cfg.network.delivery_delay(same, send.bytes, bps);
+        let mut bps = self.cluster.server(from_server).instance().net_bps;
+        let mut extra = SimDuration::ZERO;
+        if !same {
+            // Cross-server traffic is subject to injected network faults.
+            // All of this is inert fault-free: no partitions, no
+            // degradation, and crucially no RNG draw.
+            if self.cluster.net_faults().severed(from_server, dest_server) {
+                if let Some(chaos) = self.chaos.as_mut() {
+                    chaos.stats.messages_lost_partition += 1;
+                }
+                self.report.dropped_messages += 1;
+                return;
+            }
+            if self.cluster.net_faults().degradation().is_some() {
+                let nf = self.cluster.net_faults();
+                let drop_per_mille = nf.drop_per_mille() as u64;
+                bps *= nf.bandwidth_factor();
+                extra = nf.extra_latency();
+                if drop_per_mille > 0 && self.rng.below(1000) < drop_per_mille {
+                    if let Some(chaos) = self.chaos.as_mut() {
+                        chaos.stats.messages_dropped_link += 1;
+                    }
+                    self.report.dropped_messages += 1;
+                    return;
+                }
+            }
+        }
+        let delay = self.cfg.network.delivery_delay(same, send.bytes, bps) + extra;
         if !same {
             self.cluster
                 .server_mut(from_server)
@@ -928,11 +1091,18 @@ impl Runtime {
         self.cluster.server_mut(src).add_net_bytes(state_size);
         let src_bps = self.cluster.server(src).instance().net_bps;
         let dst_bps = self.cluster.server(dst).instance().net_bps;
-        let delay = self
-            .cfg
-            .network
-            .transfer_delay(state_size, src_bps.min(dst_bps));
-        let parent = self.entry_mut(actor).migration_trace.take();
+        let mut bps = src_bps.min(dst_bps);
+        let mut extra = SimDuration::ZERO;
+        if self.cluster.net_faults().degradation().is_some() {
+            let nf = self.cluster.net_faults();
+            bps *= nf.bandwidth_factor();
+            extra = nf.extra_latency();
+        }
+        let delay = self.cfg.network.transfer_delay(state_size, bps) + extra;
+        let entry = self.entry_mut(actor);
+        entry.migration_seq += 1;
+        let seq = entry.migration_seq;
+        let parent = entry.migration_trace.take();
         let trace = self.tracer.emit(self.now, Component::Runtime, parent, || {
             TraceEventKind::MigrationStart {
                 actor: actor.0,
@@ -947,6 +1117,7 @@ impl Runtime {
                 actor,
                 dst,
                 started: self.now,
+                seq,
                 trace,
             },
         );
@@ -957,19 +1128,37 @@ impl Runtime {
         actor: ActorId,
         dst: ServerId,
         started: SimTime,
+        seq: u64,
         trace: Option<EventId>,
     ) {
-        // The actor may have been removed while its state was in transit.
-        if self
-            .actors
-            .get(actor.0 as usize)
-            .and_then(|e| e.as_ref())
-            .is_none()
-        {
+        // The actor may have been removed — or the migration aborted by a
+        // fault — while its state was in transit; a seq mismatch marks the
+        // arrival as stale.
+        let Some(entry) = self.actors.get(actor.0 as usize).and_then(|e| e.as_ref()) else {
+            return;
+        };
+        if entry.migration_seq != seq {
             return;
         }
-        let src = self.entry(actor).server;
-        let state_size = self.entry(actor).state_size;
+        let src = entry.server;
+        let state_size = entry.state_size;
+        // An open migration-abort window kills the transfer at the finish
+        // line: the actor reverts to its source, then retries with backoff.
+        let aborted = self
+            .chaos
+            .as_mut()
+            .is_some_and(|c| c.should_abort_migration(self.now));
+        if aborted {
+            let mut chaos = self.chaos.take().expect("abort implies chaos");
+            self.abort_in_transit(&mut chaos, actor, src, dst, "injected", trace);
+            self.schedule_migration_retry(&mut chaos, actor, dst);
+            self.chaos = Some(chaos);
+            return;
+        }
+        self.inbound_migrations[dst.0 as usize] -= 1;
+        if let Some(chaos) = self.chaos.as_mut() {
+            chaos.retries.remove(&actor);
+        }
         self.actors_by_server[src.0 as usize].remove(&actor);
         self.actors_by_server[dst.0 as usize].insert(actor);
         self.cluster.server_mut(dst).add_mem(state_size);
@@ -1028,6 +1217,21 @@ impl Runtime {
     fn on_server_ready(&mut self, id: ServerId) {
         self.cluster.mark_running(id, self.now);
         self.free_lanes[id.0 as usize] = self.cluster.server(id).instance().vcpus;
+        // A rebooted server recovers its own orphans in place when it comes
+        // back before the failure detector reassigned them elsewhere.
+        if let Some(mut chaos) = self.chaos.take() {
+            if let Some((crashed_at, restart_trace)) = chaos.restarting.remove(&id) {
+                if let Some(orphans) = chaos.orphans.remove(&id) {
+                    for orphan in orphans {
+                        self.respawn_orphan(&mut chaos, orphan, id, id, restart_trace);
+                    }
+                    chaos
+                        .stats
+                        .record_unavailability(self.now.saturating_since(crashed_at).as_secs_f64());
+                }
+            }
+            self.chaos = Some(chaos);
+        }
         let mut controller = self.controller.take();
         if let Some(c) = controller.as_mut() {
             c.on_server_ready(self, id);
@@ -1111,6 +1315,426 @@ impl Runtime {
             .push(self.now + self.cfg.elasticity_period, Event::ElasticityTick);
     }
 
+    // ------------------------------------------------------------------
+    // Chaos: fault injection and recovery.
+    // ------------------------------------------------------------------
+
+    fn on_fault_event(&mut self, idx: usize) {
+        let Some(mut chaos) = self.chaos.take() else {
+            return;
+        };
+        let kind = chaos.schedule[idx].kind.clone();
+        chaos.stats.faults_injected += 1;
+        let label = kind.label();
+        let subject = kind.subject_server();
+        let fault_trace = self.tracer.emit(self.now, Component::Chaos, None, || {
+            TraceEventKind::FaultInjected {
+                fault: label.to_string(),
+                server: subject.map(|s| u64::from(s.0)),
+            }
+        });
+        match kind {
+            FaultKind::ServerCrash {
+                server,
+                restart_after,
+            } => {
+                self.apply_server_crash(&mut chaos, server, restart_after, fault_trace);
+            }
+            FaultKind::Partition { group, heal_after } => {
+                let group_size = group.len() as u64;
+                self.cluster.net_faults_mut().start_partition(group);
+                self.tracer
+                    .emit(self.now, Component::Chaos, fault_trace, || {
+                        TraceEventKind::PartitionStarted { group_size }
+                    });
+                if let Some(d) = heal_after {
+                    self.events.push(self.now + d, Event::PartitionHeal);
+                }
+            }
+            FaultKind::HealPartitions => {
+                let healed = self.cluster.net_faults_mut().heal_partitions();
+                self.tracer
+                    .emit(self.now, Component::Chaos, fault_trace, || {
+                        TraceEventKind::PartitionHealed {
+                            healed: healed as u64,
+                        }
+                    });
+            }
+            FaultKind::LinkDegrade {
+                degradation,
+                heal_after,
+            } => {
+                self.tracer
+                    .emit(self.now, Component::Chaos, fault_trace, || {
+                        TraceEventKind::LinkDegraded {
+                            extra_latency_us: degradation.extra_latency.as_micros(),
+                            bandwidth_pct: (degradation.bandwidth_factor * 100.0) as u32,
+                            drop_per_mille: degradation.drop_per_mille,
+                        }
+                    });
+                self.cluster.net_faults_mut().set_degradation(degradation);
+                if let Some(d) = heal_after {
+                    self.events.push(self.now + d, Event::LinkHeal);
+                }
+            }
+            FaultKind::HealLinks => {
+                let was_active = self.cluster.net_faults_mut().clear_degradation();
+                self.tracer
+                    .emit(self.now, Component::Chaos, fault_trace, || {
+                        TraceEventKind::LinksHealed { was_active }
+                    });
+            }
+            FaultKind::MigrationAbort { window, max } => {
+                chaos.abort_until = self.now + window;
+                chaos.abort_budget = max;
+            }
+            FaultKind::GemCrash { gem } => {
+                // Only the controller knows its GEM topology; hand over.
+                self.chaos = Some(chaos);
+                let mut controller = self.controller.take();
+                if let Some(c) = controller.as_mut() {
+                    c.on_fault(self, ControlFault::GemCrash { gem });
+                }
+                if self.controller.is_none() {
+                    self.controller = controller;
+                }
+                return;
+            }
+            FaultKind::LemCrash { server } => {
+                // The monitor process restarts: the profiling window in
+                // progress on this server is lost.
+                let ids: Vec<ActorId> = self.actors_by_server[server.0 as usize]
+                    .iter()
+                    .copied()
+                    .collect();
+                for aid in ids {
+                    if let Some(e) = self.try_entry_mut(aid) {
+                        e.counters.reset();
+                    }
+                }
+                self.tracer
+                    .emit(self.now, Component::Chaos, fault_trace, || {
+                        TraceEventKind::LemCrashed { server: server.0 }
+                    });
+            }
+            FaultKind::ProvisionerStall { duration } => {
+                let until = self.now + duration;
+                chaos.provisioner_stalled_until = until;
+                self.tracer
+                    .emit(self.now, Component::Chaos, fault_trace, || {
+                        TraceEventKind::ProvisionerStalled {
+                            until_us: until.as_micros(),
+                        }
+                    });
+            }
+        }
+        self.chaos = Some(chaos);
+    }
+
+    /// Crash-stops `server`: every resident actor loses its state and
+    /// queued mail, in-flight migrations from or toward it abort, and the
+    /// failure detector is left to notice.
+    fn apply_server_crash(
+        &mut self,
+        chaos: &mut ChaosState,
+        server: ServerId,
+        restart_after: Option<SimDuration>,
+        fault_trace: Option<EventId>,
+    ) {
+        if !self.cluster.crash(server, self.now) {
+            return; // Not running: nothing to kill.
+        }
+        let sidx = server.0 as usize;
+        self.server_epoch[sidx] += 1;
+        self.free_lanes[sidx] = 0;
+        self.runq[sidx].clear();
+        chaos.stats.servers_crashed += 1;
+        if chaos.stats.first_crash_at_s.is_none() {
+            chaos.stats.first_crash_at_s = Some(self.now.as_secs_f64());
+        }
+        let residents: Vec<ActorId> = self.actors_by_server[sidx].iter().copied().collect();
+        let actors_lost = residents.len() as u64;
+        let messages_lost: u64 = residents
+            .iter()
+            .map(|&a| self.entry(a).mailbox.len() as u64)
+            .sum();
+        chaos.stats.actors_lost += actors_lost;
+        chaos.stats.messages_lost_crash += messages_lost;
+        let crash_trace = self
+            .tracer
+            .emit(self.now, Component::Runtime, fault_trace, || {
+                TraceEventKind::ServerCrashed {
+                    server: server.0,
+                    actors_lost,
+                    messages_lost,
+                }
+            });
+        for aid in residents {
+            let Some(entry) = self.actors[aid.0 as usize].take() else {
+                continue;
+            };
+            self.actors_by_server[sidx].remove(&aid);
+            self.in_service.remove(&aid);
+            if let Some(MigrationState::Pending { dst } | MigrationState::InTransit { dst }) =
+                entry.migration
+            {
+                self.inbound_migrations[dst.0 as usize] -= 1;
+                chaos.stats.migrations_aborted += 1;
+                self.tracer
+                    .emit(self.now, Component::Runtime, crash_trace, || {
+                        TraceEventKind::MigrationAborted {
+                            actor: aid.0,
+                            src: server.0,
+                            dst: dst.0,
+                            reason: "source-crashed".to_string(),
+                        }
+                    });
+            }
+            // In-transit state was already deducted from this server.
+            if !matches!(entry.migration, Some(MigrationState::InTransit { .. })) {
+                self.cluster.server_mut(server).remove_mem(entry.state_size);
+            }
+            chaos.stats.state_bytes_lost += entry.state_size;
+            if entry.tombstone {
+                continue; // Was being removed anyway; do not resurrect.
+            }
+            chaos.orphaned_ids.insert(aid);
+            chaos.orphans.entry(server).or_default().push(OrphanActor {
+                id: aid,
+                type_id: entry.type_id,
+                logic: entry.logic.expect("logic present outside dispatch"),
+                state_size: entry.state_size,
+                refs: entry.refs,
+                pinned: entry.pinned,
+                migration_seq: entry.migration_seq + 1,
+            });
+        }
+        // Abort migrations headed toward the dead server.
+        let inbound: Vec<ActorId> = self
+            .actors
+            .iter()
+            .flatten()
+            .filter(|e| {
+                matches!(
+                    e.migration,
+                    Some(MigrationState::Pending { dst } | MigrationState::InTransit { dst })
+                        if dst == server
+                )
+            })
+            .map(|e| e.id)
+            .collect();
+        for aid in inbound {
+            match self.entry(aid).migration {
+                Some(MigrationState::Pending { .. }) => {
+                    self.inbound_migrations[sidx] -= 1;
+                    let e = self.entry_mut(aid);
+                    e.migration = None;
+                    let src = e.server;
+                    chaos.stats.migrations_aborted += 1;
+                    self.tracer
+                        .emit(self.now, Component::Runtime, crash_trace, || {
+                            TraceEventKind::MigrationAborted {
+                                actor: aid.0,
+                                src: src.0,
+                                dst: server.0,
+                                reason: "destination-down".to_string(),
+                            }
+                        });
+                }
+                Some(MigrationState::InTransit { .. }) => {
+                    let src = self.entry(aid).server;
+                    self.abort_in_transit(chaos, aid, src, server, "destination-down", crash_trace);
+                }
+                None => unreachable!("filtered on migration"),
+            }
+        }
+        chaos.crashed.insert(
+            server,
+            CrashRecord {
+                at: self.now,
+                trace: crash_trace,
+            },
+        );
+        if let Some(d) = restart_after {
+            self.events.push(self.now + d, Event::ServerRestart(server));
+        }
+    }
+
+    /// Reverts an in-transit migration: the actor stays on `src` with its
+    /// state intact there, and the stale arrival event is invalidated.
+    fn abort_in_transit(
+        &mut self,
+        chaos: &mut ChaosState,
+        actor: ActorId,
+        src: ServerId,
+        dst: ServerId,
+        reason: &'static str,
+        parent: Option<EventId>,
+    ) {
+        self.inbound_migrations[dst.0 as usize] -= 1;
+        let entry = self.entry_mut(actor);
+        entry.migration = None;
+        entry.migration_seq += 1;
+        let state_size = entry.state_size;
+        self.cluster.server_mut(src).add_mem(state_size);
+        chaos.stats.migrations_aborted += 1;
+        self.tracer.emit(self.now, Component::Runtime, parent, || {
+            TraceEventKind::MigrationAborted {
+                actor: actor.0,
+                src: src.0,
+                dst: dst.0,
+                reason: reason.to_string(),
+            }
+        });
+        let entry = self.entry_mut(actor);
+        if entry.runnable() {
+            entry.in_runq = true;
+            self.runq[src.0 as usize].push_back(actor);
+            self.try_dispatch(src);
+        }
+    }
+
+    /// Arms one retry of an aborted migration, with exponential backoff,
+    /// until the policy's attempt limit is exhausted.
+    fn schedule_migration_retry(&mut self, chaos: &mut ChaosState, actor: ActorId, dst: ServerId) {
+        let attempt = chaos.retries.entry(actor).or_insert(0);
+        *attempt += 1;
+        let attempt = *attempt;
+        if attempt > chaos.policy.migration_retry_limit {
+            return;
+        }
+        let delay = chaos.policy.backoff_for(attempt);
+        self.events.push(
+            self.now + delay,
+            Event::MigrationRetry {
+                actor,
+                dst,
+                attempt,
+            },
+        );
+    }
+
+    fn on_migration_retry(&mut self, actor: ActorId, dst: ServerId, attempt: u32) {
+        let Some(chaos) = self.chaos.as_mut() else {
+            return;
+        };
+        chaos.stats.migration_retries += 1;
+        let retry_trace = self.tracer.emit(self.now, Component::Runtime, None, || {
+            TraceEventKind::MigrationRetry {
+                actor: actor.0,
+                dst: dst.0,
+                attempt,
+            }
+        });
+        // A refusal (actor gone, destination down or unreachable, pinned
+        // in the meantime) ends the retry chain; the controller re-plans.
+        let _ = self.migrate_traced(actor, dst, retry_trace);
+    }
+
+    /// The heartbeat failure detector: declares silent-for-too-long
+    /// servers dead and respawns their orphans on the survivors.
+    fn on_heartbeat_check(&mut self) {
+        let Some(mut chaos) = self.chaos.take() else {
+            return;
+        };
+        let timeout = chaos.policy.heartbeat_timeout;
+        let due: Vec<ServerId> = chaos
+            .crashed
+            .iter()
+            .filter(|(_, rec)| self.now.saturating_since(rec.at) >= timeout)
+            .map(|(&s, _)| s)
+            .collect();
+        for server in due {
+            let running = self.cluster.running_ids();
+            if running.is_empty() && chaos.policy.respawn {
+                break; // Nowhere to respawn; retry next sweep.
+            }
+            let rec = chaos.crashed.remove(&server).expect("collected above");
+            let latency = self.now.saturating_since(rec.at);
+            chaos.stats.record_detection(latency.as_secs_f64());
+            let dead_trace = self.tracer.emit(self.now, Component::Gem, rec.trace, || {
+                TraceEventKind::ServerDeclaredDead {
+                    server: server.0,
+                    detect_latency_us: latency.as_micros(),
+                }
+            });
+            if chaos.policy.respawn {
+                if let Some(orphans) = chaos.orphans.remove(&server) {
+                    for (k, orphan) in orphans.into_iter().enumerate() {
+                        let dst = running[k % running.len()];
+                        self.respawn_orphan(&mut chaos, orphan, server, dst, dead_trace);
+                    }
+                    chaos.stats.record_unavailability(latency.as_secs_f64());
+                }
+            }
+        }
+        self.events.push(
+            self.now + chaos.policy.heartbeat_period,
+            Event::HeartbeatCheck,
+        );
+        self.chaos = Some(chaos);
+    }
+
+    fn on_server_restart(&mut self, id: ServerId) {
+        let Some(mut chaos) = self.chaos.take() else {
+            return;
+        };
+        if let Some(ready_at) = self.cluster.restart(id, self.now) {
+            chaos.stats.servers_restarted += 1;
+            let rec = chaos.crashed.remove(&id);
+            let crashed_at = rec.as_ref().map(|r| r.at);
+            let parent = rec.and_then(|r| r.trace);
+            let restart_trace = self.tracer.emit(self.now, Component::Chaos, parent, || {
+                TraceEventKind::ServerRestarted {
+                    server: id.0,
+                    ready_at_us: ready_at.as_micros(),
+                }
+            });
+            // If the failure detector already reassigned the orphans, the
+            // server just comes back empty; otherwise it recovers them in
+            // place once it is ready.
+            if chaos.orphans.contains_key(&id) {
+                chaos
+                    .restarting
+                    .insert(id, (crashed_at.unwrap_or(self.now), restart_trace));
+            }
+            self.events.push(ready_at, Event::ServerReady(id));
+        }
+        self.chaos = Some(chaos);
+    }
+
+    /// Re-inserts an orphaned actor on `dst` with fresh (lost) state; the
+    /// directory preserved its identity, references and pin.
+    fn respawn_orphan(
+        &mut self,
+        chaos: &mut ChaosState,
+        orphan: OrphanActor,
+        src: ServerId,
+        dst: ServerId,
+        parent: Option<EventId>,
+    ) {
+        let id = orphan.id;
+        let state_size = orphan.state_size;
+        let mut entry =
+            ActorEntry::new(id, orphan.type_id, dst, orphan.logic, state_size, self.now);
+        entry.refs = orphan.refs;
+        entry.pinned = orphan.pinned;
+        entry.migration_seq = orphan.migration_seq;
+        self.actors[id.0 as usize] = Some(entry);
+        self.actors_by_server[dst.0 as usize].insert(id);
+        self.cluster.server_mut(dst).add_mem(state_size);
+        chaos.orphaned_ids.remove(&id);
+        chaos.stats.actors_recovered += 1;
+        self.tracer.emit(self.now, Component::Runtime, parent, || {
+            TraceEventKind::ActorRecovered {
+                actor: id.0,
+                src: src.0,
+                dst: dst.0,
+                state_bytes_lost: state_size,
+            }
+        });
+    }
+
     fn with_client(
         &mut self,
         id: ClientId,
@@ -1134,12 +1758,41 @@ impl Runtime {
             self.actors_by_server.resize_with(idx + 1, BTreeSet::new);
             self.runq.resize_with(idx + 1, VecDeque::new);
             self.free_lanes.resize(idx + 1, 0);
+            self.server_epoch.resize(idx + 1, 0);
+            self.inbound_migrations.resize(idx + 1, 0);
         }
         self.free_lanes[idx] = self.cluster.server(id).instance().vcpus;
     }
 
     fn finalize_report(&mut self) {
         self.report.orphan_replies = self.orphan_replies;
+        // Chaos scalars exist only when a fault plan is installed, so
+        // fault-free reports stay byte-identical.
+        if let Some(s) = self.chaos.as_ref().map(|c| c.stats) {
+            let scalars = &mut self.report.scalars;
+            let mut put = |k: &str, v: f64| {
+                scalars.insert(format!("chaos.{k}"), v);
+            };
+            put("faults_injected", s.faults_injected as f64);
+            put("servers_crashed", s.servers_crashed as f64);
+            put("servers_restarted", s.servers_restarted as f64);
+            put("actors_lost", s.actors_lost as f64);
+            put("actors_recovered", s.actors_recovered as f64);
+            put("state_bytes_lost", s.state_bytes_lost as f64);
+            put("messages_lost_crash", s.messages_lost_crash as f64);
+            put("messages_lost_partition", s.messages_lost_partition as f64);
+            put("messages_dropped_link", s.messages_dropped_link as f64);
+            put("migrations_aborted", s.migrations_aborted as f64);
+            put("migration_retries", s.migration_retries as f64);
+            put("detections", s.detections as f64);
+            put("detect_latency_mean_s", s.detect_latency_mean_s());
+            put("detect_latency_max_s", s.detect_latency_max_s);
+            put("unavailability_sum_s", s.unavailability_sum_s);
+            put("unavailability_max_s", s.unavailability_max_s);
+            if let Some(t) = s.first_crash_at_s {
+                put("first_crash_at_s", t);
+            }
+        }
     }
 
     /// Returns the run report.

@@ -334,16 +334,25 @@ fn decommission_requires_empty_server() {
     let s0 = rt.add_server(InstanceType::m1_small());
     let s1 = rt.add_server(InstanceType::m1_small());
     let echo = rt.spawn_actor("Echo", Box::new(Echo { work: 0.001 }), 1024, s1);
-    assert!(!rt.decommission_server(s1), "occupied");
+    assert_eq!(
+        rt.decommission_server(s1),
+        Err(plasma_actor::DecommissionError::HasActors),
+        "occupied"
+    );
     rt.migrate(echo, s0).unwrap();
-    assert!(
-        !rt.decommission_server(s1),
-        "inbound? no - outbound from s1; but actor still registered on s1"
+    assert_eq!(
+        rt.decommission_server(s1),
+        Err(plasma_actor::DecommissionError::HasActors),
+        "outbound migration from s1: actor still registered on s1"
     );
     rt.run_until(SimTime::from_secs(2));
     assert_eq!(rt.actor_server(echo), s0);
-    assert!(rt.decommission_server(s1));
+    assert_eq!(rt.decommission_server(s1), Ok(()));
     assert!(!rt.cluster().server(s1).is_running());
+    assert_eq!(
+        rt.decommission_server(s1),
+        Err(plasma_actor::DecommissionError::NotRunning)
+    );
 }
 
 #[test]

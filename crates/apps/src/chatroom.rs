@@ -10,7 +10,7 @@
 use plasma::prelude::*;
 use plasma_sim::SimTime;
 
-use crate::common::{ClosedLoop, ElasticityEval, EvalScale};
+use crate::common::{ChaosEval, ClosedLoop, ElasticityEval, EvalScale, Pulse};
 
 /// The EPL-visible schema (no rules are attached in the overhead study;
 /// actors must stay stationary as in the paper).
@@ -31,6 +31,14 @@ pub struct ChatConfig {
     pub messages_per_user: u64,
     /// Whether the profiling runtime (EPR) is enabled.
     pub epr_enabled: bool,
+    /// Servers hosting the room (users spread round-robin). The paper's
+    /// overhead study uses 1; the chaos variant spreads the room so a
+    /// crash orphans only part of it.
+    pub servers: usize,
+    /// Faults injected during the run (empty = none, byte-identical runs).
+    pub faults: FaultPlan,
+    /// Detection and recovery policy for the fault plan.
+    pub recovery: RecoveryPolicy,
     /// RNG seed.
     pub seed: u64,
 }
@@ -42,6 +50,9 @@ impl Default for ChatConfig {
             instance: InstanceType::m1_small(),
             messages_per_user: 200,
             epr_enabled: true,
+            servers: 1,
+            faults: FaultPlan::new(),
+            recovery: RecoveryPolicy::default(),
             seed: 1,
         }
     }
@@ -55,6 +66,38 @@ impl ChatConfig {
             EvalScale::Smoke => ChatConfig {
                 users: 4,
                 messages_per_user: 50,
+                ..ChatConfig::default()
+            },
+        }
+    }
+
+    /// The chaos-variant preset: the room spreads over several servers and
+    /// the plan crashes two of them — one rebooting before the heartbeat
+    /// sweep notices (in-place recovery), one detected and respawned onto
+    /// the survivors — plus a LEM crash and a provisioner stall.
+    pub fn chaos_preset(scale: EvalScale) -> Self {
+        let faults = FaultPlan::new()
+            .crash_lem(SimTime::from_secs(10), ServerId(0))
+            .crash_server(
+                SimTime::from_secs(20),
+                ServerId(1),
+                Some(SimDuration::from_secs(5)),
+            )
+            .stall_provisioner(SimTime::from_secs(35), SimDuration::from_secs(10))
+            .crash_server(SimTime::from_secs(50), ServerId(2), None);
+        match scale {
+            EvalScale::Full => ChatConfig {
+                users: 16,
+                servers: 4,
+                faults,
+                seed: 31,
+                ..ChatConfig::default()
+            },
+            EvalScale::Smoke => ChatConfig {
+                users: 6,
+                servers: 3,
+                faults,
+                seed: 31,
                 ..ChatConfig::default()
             },
         }
@@ -127,7 +170,10 @@ pub fn run(cfg: &ChatConfig) -> ChatReport {
         epr_enabled: cfg.epr_enabled,
         ..RuntimeConfig::default()
     });
-    let server = rt.add_server(cfg.instance.clone());
+    rt.install_fault_plan(&cfg.faults, cfg.recovery);
+    let servers: Vec<ServerId> = (0..cfg.servers.max(1))
+        .map(|_| rt.add_server(cfg.instance.clone()))
+        .collect();
     // Actor ids are assigned sequentially from zero, so the full room
     // membership is known before the first spawn.
     let ids: Vec<ActorId> = (0..cfg.users as u64).map(ActorId).collect();
@@ -146,7 +192,7 @@ pub fn run(cfg: &ChatConfig) -> ChatReport {
                 recv_work: 0.0002,
             }),
             16 << 10,
-            server,
+            servers[i % servers.len()],
         );
         assert_eq!(id, ids[i], "deterministic id assignment");
         for p in peers {
@@ -179,6 +225,72 @@ pub fn run(cfg: &ChatConfig) -> ChatReport {
     }
 }
 
+/// Results of one chat-room chaos run.
+#[derive(Clone, Copy, Debug)]
+pub struct ChatChaosReport {
+    /// Replies delivered to the open-loop clients.
+    pub replies: u64,
+    /// Scenario-independent elasticity stats.
+    pub eval: ElasticityEval,
+    /// Recovery metrics from the fault plan.
+    pub chaos: ChaosEval,
+}
+
+/// Runs the chat room under the configured fault plan for `run_for`.
+///
+/// Clients here are open-loop ([`Pulse`]): a crash may swallow replies, and
+/// a closed loop would deadlock waiting for them. The room spreads over
+/// `cfg.servers`, so crashing one server orphans only its share of users;
+/// the heartbeat sweep (or an early reboot) brings them back.
+pub fn run_chaos(cfg: &ChatConfig, run_for: SimDuration) -> ChatChaosReport {
+    let mut rt = Runtime::new(RuntimeConfig {
+        seed: cfg.seed,
+        epr_enabled: cfg.epr_enabled,
+        ..RuntimeConfig::default()
+    });
+    rt.install_fault_plan(&cfg.faults, cfg.recovery);
+    let servers: Vec<ServerId> = (0..cfg.servers.max(1))
+        .map(|_| rt.add_server(cfg.instance.clone()))
+        .collect();
+    let ids: Vec<ActorId> = (0..cfg.users as u64).map(ActorId).collect();
+    for i in 0..cfg.users {
+        let peers: Vec<ActorId> = ids
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &p)| p)
+            .collect();
+        let id = rt.spawn_actor(
+            "ChatUser",
+            Box::new(ChatUser {
+                peers: peers.clone(),
+                say_work: 0.0015,
+                recv_work: 0.0002,
+            }),
+            16 << 10,
+            servers[i % servers.len()],
+        );
+        assert_eq!(id, ids[i], "deterministic id assignment");
+        for p in peers {
+            rt.actor_add_ref(id, "room", p);
+        }
+    }
+    for &u in &ids {
+        rt.add_client(Box::new(Pulse {
+            target: u,
+            fname: "say",
+            bytes: 128,
+            period: SimDuration::from_millis(250),
+        }));
+    }
+    rt.run_until(SimTime::ZERO + run_for);
+    ChatChaosReport {
+        replies: rt.report().replies,
+        eval: ElasticityEval::collect(&rt),
+        chaos: ChaosEval::collect(&rt),
+    }
+}
+
 /// Runs the Table-3 comparison: normalized execution time with profiling
 /// enabled over profiling disabled (1.0 = no overhead).
 pub fn normalized_overhead(users: usize, instance: InstanceType, seed: u64) -> f64 {
@@ -188,6 +300,7 @@ pub fn normalized_overhead(users: usize, instance: InstanceType, seed: u64) -> f
         messages_per_user: 150,
         epr_enabled: false,
         seed,
+        ..ChatConfig::default()
     };
     let with_epr = ChatConfig {
         epr_enabled: true,

@@ -140,6 +140,91 @@ impl ElasticityEval {
     }
 }
 
+/// Recovery measurements of one finished chaos run.
+///
+/// Collected from the `chaos.*` report scalars the runtime exports when a
+/// fault plan is installed. All values derive from simulated time and
+/// deterministic counters, so same-seed runs produce bit-identical stats.
+/// Collecting from a fault-free run yields all zeros.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaosEval {
+    /// Faults injected from the plan.
+    pub faults_injected: u64,
+    /// Servers crash-stopped.
+    pub servers_crashed: u64,
+    /// Crashed servers that rebooted.
+    pub servers_restarted: u64,
+    /// Actors that lost their hosting server.
+    pub actors_lost: u64,
+    /// Orphaned actors respawned elsewhere (or in place on restart).
+    pub actors_recovered: u64,
+    /// Actor state bytes lost to crashes.
+    pub state_bytes_lost: u64,
+    /// Messages lost to crashes, partitions, and degraded links combined.
+    pub messages_lost: u64,
+    /// Migrations aborted mid-transfer.
+    pub migrations_aborted: u64,
+    /// Migration retry attempts issued by the recovery policy.
+    pub migration_retries: u64,
+    /// Server deaths detected by the heartbeat sweep.
+    pub detections: u64,
+    /// Mean crash-to-detection latency, seconds.
+    pub time_to_detect_s_mean: f64,
+    /// Worst crash-to-detection latency, seconds.
+    pub time_to_detect_s_max: f64,
+    /// Summed per-recovery unavailability window, seconds.
+    pub unavailability_s_sum: f64,
+    /// Longest single unavailability window, seconds.
+    pub unavailability_s_max: f64,
+    /// Simulated time of the first server crash, seconds (0 if none).
+    pub first_crash_at_s: f64,
+    /// Time from the first crash to the last migration completing at or
+    /// after it, seconds — how long the cluster kept re-balancing after
+    /// the fault (0 when nothing crashed or nothing moved afterwards).
+    pub time_to_rebalance_after_crash_s: f64,
+}
+
+impl ChaosEval {
+    /// Collects the stats from a finished runtime.
+    pub fn collect(rt: &Runtime) -> Self {
+        let report = rt.report();
+        let scalar = |k: &str| report.scalar(k).unwrap_or(0.0);
+        let count = |k: &str| scalar(k) as u64;
+        let first_crash_at_s = scalar("chaos.first_crash_at_s");
+        let crashed = count("chaos.servers_crashed") > 0;
+        let rebalance = if crashed {
+            report
+                .migrations
+                .iter()
+                .map(|m| m.at.as_secs_f64() - first_crash_at_s)
+                .filter(|&dt| dt >= 0.0)
+                .fold(0.0, f64::max)
+        } else {
+            0.0
+        };
+        ChaosEval {
+            faults_injected: count("chaos.faults_injected"),
+            servers_crashed: count("chaos.servers_crashed"),
+            servers_restarted: count("chaos.servers_restarted"),
+            actors_lost: count("chaos.actors_lost"),
+            actors_recovered: count("chaos.actors_recovered"),
+            state_bytes_lost: count("chaos.state_bytes_lost"),
+            messages_lost: count("chaos.messages_lost_crash")
+                + count("chaos.messages_lost_partition")
+                + count("chaos.messages_dropped_link"),
+            migrations_aborted: count("chaos.migrations_aborted"),
+            migration_retries: count("chaos.migration_retries"),
+            detections: count("chaos.detections"),
+            time_to_detect_s_mean: scalar("chaos.detect_latency_mean_s"),
+            time_to_detect_s_max: scalar("chaos.detect_latency_max_s"),
+            unavailability_s_sum: scalar("chaos.unavailability_sum_s"),
+            unavailability_s_max: scalar("chaos.unavailability_max_s"),
+            first_crash_at_s,
+            time_to_rebalance_after_crash_s: rebalance,
+        }
+    }
+}
+
 /// A generic CPU-burning actor: `work` units per request, then a reply.
 pub struct WorkActor {
     /// CPU work per request, in work units.

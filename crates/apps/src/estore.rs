@@ -21,7 +21,7 @@ use plasma::prelude::*;
 use plasma_sim::metrics::BucketedSeries;
 use plasma_sim::SimTime;
 
-use crate::common::{ElasticityEval, EvalScale};
+use crate::common::{ChaosEval, ElasticityEval, EvalScale};
 
 /// Schema for the E-Store policy.
 pub fn schema() -> ActorSchema {
@@ -67,6 +67,10 @@ pub struct EstoreConfig {
     pub run_for: SimDuration,
     /// Elasticity mode.
     pub mode: Mode,
+    /// Faults injected during the run (empty = none, byte-identical runs).
+    pub faults: FaultPlan,
+    /// Detection and recovery policy for the fault plan.
+    pub recovery: RecoveryPolicy,
     /// RNG seed.
     pub seed: u64,
 }
@@ -82,6 +86,8 @@ impl Default for EstoreConfig {
             period: SimDuration::from_secs(30),
             run_for: SimDuration::from_secs(220),
             mode: Mode::Plasma,
+            faults: FaultPlan::new(),
+            recovery: RecoveryPolicy::default(),
             seed: 17,
         }
     }
@@ -102,6 +108,29 @@ impl EstoreConfig {
             },
         }
     }
+
+    /// The chaos-variant preset: an abort window swallows the EMR's first
+    /// wave of rebalancing migrations mid-transfer (the retry-with-backoff
+    /// path completes them), then every link degrades — added latency,
+    /// halved bandwidth, 2% drop — before healing.
+    pub fn chaos_preset(scale: EvalScale) -> Self {
+        let faults = FaultPlan::new()
+            .abort_migrations(SimTime::from_secs(25), SimDuration::from_secs(60), 8)
+            .degrade_links(
+                SimTime::from_secs(100),
+                LinkDegradation {
+                    extra_latency: SimDuration::from_millis(2),
+                    bandwidth_factor: 0.5,
+                    drop_per_mille: 20,
+                },
+                Some(SimDuration::from_secs(30)),
+            );
+        EstoreConfig {
+            faults,
+            seed: 37,
+            ..EstoreConfig::preset(scale)
+        }
+    }
 }
 
 /// Results of one E-Store run.
@@ -115,6 +144,8 @@ pub struct EstoreReport {
     pub migrations: usize,
     /// Scenario-independent elasticity stats.
     pub eval: ElasticityEval,
+    /// Recovery metrics (all zero on a fault-free run).
+    pub chaos: ChaosEval,
 }
 
 struct RootPartition {
@@ -285,6 +316,7 @@ pub fn run(cfg: &EstoreConfig) -> EstoreReport {
             .expect("builds"),
     };
     let rt = app.runtime_mut();
+    rt.install_fault_plan(&cfg.faults, cfg.recovery);
     let servers: Vec<ServerId> = (0..cfg.servers)
         .map(|_| rt.add_server(InstanceType::m1_small()))
         .collect();
@@ -349,6 +381,7 @@ pub fn run(cfg: &EstoreConfig) -> EstoreReport {
         migrations: report.migrations.len(),
         latency_series: report.latency_series.clone(),
         eval: ElasticityEval::collect(app.runtime()),
+        chaos: ChaosEval::collect(app.runtime()),
     }
 }
 

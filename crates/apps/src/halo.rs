@@ -19,7 +19,7 @@
 use plasma::prelude::*;
 use plasma_sim::SimTime;
 
-use crate::common::{ElasticityEval, EvalScale};
+use crate::common::{ChaosEval, ElasticityEval, EvalScale};
 
 /// Schema for the Halo policies.
 pub fn schema() -> ActorSchema {
@@ -196,6 +196,12 @@ pub struct HaloConfig {
     pub period: SimDuration,
     /// Elasticity mode.
     pub mode: Mode,
+    /// Number of GEMs partitioning the servers (1 in the paper's 11a/b).
+    pub gems: usize,
+    /// Faults injected during the run (empty = none, byte-identical runs).
+    pub faults: FaultPlan,
+    /// Detection and recovery policy for the fault plan.
+    pub recovery: RecoveryPolicy,
     /// RNG seed.
     pub seed: u64,
 }
@@ -211,6 +217,9 @@ impl Default for HaloConfig {
             round_len: SimDuration::from_secs(180),
             period: SimDuration::from_secs(70),
             mode: Mode::InterRule,
+            gems: 1,
+            faults: FaultPlan::new(),
+            recovery: RecoveryPolicy::default(),
             seed: 23,
         }
     }
@@ -233,6 +242,26 @@ impl HaloConfig {
             },
         }
     }
+
+    /// The chaos-variant preset: two GEMs manage the cluster; a partition
+    /// splits two servers off mid-join-wave (heartbeats across the cut are
+    /// lost and cross-partition migrations refused), heals, and then one
+    /// GEM crash-stops — its servers re-shuffle onto the survivor (§4.3).
+    pub fn chaos_preset(scale: EvalScale) -> Self {
+        let faults = FaultPlan::new()
+            .partition(
+                SimTime::from_secs(20),
+                [ServerId(2), ServerId(3)],
+                Some(SimDuration::from_secs(20)),
+            )
+            .crash_gem(SimTime::from_secs(70), 1);
+        HaloConfig {
+            gems: 2,
+            faults,
+            seed: 41,
+            ..HaloConfig::preset(scale)
+        }
+    }
 }
 
 /// Results of one Fig. 11a/b run.
@@ -252,6 +281,8 @@ pub struct HaloReport {
     pub colocated: (usize, usize),
     /// Scenario-independent elasticity stats.
     pub eval: ElasticityEval,
+    /// Recovery metrics (all zero on a fault-free run).
+    pub chaos: ChaosEval,
 }
 
 /// The slow inter-instance network of the m1.small era: remote hops cost
@@ -280,6 +311,10 @@ pub fn run(cfg: &HaloConfig) -> HaloReport {
     let mut app = match cfg.mode {
         Mode::InterRule => Plasma::builder()
             .runtime_config(runtime_cfg)
+            .emr_config(EmrConfig {
+                num_gems: cfg.gems.max(1),
+                ..EmrConfig::default()
+            })
             .policy(interaction_policy(), &schema())
             .build()
             .expect("halo policy compiles"),
@@ -290,6 +325,7 @@ pub fn run(cfg: &HaloConfig) -> HaloReport {
             .expect("builds"),
     };
     let rt = app.runtime_mut();
+    rt.install_fault_plan(&cfg.faults, cfg.recovery);
     let servers: Vec<ServerId> = (0..cfg.servers)
         .map(|_| rt.add_server(InstanceType::m1_small()))
         .collect();
@@ -355,6 +391,7 @@ pub fn run(cfg: &HaloConfig) -> HaloReport {
         migrations: report.migrations.len(),
         colocated,
         eval: ElasticityEval::collect(app.runtime()),
+        chaos: ChaosEval::collect(app.runtime()),
         client_latency: report
             .client_latency
             .iter()

@@ -7,8 +7,9 @@
 //! order is fixed, which — together with the deterministic simulator — makes
 //! the serialized results byte-identical across same-seed runs.
 
-use plasma_apps::common::{ElasticityEval, EvalScale};
+use plasma_apps::common::{ChaosEval, ElasticityEval, EvalScale};
 use plasma_apps::{chatroom, estore, halo, media, pagerank};
+use plasma_sim::SimDuration;
 
 use super::result::{Direction, ScenarioResult};
 
@@ -49,6 +50,21 @@ pub const SCENARIOS: &[ScenarioSpec] = &[
         name: "halo",
         paper_section: "5.7",
         summary: "Halo presence: creation-time colocation vs frequency default rule",
+    },
+    ScenarioSpec {
+        name: "chatroom-chaos",
+        paper_section: "4.3",
+        summary: "chat room under server crashes: detection, respawn, in-place reboot",
+    },
+    ScenarioSpec {
+        name: "estore-chaos",
+        paper_section: "4.3",
+        summary: "E-Store under migration aborts and degraded links: retry-with-backoff",
+    },
+    ScenarioSpec {
+        name: "halo-chaos",
+        paper_section: "4.3",
+        summary: "Halo presence under a partition and a GEM crash: §4.3 re-shuffling",
     },
 ];
 
@@ -97,6 +113,88 @@ fn push_common(result: &mut ScenarioResult, eval: &ElasticityEval, rebalance_dir
         rebalance_direction,
     );
     result.push("balance_score", eval.balance_score, Direction::Higher);
+}
+
+/// Pushes the recovery metrics of a chaos scenario.
+///
+/// Counts are informational (the fault plan fixes how much breaks); the
+/// gated metrics are the recovery *times* — detection latency, the
+/// unavailability window, time-to-rebalance after the first crash — and
+/// the fraction of orphaned actors brought back.
+fn push_chaos(result: &mut ScenarioResult, chaos: &ChaosEval) {
+    result.push(
+        "faults_injected",
+        chaos.faults_injected as f64,
+        Direction::Info,
+    );
+    result.push(
+        "servers_crashed",
+        chaos.servers_crashed as f64,
+        Direction::Info,
+    );
+    result.push(
+        "servers_restarted",
+        chaos.servers_restarted as f64,
+        Direction::Info,
+    );
+    result.push("actors_lost", chaos.actors_lost as f64, Direction::Info);
+    result.push(
+        "actors_recovered",
+        chaos.actors_recovered as f64,
+        Direction::Info,
+    );
+    result.push(
+        "recovered_fraction",
+        if chaos.actors_lost == 0 {
+            1.0
+        } else {
+            chaos.actors_recovered as f64 / chaos.actors_lost as f64
+        },
+        Direction::Higher,
+    );
+    result.push(
+        "state_bytes_lost",
+        chaos.state_bytes_lost as f64,
+        Direction::Info,
+    );
+    result.push("messages_lost", chaos.messages_lost as f64, Direction::Info);
+    result.push(
+        "migrations_aborted",
+        chaos.migrations_aborted as f64,
+        Direction::Info,
+    );
+    result.push(
+        "migration_retries",
+        chaos.migration_retries as f64,
+        Direction::Info,
+    );
+    result.push("detections", chaos.detections as f64, Direction::Info);
+    result.push(
+        "time_to_detect_s_mean",
+        chaos.time_to_detect_s_mean,
+        Direction::Lower,
+    );
+    result.push(
+        "time_to_detect_s_max",
+        chaos.time_to_detect_s_max,
+        Direction::Lower,
+    );
+    result.push(
+        "unavailability_s_sum",
+        chaos.unavailability_s_sum,
+        Direction::Lower,
+    );
+    result.push(
+        "unavailability_s_max",
+        chaos.unavailability_s_max,
+        Direction::Lower,
+    );
+    result.push("first_crash_at_s", chaos.first_crash_at_s, Direction::Info);
+    result.push(
+        "time_to_rebalance_after_crash_s",
+        chaos.time_to_rebalance_after_crash_s,
+        Direction::Lower,
+    );
 }
 
 /// Runs one scenario at the given scale and returns its result, or `None`
@@ -197,6 +295,53 @@ pub fn run_scenario(name: &str, scale: EvalScale, seed: Option<u64>) -> Option<S
                     on_home as f64 / total as f64
                 },
                 Direction::Higher,
+            );
+        }
+        "chatroom-chaos" => {
+            let mut cfg = chatroom::ChatConfig::chaos_preset(scale);
+            if let Some(s) = seed {
+                cfg.seed = s;
+            }
+            result.seed = cfg.seed;
+            let run_for = match scale {
+                EvalScale::Smoke => SimDuration::from_secs(90),
+                EvalScale::Full => SimDuration::from_secs(180),
+            };
+            let report = chatroom::run_chaos(&cfg, run_for);
+            push_common(&mut result, &report.eval, Direction::Info);
+            push_chaos(&mut result, &report.chaos);
+            result.push("replies", report.replies as f64, Direction::Higher);
+        }
+        "estore-chaos" => {
+            let mut cfg = estore::EstoreConfig::chaos_preset(scale);
+            if let Some(s) = seed {
+                cfg.seed = s;
+            }
+            result.seed = cfg.seed;
+            let report = estore::run(&cfg);
+            push_common(&mut result, &report.eval, Direction::Info);
+            push_chaos(&mut result, &report.chaos);
+            result.push("tail_ms", report.tail_ms, Direction::Info);
+        }
+        "halo-chaos" => {
+            let mut cfg = halo::HaloConfig::chaos_preset(scale);
+            if let Some(s) = seed {
+                cfg.seed = s;
+            }
+            result.seed = cfg.seed;
+            let report = halo::run(&cfg);
+            push_common(&mut result, &report.eval, Direction::Info);
+            push_chaos(&mut result, &report.chaos);
+            result.push("mean_latency_ms", report.mean_ms, Direction::Info);
+            let (on_home, total) = report.colocated;
+            result.push(
+                "colocated_fraction",
+                if total == 0 {
+                    1.0
+                } else {
+                    on_home as f64 / total as f64
+                },
+                Direction::Info,
             );
         }
         _ => unreachable!("spec() vetted the name"),

@@ -1,0 +1,290 @@
+//! The fault vocabulary and the declarative, time-sorted fault plan.
+
+use plasma_cluster::{LinkDegradation, ServerId};
+use plasma_sim::{SimDuration, SimTime};
+
+/// One kind of injectable fault.
+///
+/// Every variant is a crash-stop or omission fault: components stop or
+/// messages disappear, but nothing behaves byzantinely — matching the
+/// paper's §4.3 failure model extended from GEMs to the whole substrate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Crash-stop a server: resident actors lose their state, queued and
+    /// in-flight messages to them are dropped, in-flight migrations
+    /// involving the server abort. With `restart_after` the server reboots
+    /// (empty) that long after the crash.
+    ServerCrash {
+        /// The server to crash.
+        server: ServerId,
+        /// Delay until an automatic reboot, if any.
+        restart_after: Option<SimDuration>,
+    },
+    /// Sever all links between `group` and the rest of the cluster.
+    Partition {
+        /// Servers on one side of the partition.
+        group: Vec<ServerId>,
+        /// Delay until the partition heals, if ever.
+        heal_after: Option<SimDuration>,
+    },
+    /// Heal every active partition.
+    HealPartitions,
+    /// Degrade every inter-server link: added latency, a bandwidth
+    /// multiplier and a probabilistic message drop.
+    LinkDegrade {
+        /// The degradation parameters.
+        degradation: LinkDegradation,
+        /// Delay until links recover, if ever.
+        heal_after: Option<SimDuration>,
+    },
+    /// Clear any active link degradation.
+    HealLinks,
+    /// Abort migrations mid-transfer: up to `max` migrations whose
+    /// transfer completes within `window` of the injection instant fail on
+    /// arrival, returning the actor to its source (and entering the
+    /// retry-with-backoff path of the recovery policy).
+    MigrationAbort {
+        /// How long the abort window stays open.
+        window: SimDuration,
+        /// Maximum number of migrations to abort.
+        max: u32,
+    },
+    /// Crash-stop one GEM (by index); its servers re-shuffle onto the
+    /// surviving GEMs per §4.3.
+    GemCrash {
+        /// Index of the GEM to crash.
+        gem: usize,
+    },
+    /// Crash the LEM on one server: the profiling window in progress there
+    /// is lost (counters reset), as if the monitor process restarted.
+    LemCrash {
+        /// Server whose LEM crashes.
+        server: ServerId,
+    },
+    /// Stall the provisioner: server requests fail for the duration.
+    ProvisionerStall {
+        /// How long requests keep failing.
+        duration: SimDuration,
+    },
+}
+
+impl FaultKind {
+    /// Short stable label used in trace events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::ServerCrash { .. } => "server-crash",
+            FaultKind::Partition { .. } => "partition",
+            FaultKind::HealPartitions => "heal-partitions",
+            FaultKind::LinkDegrade { .. } => "link-degrade",
+            FaultKind::HealLinks => "heal-links",
+            FaultKind::MigrationAbort { .. } => "migration-abort",
+            FaultKind::GemCrash { .. } => "gem-crash",
+            FaultKind::LemCrash { .. } => "lem-crash",
+            FaultKind::ProvisionerStall { .. } => "provisioner-stall",
+        }
+    }
+
+    /// The server this fault primarily concerns, when there is one.
+    pub fn subject_server(&self) -> Option<ServerId> {
+        match self {
+            FaultKind::ServerCrash { server, .. } | FaultKind::LemCrash { server } => Some(*server),
+            _ => None,
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Injection instant.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A declarative fault schedule.
+///
+/// Faults are appended in any order; [`FaultPlan::schedule`] returns them
+/// sorted by time (stably, so same-instant faults keep insertion order).
+/// The empty plan is the identity: installing it changes nothing about a
+/// run, which the no-fault byte-identity tests pin.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Returns `true` when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Appends a fault.
+    pub fn push(&mut self, at: SimTime, kind: FaultKind) {
+        self.events.push(FaultEvent { at, kind });
+    }
+
+    /// Builder-style [`FaultPlan::push`].
+    pub fn with(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.push(at, kind);
+        self
+    }
+
+    /// Schedules a server crash, optionally rebooting after a delay.
+    pub fn crash_server(
+        self,
+        at: SimTime,
+        server: ServerId,
+        restart_after: Option<SimDuration>,
+    ) -> Self {
+        self.with(
+            at,
+            FaultKind::ServerCrash {
+                server,
+                restart_after,
+            },
+        )
+    }
+
+    /// Schedules a partition of `group` from the rest of the cluster.
+    pub fn partition(
+        self,
+        at: SimTime,
+        group: impl IntoIterator<Item = ServerId>,
+        heal_after: Option<SimDuration>,
+    ) -> Self {
+        self.with(
+            at,
+            FaultKind::Partition {
+                group: group.into_iter().collect(),
+                heal_after,
+            },
+        )
+    }
+
+    /// Schedules uniform link degradation.
+    pub fn degrade_links(
+        self,
+        at: SimTime,
+        degradation: LinkDegradation,
+        heal_after: Option<SimDuration>,
+    ) -> Self {
+        self.with(
+            at,
+            FaultKind::LinkDegrade {
+                degradation,
+                heal_after,
+            },
+        )
+    }
+
+    /// Schedules a migration-abort window.
+    pub fn abort_migrations(self, at: SimTime, window: SimDuration, max: u32) -> Self {
+        self.with(at, FaultKind::MigrationAbort { window, max })
+    }
+
+    /// Schedules a GEM crash.
+    pub fn crash_gem(self, at: SimTime, gem: usize) -> Self {
+        self.with(at, FaultKind::GemCrash { gem })
+    }
+
+    /// Schedules a LEM crash on `server`.
+    pub fn crash_lem(self, at: SimTime, server: ServerId) -> Self {
+        self.with(at, FaultKind::LemCrash { server })
+    }
+
+    /// Schedules a provisioner stall.
+    pub fn stall_provisioner(self, at: SimTime, duration: SimDuration) -> Self {
+        self.with(at, FaultKind::ProvisionerStall { duration })
+    }
+
+    /// The faults in insertion order (unsorted).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The faults sorted by injection time (stable for equal instants).
+    pub fn schedule(&self) -> Vec<FaultEvent> {
+        let mut sorted = self.events.clone();
+        sorted.sort_by_key(|e| e.at);
+        sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert!(plan.schedule().is_empty());
+    }
+
+    #[test]
+    fn schedule_sorts_stably_by_time() {
+        let plan = FaultPlan::new()
+            .crash_gem(SimTime::from_secs(30), 1)
+            .crash_server(SimTime::from_secs(10), ServerId(0), None)
+            .crash_gem(SimTime::from_secs(30), 0)
+            .stall_provisioner(SimTime::from_secs(20), SimDuration::from_secs(5));
+        let schedule = plan.schedule();
+        let times: Vec<u64> = schedule.iter().map(|e| e.at.as_micros()).collect();
+        assert_eq!(times, vec![10_000_000, 20_000_000, 30_000_000, 30_000_000]);
+        // Same-instant faults keep insertion order (gem 1 before gem 0).
+        assert_eq!(schedule[2].kind, FaultKind::GemCrash { gem: 1 });
+        assert_eq!(schedule[3].kind, FaultKind::GemCrash { gem: 0 });
+        // The plan itself stays in insertion order.
+        assert_eq!(plan.events()[0].kind, FaultKind::GemCrash { gem: 1 });
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let kinds = [
+            FaultKind::ServerCrash {
+                server: ServerId(0),
+                restart_after: None,
+            },
+            FaultKind::Partition {
+                group: vec![ServerId(0)],
+                heal_after: None,
+            },
+            FaultKind::HealPartitions,
+            FaultKind::LinkDegrade {
+                degradation: LinkDegradation::default(),
+                heal_after: None,
+            },
+            FaultKind::HealLinks,
+            FaultKind::MigrationAbort {
+                window: SimDuration::from_secs(1),
+                max: 1,
+            },
+            FaultKind::GemCrash { gem: 0 },
+            FaultKind::LemCrash {
+                server: ServerId(0),
+            },
+            FaultKind::ProvisionerStall {
+                duration: SimDuration::from_secs(1),
+            },
+        ];
+        let labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+        let mut unique = labels.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), labels.len(), "labels are distinct");
+        assert_eq!(kinds[0].subject_server(), Some(ServerId(0)));
+        assert_eq!(kinds[2].subject_server(), None);
+    }
+}

@@ -15,12 +15,14 @@
 //! instance boot delay preserves without cloud noise.
 
 pub mod instance;
+pub mod netfault;
 pub mod network;
 pub mod resources;
 pub mod server;
 pub mod topology;
 
 pub use instance::InstanceType;
+pub use netfault::{LinkDegradation, NetFaults};
 pub use network::NetworkModel;
 pub use resources::{ResourceKind, ResourceUsage};
 pub use server::{Server, ServerId, ServerState};

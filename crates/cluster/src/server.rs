@@ -38,6 +38,9 @@ pub enum ServerState {
     Running,
     /// Decommissioned; holds no actors and accrues no further cost.
     Stopped,
+    /// Crash-stopped by fault injection: volatile state is gone, cost is
+    /// frozen, but the slot may come back via [`Server::restart`].
+    Crashed,
 }
 
 /// A server: static instance description plus rolling utilization meters.
@@ -54,6 +57,10 @@ pub struct Server {
     state: ServerState,
     started_at: SimTime,
     stopped_at: Option<SimTime>,
+    /// Cost accrued in lifetimes before the most recent (re)start; stays
+    /// exactly `0.0` for servers that never crashed, so `prior_cost + x`
+    /// is bit-identical to `x` on the fault-free path.
+    prior_cost: f64,
     cpu: BusyMeter,
     net_window_start: SimTime,
     net_bytes: u64,
@@ -72,6 +79,7 @@ impl Server {
             state: ServerState::Booting { ready_at },
             started_at: requested_at,
             stopped_at: None,
+            prior_cost: 0.0,
             cpu: BusyMeter::new(),
             net_window_start: requested_at,
             net_bytes: 0,
@@ -112,6 +120,31 @@ impl Server {
     pub fn mark_stopped(&mut self, now: SimTime) {
         self.state = ServerState::Stopped;
         self.stopped_at = Some(now);
+    }
+
+    /// Returns `true` if the server is crash-stopped.
+    pub fn is_crashed(&self) -> bool {
+        self.state == ServerState::Crashed
+    }
+
+    /// Crash-stops the server: cost accrued so far is folded into
+    /// `prior_cost` and frozen; volatile meters stop advancing.
+    pub fn mark_crashed(&mut self, now: SimTime) {
+        self.prior_cost += self.itype.cost_between(self.started_at, now);
+        self.started_at = now;
+        self.stopped_at = Some(now);
+        self.state = ServerState::Crashed;
+    }
+
+    /// Reboots a crashed server; it becomes `Booting` and is usable at the
+    /// returned instant (cost accrual resumes from `now`).
+    pub fn restart(&mut self, now: SimTime) -> SimTime {
+        debug_assert!(self.is_crashed(), "only crashed servers restart");
+        let ready_at = now + self.itype.boot_delay;
+        self.started_at = now;
+        self.stopped_at = None;
+        self.state = ServerState::Booting { ready_at };
+        ready_at
     }
 
     /// Adds CPU busy time (one lane busy for `d`).
@@ -168,7 +201,10 @@ impl Server {
     /// Returns the cost accrued by this server up to `now`.
     pub fn cost(&self, now: SimTime) -> f64 {
         let end = self.stopped_at.unwrap_or(now).min(now);
-        self.itype.cost_between(self.started_at, end)
+        self.prior_cost
+            + self
+                .itype
+                .cost_between(self.started_at, end.max(self.started_at))
     }
 
     /// Returns the instant the server was requested.
@@ -237,6 +273,24 @@ mod tests {
         assert!((u.mem() - 0.5).abs() < 1e-9);
         s.remove_mem(cap); // Saturates at zero rather than underflowing.
         assert_eq!(s.mem_used(), 0);
+    }
+
+    #[test]
+    fn crash_freezes_cost_and_restart_resumes_it() {
+        let mut s = server();
+        s.mark_running(SimTime::ZERO);
+        s.mark_crashed(SimTime::from_secs(3600));
+        assert!(s.is_crashed());
+        let at_crash = s.cost(SimTime::from_secs(3600));
+        assert_eq!(at_crash, s.cost(SimTime::from_secs(7200)), "cost frozen");
+        assert!((at_crash - s.instance().hourly_cost).abs() < 1e-12);
+        let ready_at = s.restart(SimTime::from_secs(7200));
+        assert_eq!(ready_at, SimTime::from_secs(7200) + s.instance().boot_delay);
+        assert!(matches!(s.state(), ServerState::Booting { .. }));
+        s.mark_running(ready_at);
+        // One more hour after the restart: prior cost is preserved.
+        let later = s.cost(SimTime::from_secs(7200 + 3600));
+        assert!((later - 2.0 * s.instance().hourly_cost).abs() < 1e-9);
     }
 
     #[test]

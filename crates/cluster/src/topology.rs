@@ -7,6 +7,7 @@ use plasma_sim::SimTime;
 use plasma_trace::{Component, TraceEventKind, Tracer};
 
 use crate::instance::InstanceType;
+use crate::netfault::NetFaults;
 use crate::network::NetworkModel;
 use crate::server::{Server, ServerId, ServerState};
 
@@ -37,6 +38,7 @@ pub struct Cluster {
     servers: Vec<Server>,
     network: NetworkModel,
     limits: ClusterLimits,
+    net_faults: NetFaults,
     server_count_series: TimeSeries,
     tracer: Tracer,
 }
@@ -48,6 +50,7 @@ impl Cluster {
             servers: Vec::new(),
             network,
             limits,
+            net_faults: NetFaults::new(),
             server_count_series: TimeSeries::new(),
             tracer: Tracer::disabled(),
         }
@@ -66,6 +69,16 @@ impl Cluster {
     /// Returns the growth limits.
     pub fn limits(&self) -> &ClusterLimits {
         &self.limits
+    }
+
+    /// Active network faults (partitions, link degradation).
+    pub fn net_faults(&self) -> &NetFaults {
+        &self.net_faults
+    }
+
+    /// Mutable access to the network-fault state (fault injection only).
+    pub fn net_faults_mut(&mut self) -> &mut NetFaults {
+        &mut self.net_faults
     }
 
     /// Requests a new server of the given flavor.
@@ -134,6 +147,47 @@ impl Cluster {
             TraceEventKind::ServerDrain { server: id.0 }
         });
         true
+    }
+
+    /// Crash-stops a running server (fault injection).
+    ///
+    /// Unlike [`Cluster::decommission`] this ignores `min_servers` — faults
+    /// do not ask permission — and leaves the slot eligible for
+    /// [`Cluster::restart`]. Returns `false` if the server is not running.
+    pub fn crash(&mut self, id: ServerId, now: SimTime) -> bool {
+        if !self.servers[id.0 as usize].is_running() {
+            return false;
+        }
+        self.servers[id.0 as usize].mark_crashed(now);
+        let count = self.running_count();
+        self.server_count_series.push(now, count as f64);
+        true
+    }
+
+    /// Reboots a crashed server; it becomes `Booting` and is usable at the
+    /// returned instant. Returns `None` if the server is not crashed.
+    pub fn restart(&mut self, id: ServerId, now: SimTime) -> Option<SimTime> {
+        if !self.servers[id.0 as usize].is_crashed() {
+            return None;
+        }
+        let ready_at = self.servers[id.0 as usize].restart(now);
+        self.tracer.emit(now, Component::Provisioner, None, || {
+            TraceEventKind::ServerBoot {
+                server: id.0,
+                instance: self.servers[id.0 as usize].instance().name.clone(),
+                ready_at_us: ready_at.as_micros(),
+            }
+        });
+        Some(ready_at)
+    }
+
+    /// Returns the ids of all crash-stopped servers, in id order.
+    pub fn crashed_ids(&self) -> Vec<ServerId> {
+        self.servers
+            .iter()
+            .filter(|s| s.is_crashed())
+            .map(|s| s.id())
+            .collect()
     }
 
     /// Returns a shared reference to a server.
@@ -262,6 +316,33 @@ mod tests {
         assert!(c
             .request_server(InstanceType::m1_small(), SimTime::from_secs(2))
             .is_some());
+    }
+
+    #[test]
+    fn crash_and_restart_cycle() {
+        let mut c = cluster();
+        let a = c.add_running_server(InstanceType::m1_small(), SimTime::ZERO);
+        let _b = c.add_running_server(InstanceType::m1_small(), SimTime::ZERO);
+        assert!(c.crash(a, SimTime::from_secs(5)));
+        assert!(!c.crash(a, SimTime::from_secs(6)), "already crashed");
+        assert_eq!(c.crashed_ids(), vec![a]);
+        assert_eq!(c.running_count(), 1);
+        // Crashed servers still hold a provider slot.
+        assert_eq!(c.active_count(), 2);
+        let ready_at = c.restart(a, SimTime::from_secs(10)).unwrap();
+        assert!(c.restart(a, SimTime::from_secs(11)).is_none(), "booting");
+        c.mark_running(a, ready_at);
+        assert_eq!(c.running_count(), 2);
+        assert!(c.crashed_ids().is_empty());
+    }
+
+    #[test]
+    fn crash_ignores_min_servers() {
+        let mut c = cluster();
+        let a = c.add_running_server(InstanceType::m1_small(), SimTime::ZERO);
+        assert!(!c.decommission(a, SimTime::from_secs(1)), "min_servers=1");
+        assert!(c.crash(a, SimTime::from_secs(1)), "faults do not ask");
+        assert_eq!(c.running_count(), 0);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | `plasma-epl` | the elasticity programming language |
 //! | `plasma-emr` | the elasticity management runtime (LEM/GEM) |
 //! | `plasma-trace` | structured tracing and elasticity decision audit |
+//! | `plasma-chaos` | deterministic fault injection and recovery runtime |
 //!
 //! # Quickstart
 //!
@@ -58,6 +59,7 @@
 //! ```
 
 use plasma_actor::{ElasticityController, Runtime, RuntimeConfig};
+use plasma_chaos::{FaultPlan, RecoveryPolicy};
 use plasma_emr::{EmrConfig, PlasmaEmr};
 use plasma_epl::error::Warning;
 use plasma_epl::{compile, ActorSchema, CompileError};
@@ -125,6 +127,7 @@ pub struct PlasmaBuilder {
     policy: Option<(String, ActorSchema)>,
     controller: Option<Box<dyn ElasticityController>>,
     tracing: Option<TraceConfig>,
+    faults: Option<(FaultPlan, RecoveryPolicy)>,
 }
 
 impl PlasmaBuilder {
@@ -169,6 +172,14 @@ impl PlasmaBuilder {
         self
     }
 
+    /// Installs a deterministic fault plan executed by the runtime's chaos
+    /// engine, with `policy` governing detection and recovery. An empty
+    /// plan is a no-op: the run is byte-identical to one without chaos.
+    pub fn faults(mut self, plan: FaultPlan, policy: RecoveryPolicy) -> Self {
+        self.faults = Some((plan, policy));
+        self
+    }
+
     /// Builds the system, compiling the policy if one was attached.
     pub fn build(self) -> Result<Plasma, CompileError> {
         let mut runtime = Runtime::new(self.runtime_cfg);
@@ -182,6 +193,9 @@ impl PlasmaBuilder {
             let compiled = compile(&source, &schema)?;
             warnings = compiled.warnings.clone();
             runtime.set_controller(Box::new(PlasmaEmr::new(compiled, self.emr_cfg)));
+        }
+        if let Some((plan, policy)) = self.faults {
+            runtime.install_fault_plan(&plan, policy);
         }
         Ok(Plasma { runtime, warnings })
     }

@@ -10,6 +10,9 @@ pub use plasma_actor::{
     ActorId, ActorLogic, ActorTypeId, ClientId, ClientLogic, ElasticityController, FnId, Message,
     NullController, RunReport, Runtime, RuntimeConfig,
 };
+pub use plasma_chaos::{
+    ChaosStats, FaultEvent, FaultKind, FaultPlan, LinkDegradation, RecoveryPolicy,
+};
 pub use plasma_cluster::topology::ClusterLimits;
 pub use plasma_cluster::{Cluster, InstanceType, NetworkModel, ResourceKind, ServerId};
 pub use plasma_emr::baselines::{FrequencyColocate, HeavyToIdle, OrleansBalance};

@@ -185,7 +185,12 @@ impl PlasmaEmr {
     /// GEMs on the next round (the paper's shuffling fault tolerance,
     /// §4.3).
     pub fn fail_gem(&mut self, gem: usize) {
-        self.failed_gems.insert(gem);
+        // Unknown GEM ids are a no-op: `gem_assignment` only ever skips
+        // ids in `0..num_gems`, so recording an out-of-range failure would
+        // desynchronise `alive_gems` from the actual partition count.
+        if gem < self.cfg.num_gems {
+            self.failed_gems.insert(gem);
+        }
     }
 
     /// Returns the number of live GEMs.
@@ -195,7 +200,12 @@ impl PlasmaEmr {
 
     /// Partitions the in-scope servers among live GEMs (round-robin by
     /// server id, skipping failed GEMs).
-    fn gem_assignment(&self, servers: &[ServerId]) -> Vec<Vec<ServerId>> {
+    ///
+    /// Recomputed every round from the servers currently running, so a
+    /// crashed GEM's servers re-shuffle onto the survivors on the next
+    /// tick, and a crashed server silently leaves its GEM's partition —
+    /// the paper's §4.3 shuffling fault tolerance.
+    pub fn gem_assignment(&self, servers: &[ServerId]) -> Vec<Vec<ServerId>> {
         let alive: Vec<usize> = (0..self.cfg.num_gems)
             .filter(|g| !self.failed_gems.contains(g))
             .collect();
@@ -207,6 +217,14 @@ impl PlasmaEmr {
             out[i % alive.len()].push(sid);
         }
         out
+    }
+
+    /// Returns the index (into [`PlasmaEmr::gem_assignment`]'s output) of
+    /// the live GEM managing `sid`, or `None` if `sid` is not in `servers`
+    /// or no GEM is alive.
+    pub fn gem_for_server(&self, servers: &[ServerId], sid: ServerId) -> Option<usize> {
+        let assignment = self.gem_assignment(servers);
+        assignment.iter().position(|group| group.contains(&sid))
     }
 
     /// The tightest balance-rule bounds in the policy (used for admission
@@ -238,7 +256,13 @@ impl PlasmaEmr {
     fn progress_draining(&mut self, rt: &mut Runtime) {
         let draining: Vec<ServerId> = self.draining.iter().copied().collect();
         for sid in draining {
-            if rt.actors_on(sid).is_empty() && rt.decommission_server(sid) {
+            // A draining server that crashed (or was stopped externally)
+            // no longer needs decommissioning; forget it.
+            if !rt.cluster().server(sid).is_running() {
+                self.draining.remove(&sid);
+                continue;
+            }
+            if rt.actors_on(sid).is_empty() && rt.decommission_server(sid).is_ok() {
                 self.draining.remove(&sid);
                 self.stats.scale_ins += 1;
             }
@@ -396,9 +420,12 @@ impl PlasmaEmr {
 
         // Scaling by GEM majority vote (§4.2). Unplaced reserves justify
         // provisioning several servers in one round; the all-overloaded
-        // vote grows the cluster one server at a time.
+        // vote grows the cluster one server at a time. The quorum is over
+        // the *configured* GEM count, not just the live ones: crashed or
+        // unreachable GEMs count as abstentions (§4.3), so a minority
+        // island of GEMs can never scale the cluster on its own.
         if self.cfg.auto_scale && gem_count > 0 {
-            let majority = gem_count / 2 + 1;
+            let majority = self.cfg.num_gems.max(gem_count) / 2 + 1;
             if out_votes >= majority {
                 self.in_vote_streak = 0;
                 let want = unplaced
@@ -557,6 +584,14 @@ impl PlasmaEmr {
             if !rt.cluster().server(dst).is_running() {
                 self.stats.rejected += 1;
                 reply(false, "destination-down");
+                continue;
+            }
+            // Under a partition the QUERY to the destination LEM never
+            // returns; the GEM times out and drops the action (Alg. 1's
+            // reply wait, with the fault model of §4.3).
+            if !rt.reachable(action.src, dst) {
+                self.stats.rejected += 1;
+                reply(false, "query-timeout");
                 continue;
             }
             let dst_speed = rt.cluster().server(dst).instance().total_speed();
@@ -749,6 +784,21 @@ impl ElasticityController for PlasmaEmr {
     fn on_server_ready(&mut self, rt: &mut Runtime, _server: ServerId) {
         self.booting = self.booting.saturating_sub(1);
         let _ = rt;
+    }
+
+    fn on_fault(&mut self, rt: &mut Runtime, fault: plasma_actor::ControlFault) {
+        match fault {
+            plasma_actor::ControlFault::GemCrash { gem } => {
+                if gem < self.cfg.num_gems && !self.failed_gems.contains(&gem) {
+                    self.fail_gem(gem);
+                    rt.tracer()
+                        .clone()
+                        .emit(rt.now(), Component::Gem, None, || {
+                            TraceEventKind::GemCrashed { gem: gem as u32 }
+                        });
+                }
+            }
+        }
     }
 
     fn place_new_actor(

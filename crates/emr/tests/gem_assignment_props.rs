@@ -1,0 +1,92 @@
+//! Property tests for the GEM server-partitioning scheme (§4.3 shuffling
+//! fault tolerance): no matter which GEMs crash, the survivors always cover
+//! every running server exactly once.
+
+use plasma_cluster::ServerId;
+use plasma_emr::{EmrConfig, PlasmaEmr};
+use plasma_epl::{compile, ActorSchema};
+use proptest::prelude::*;
+
+fn worker_schema() -> ActorSchema {
+    let mut s = ActorSchema::new();
+    s.actor_type("Worker").func("run");
+    s
+}
+
+fn emr_with_gems(num_gems: usize) -> PlasmaEmr {
+    let compiled = compile(
+        "server.cpu.perc > 80 => balance({Worker}, cpu);",
+        &worker_schema(),
+    )
+    .unwrap();
+    PlasmaEmr::new(
+        compiled,
+        EmrConfig {
+            num_gems,
+            ..EmrConfig::default()
+        },
+    )
+}
+
+proptest! {
+    /// After any sequence of `fail_gem` calls that leaves at least one GEM
+    /// alive, every running server maps to exactly one live GEM: it appears
+    /// in exactly one partition of `gem_assignment`, and `gem_for_server`
+    /// agrees with that partition.
+    #[test]
+    fn every_server_maps_to_exactly_one_live_gem(
+        num_gems in 1usize..8,
+        num_servers in 0usize..40,
+        failures in proptest::collection::vec(0usize..8, 0..16),
+    ) {
+        let mut emr = emr_with_gems(num_gems);
+        for g in failures {
+            // Leave at least one GEM alive; out-of-range ids are a no-op
+            // at assignment time but exercise the bookkeeping anyway.
+            if emr.alive_gems() > 1 || g >= num_gems {
+                emr.fail_gem(g);
+            }
+        }
+        prop_assert!(emr.alive_gems() >= 1);
+
+        let servers: Vec<ServerId> = (0..num_servers as u32).map(ServerId).collect();
+        let assignment = emr.gem_assignment(&servers);
+        prop_assert_eq!(assignment.len(), emr.alive_gems());
+
+        for &sid in &servers {
+            let owners = assignment
+                .iter()
+                .filter(|group| group.contains(&sid))
+                .count();
+            prop_assert_eq!(owners, 1, "server {:?} owned by {} live GEMs", sid, owners);
+            let idx = emr.gem_for_server(&servers, sid);
+            prop_assert!(idx.is_some(), "gem_for_server must find {:?}", sid);
+            prop_assert!(assignment[idx.unwrap()].contains(&sid));
+        }
+
+        // No phantom servers: the partitions cover exactly the input set.
+        let total: usize = assignment.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, servers.len());
+
+        // A server outside the scope maps to no GEM.
+        let outside = ServerId(num_servers as u32 + 1);
+        prop_assert_eq!(emr.gem_for_server(&servers, outside), None);
+    }
+
+    /// With every GEM dead the assignment is empty and lookups return None
+    /// (the data plane keeps running; only resource rules stop).
+    #[test]
+    fn all_gems_dead_yields_empty_assignment(
+        num_gems in 1usize..6,
+        num_servers in 1usize..20,
+    ) {
+        let mut emr = emr_with_gems(num_gems);
+        for g in 0..num_gems {
+            emr.fail_gem(g);
+        }
+        prop_assert_eq!(emr.alive_gems(), 0);
+        let servers: Vec<ServerId> = (0..num_servers as u32).map(ServerId).collect();
+        prop_assert!(emr.gem_assignment(&servers).is_empty());
+        prop_assert_eq!(emr.gem_for_server(&servers, ServerId(0)), None);
+    }
+}

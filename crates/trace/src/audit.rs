@@ -15,12 +15,14 @@ use crate::event::{Category, EventId, TraceEvent};
 /// Reconstructs the decision chain that explains what the elasticity
 /// machinery last did to `actor` at or before `at`.
 ///
-/// The anchor is the most recent migration / admission / plan event whose
-/// subject is `actor` with timestamp `<= at`; from there the `parent` links
-/// are followed to the root (typically the GEM's `RuleEvaluated`). The
-/// returned slice is ordered root-first, so timestamps are nondecreasing
-/// and each event's `parent` is the id of the one before it. Empty when no
-/// decision about the actor is retained in `events`.
+/// The anchor is the most recent migration / admission / plan /
+/// fault / recovery event whose subject is `actor` with timestamp `<= at`;
+/// from there the `parent` links are followed to the root (typically the
+/// GEM's `RuleEvaluated`, or the chaos injector's `FaultInjected` for
+/// fault -> detection -> recovery chains). The returned slice is ordered
+/// root-first, so timestamps are nondecreasing and each event's `parent` is
+/// the id of the one before it. Empty when no decision about the actor is
+/// retained in `events`.
 pub fn explain(events: &[TraceEvent], actor: u64, at: SimTime) -> Vec<TraceEvent> {
     let anchor = events
         .iter()
@@ -29,7 +31,11 @@ pub fn explain(events: &[TraceEvent], actor: u64, at: SimTime) -> Vec<TraceEvent
                 && e.kind.subject_actor() == Some(actor)
                 && matches!(
                     e.kind.category(),
-                    Category::Migration | Category::Admission | Category::Plan
+                    Category::Migration
+                        | Category::Admission
+                        | Category::Plan
+                        | Category::Fault
+                        | Category::Recovery
                 )
         })
         .max_by_key(|e| e.id);
@@ -218,6 +224,65 @@ mod tests {
         let chain = explain(&events, 7, SimTime::from_secs(1));
         let ids: Vec<u64> = chain.iter().map(|e| e.id.0).collect();
         assert_eq!(ids, vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn explain_anchors_on_recovery_chain() {
+        let mk = |id: u64, at: u64, parent: Option<u64>, component, kind| TraceEvent {
+            id: EventId(id),
+            at: SimTime::from_micros(at),
+            component,
+            parent: parent.map(EventId),
+            kind,
+        };
+        let events = vec![
+            mk(
+                1,
+                10,
+                None,
+                Component::Chaos,
+                TraceEventKind::FaultInjected {
+                    fault: "server-crash".into(),
+                    server: Some(1),
+                },
+            ),
+            mk(
+                2,
+                10,
+                Some(1),
+                Component::Runtime,
+                TraceEventKind::ServerCrashed {
+                    server: 1,
+                    actors_lost: 1,
+                    messages_lost: 0,
+                },
+            ),
+            mk(
+                3,
+                30,
+                Some(2),
+                Component::Gem,
+                TraceEventKind::ServerDeclaredDead {
+                    server: 1,
+                    detect_latency_us: 20,
+                },
+            ),
+            mk(
+                4,
+                30,
+                Some(3),
+                Component::Runtime,
+                TraceEventKind::ActorRecovered {
+                    actor: 7,
+                    src: 1,
+                    dst: 0,
+                    state_bytes_lost: 64,
+                },
+            ),
+        ];
+        let chain = explain(&events, 7, SimTime::from_secs(1));
+        let ids: Vec<u64> = chain.iter().map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4], "fault -> detection -> recovery");
     }
 
     #[test]

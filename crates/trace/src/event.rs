@@ -28,6 +28,8 @@ pub enum Component {
     Gem,
     /// The cluster provisioner (server boot/drain).
     Provisioner,
+    /// The chaos fault injector (plasma-chaos plans).
+    Chaos,
 }
 
 impl Component {
@@ -38,6 +40,7 @@ impl Component {
             Component::Lem => "lem",
             Component::Gem => "gem",
             Component::Provisioner => "provisioner",
+            Component::Chaos => "chaos",
         }
     }
 }
@@ -61,11 +64,15 @@ pub enum Category {
     Scale,
     /// Server provisioning lifecycle.
     Server,
+    /// Injected faults (crashes, partitions, degradation, stalls).
+    Fault,
+    /// Failure detection and repair steps.
+    Recovery,
 }
 
 impl Category {
     /// All categories, in declaration order.
-    pub const ALL: [Category; 8] = [
+    pub const ALL: [Category; 10] = [
         Category::Message,
         Category::Actor,
         Category::Migration,
@@ -74,6 +81,8 @@ impl Category {
         Category::Admission,
         Category::Scale,
         Category::Server,
+        Category::Fault,
+        Category::Recovery,
     ];
 
     /// Stable lowercase name used by the exporters.
@@ -87,6 +96,8 @@ impl Category {
             Category::Admission => "admission",
             Category::Scale => "scale",
             Category::Server => "server",
+            Category::Fault => "fault",
+            Category::Recovery => "recovery",
         }
     }
 
@@ -279,6 +290,108 @@ pub enum TraceEventKind {
         /// The stopped server.
         server: u32,
     },
+    /// A fault from the chaos plan was injected. Parent of the concrete
+    /// fault events it causes, so `explain` can show fault -> detection ->
+    /// recovery chains.
+    FaultInjected {
+        /// Stable fault label (e.g. `server-crash`, `partition`).
+        fault: String,
+        /// The primarily affected server, when the fault targets one.
+        server: Option<u64>,
+    },
+    /// A server crash-stopped: resident actors lost, queued messages gone.
+    ServerCrashed {
+        /// The crashed server.
+        server: u32,
+        /// Actors that were resident (now orphaned).
+        actors_lost: u64,
+        /// Queued mailbox messages dropped by the crash.
+        messages_lost: u64,
+    },
+    /// A crashed server began rebooting.
+    ServerRestarted {
+        /// The rebooting server.
+        server: u32,
+        /// When it becomes usable again, in microseconds since start.
+        ready_at_us: u64,
+    },
+    /// The heartbeat failure detector declared a crashed server dead.
+    ServerDeclaredDead {
+        /// The dead server.
+        server: u32,
+        /// Crash-to-detection latency in microseconds.
+        detect_latency_us: u64,
+    },
+    /// An orphaned actor respawned via the directory after its server died.
+    ActorRecovered {
+        /// The recovered actor.
+        actor: u64,
+        /// The dead server it was orphaned on.
+        src: u32,
+        /// Where it respawned (may equal `src` after an in-place reboot).
+        dst: u32,
+        /// State bytes lost with the crash (crash-stop: no state survives).
+        state_bytes_lost: u64,
+    },
+    /// An in-flight migration failed and the actor fell back to its source.
+    MigrationAborted {
+        /// The migrating actor.
+        actor: u64,
+        /// Source server (where the actor remains).
+        src: u32,
+        /// The destination that was not reached.
+        dst: u32,
+        /// Why (`injected`, `source-crashed`, `destination-down`).
+        reason: String,
+    },
+    /// An aborted migration is being retried after backoff.
+    MigrationRetry {
+        /// The migrating actor.
+        actor: u64,
+        /// Destination being retried.
+        dst: u32,
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
+    /// Links between a server group and the rest of the cluster severed.
+    PartitionStarted {
+        /// Servers on the severed side.
+        group_size: u64,
+    },
+    /// All active partitions healed.
+    PartitionHealed {
+        /// How many partition groups were healed.
+        healed: u64,
+    },
+    /// Uniform link degradation activated.
+    LinkDegraded {
+        /// Latency added per cross-server hop, microseconds.
+        extra_latency_us: u64,
+        /// Effective bandwidth, percent of nominal.
+        bandwidth_pct: u32,
+        /// Per-mille message drop probability.
+        drop_per_mille: u32,
+    },
+    /// Link degradation cleared.
+    LinksHealed {
+        /// Whether a degradation was actually active.
+        was_active: bool,
+    },
+    /// A GEM crash-stopped; its servers re-shuffle onto survivors (§4.3).
+    GemCrashed {
+        /// Index of the crashed GEM.
+        gem: u32,
+    },
+    /// The LEM on one server crashed; its profiling window is lost.
+    LemCrashed {
+        /// The server whose LEM restarted.
+        server: u32,
+    },
+    /// The provisioner stalled: server requests fail until the given time.
+    ProvisionerStalled {
+        /// When requests succeed again, microseconds since start.
+        until_us: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -305,6 +418,20 @@ impl TraceEventKind {
             TraceEventKind::ServerBoot { .. } | TraceEventKind::ServerDrain { .. } => {
                 Category::Server
             }
+            TraceEventKind::FaultInjected { .. }
+            | TraceEventKind::ServerCrashed { .. }
+            | TraceEventKind::MigrationAborted { .. }
+            | TraceEventKind::PartitionStarted { .. }
+            | TraceEventKind::LinkDegraded { .. }
+            | TraceEventKind::GemCrashed { .. }
+            | TraceEventKind::LemCrashed { .. }
+            | TraceEventKind::ProvisionerStalled { .. } => Category::Fault,
+            TraceEventKind::ServerRestarted { .. }
+            | TraceEventKind::ServerDeclaredDead { .. }
+            | TraceEventKind::ActorRecovered { .. }
+            | TraceEventKind::MigrationRetry { .. }
+            | TraceEventKind::PartitionHealed { .. }
+            | TraceEventKind::LinksHealed { .. } => Category::Recovery,
         }
     }
 
@@ -325,6 +452,20 @@ impl TraceEventKind {
             TraceEventKind::ScaleVote { .. } => "ScaleVote",
             TraceEventKind::ServerBoot { .. } => "ServerBoot",
             TraceEventKind::ServerDrain { .. } => "ServerDrain",
+            TraceEventKind::FaultInjected { .. } => "FaultInjected",
+            TraceEventKind::ServerCrashed { .. } => "ServerCrashed",
+            TraceEventKind::ServerRestarted { .. } => "ServerRestarted",
+            TraceEventKind::ServerDeclaredDead { .. } => "ServerDeclaredDead",
+            TraceEventKind::ActorRecovered { .. } => "ActorRecovered",
+            TraceEventKind::MigrationAborted { .. } => "MigrationAborted",
+            TraceEventKind::MigrationRetry { .. } => "MigrationRetry",
+            TraceEventKind::PartitionStarted { .. } => "PartitionStarted",
+            TraceEventKind::PartitionHealed { .. } => "PartitionHealed",
+            TraceEventKind::LinkDegraded { .. } => "LinkDegraded",
+            TraceEventKind::LinksHealed { .. } => "LinksHealed",
+            TraceEventKind::GemCrashed { .. } => "GemCrashed",
+            TraceEventKind::LemCrashed { .. } => "LemCrashed",
+            TraceEventKind::ProvisionerStalled { .. } => "ProvisionerStalled",
         }
     }
 
@@ -337,7 +478,10 @@ impl TraceEventKind {
             | TraceEventKind::MigrationComplete { actor, .. }
             | TraceEventKind::PlanProposed { actor, .. }
             | TraceEventKind::QuerySent { actor, .. }
-            | TraceEventKind::QueryReply { actor, .. } => Some(*actor),
+            | TraceEventKind::QueryReply { actor, .. }
+            | TraceEventKind::ActorRecovered { actor, .. }
+            | TraceEventKind::MigrationAborted { actor, .. }
+            | TraceEventKind::MigrationRetry { actor, .. } => Some(*actor),
             _ => None,
         }
     }
@@ -426,6 +570,14 @@ mod tests {
                 scale_in: false,
             },
             TraceEventKind::ServerDrain { server: 3 },
+            TraceEventKind::FaultInjected {
+                fault: "server-crash".into(),
+                server: Some(3),
+            },
+            TraceEventKind::ServerDeclaredDead {
+                server: 3,
+                detect_latency_us: 10,
+            },
         ];
         let cats: Vec<Category> = kinds.iter().map(|k| k.category()).collect();
         assert_eq!(
@@ -439,8 +591,38 @@ mod tests {
                 Category::Admission,
                 Category::Scale,
                 Category::Server,
+                Category::Fault,
+                Category::Recovery,
             ]
         );
+    }
+
+    #[test]
+    fn fault_and_recovery_kinds_have_stable_names_and_subjects() {
+        let aborted = TraceEventKind::MigrationAborted {
+            actor: 9,
+            src: 0,
+            dst: 1,
+            reason: "injected".into(),
+        };
+        assert_eq!(aborted.name(), "MigrationAborted");
+        assert_eq!(aborted.subject_actor(), Some(9));
+        assert_eq!(aborted.category(), Category::Fault);
+        let recovered = TraceEventKind::ActorRecovered {
+            actor: 4,
+            src: 1,
+            dst: 2,
+            state_bytes_lost: 1024,
+        };
+        assert_eq!(recovered.subject_actor(), Some(4));
+        assert_eq!(recovered.category(), Category::Recovery);
+        let crashed = TraceEventKind::ServerCrashed {
+            server: 1,
+            actors_lost: 2,
+            messages_lost: 5,
+        };
+        assert_eq!(crashed.subject_actor(), None);
+        assert_eq!(crashed.category(), Category::Fault);
     }
 
     #[test]

@@ -177,6 +177,96 @@ fn push_kind_fields(out: &mut String, kind: &TraceEventKind) {
         TraceEventKind::ServerDrain { server } => {
             let _ = write!(out, "\"server\":{server}");
         }
+        TraceEventKind::FaultInjected { fault, server } => {
+            out.push_str("\"fault\":\"");
+            escape_into(out, fault);
+            out.push_str("\",\"server\":");
+            push_opt_u64(out, *server);
+        }
+        TraceEventKind::ServerCrashed {
+            server,
+            actors_lost,
+            messages_lost,
+        } => {
+            let _ = write!(
+                out,
+                "\"server\":{server},\"actors_lost\":{actors_lost},\"messages_lost\":{messages_lost}"
+            );
+        }
+        TraceEventKind::ServerRestarted {
+            server,
+            ready_at_us,
+        } => {
+            let _ = write!(out, "\"server\":{server},\"ready_at_us\":{ready_at_us}");
+        }
+        TraceEventKind::ServerDeclaredDead {
+            server,
+            detect_latency_us,
+        } => {
+            let _ = write!(
+                out,
+                "\"server\":{server},\"detect_latency_us\":{detect_latency_us}"
+            );
+        }
+        TraceEventKind::ActorRecovered {
+            actor,
+            src,
+            dst,
+            state_bytes_lost,
+        } => {
+            let _ = write!(
+                out,
+                "\"actor\":{actor},\"src\":{src},\"dst\":{dst},\"state_bytes_lost\":{state_bytes_lost}"
+            );
+        }
+        TraceEventKind::MigrationAborted {
+            actor,
+            src,
+            dst,
+            reason,
+        } => {
+            let _ = write!(
+                out,
+                "\"actor\":{actor},\"src\":{src},\"dst\":{dst},\"reason\":\""
+            );
+            escape_into(out, reason);
+            out.push('"');
+        }
+        TraceEventKind::MigrationRetry {
+            actor,
+            dst,
+            attempt,
+        } => {
+            let _ = write!(out, "\"actor\":{actor},\"dst\":{dst},\"attempt\":{attempt}");
+        }
+        TraceEventKind::PartitionStarted { group_size } => {
+            let _ = write!(out, "\"group_size\":{group_size}");
+        }
+        TraceEventKind::PartitionHealed { healed } => {
+            let _ = write!(out, "\"healed\":{healed}");
+        }
+        TraceEventKind::LinkDegraded {
+            extra_latency_us,
+            bandwidth_pct,
+            drop_per_mille,
+        } => {
+            let _ = write!(
+                out,
+                "\"extra_latency_us\":{extra_latency_us},\"bandwidth_pct\":{bandwidth_pct},\"drop_per_mille\":{drop_per_mille}"
+            );
+        }
+        TraceEventKind::LinksHealed { was_active } => {
+            let _ = write!(out, "\"was_active\":{was_active}");
+        }
+        TraceEventKind::GemCrashed { gem } => {
+            let _ = write!(out, "\"gem\":{gem}");
+        }
+        TraceEventKind::LemCrashed { server } => {
+            let _ = write!(out, "\"server\":{server}");
+        }
+        TraceEventKind::ProvisionerStalled { until_us } => {
+            let _ = write!(out, "\"until_us\":{until_us}");
+        }
     }
 }
 
@@ -205,9 +295,14 @@ pub fn to_jsonl(events: &[TraceEvent]) -> String {
 fn chrome_tid(kind: &TraceEventKind) -> u64 {
     match kind {
         TraceEventKind::MessageSend { to, .. } | TraceEventKind::MessageDeliver { to, .. } => *to,
-        TraceEventKind::ServerBoot { server, .. } | TraceEventKind::ServerDrain { server } => {
-            u64::from(*server)
-        }
+        TraceEventKind::ServerBoot { server, .. }
+        | TraceEventKind::ServerDrain { server }
+        | TraceEventKind::ServerCrashed { server, .. }
+        | TraceEventKind::ServerRestarted { server, .. }
+        | TraceEventKind::ServerDeclaredDead { server, .. }
+        | TraceEventKind::LemCrashed { server } => u64::from(*server),
+        TraceEventKind::FaultInjected { server, .. } => server.unwrap_or(0),
+        TraceEventKind::GemCrashed { gem } => u64::from(*gem),
         TraceEventKind::RuleEvaluated { rule, .. } | TraceEventKind::RuleFired { rule, .. } => {
             if *rule == u64::MAX {
                 0
@@ -226,6 +321,7 @@ fn chrome_pid(component: Component) -> u32 {
         Component::Lem => 2,
         Component::Gem => 3,
         Component::Provisioner => 4,
+        Component::Chaos => 5,
     }
 }
 
@@ -243,6 +339,7 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
         Component::Lem,
         Component::Gem,
         Component::Provisioner,
+        Component::Chaos,
     ] {
         if !first {
             out.push(',');
@@ -389,6 +486,66 @@ mod tests {
         }];
         let line = to_jsonl(&events);
         assert!(line.contains("\"actor_type\":\"we\\\"ird\\nname\""));
+    }
+
+    #[test]
+    fn fault_chain_jsonl_fixed_shape() {
+        let events = vec![
+            TraceEvent {
+                id: EventId(1),
+                at: SimTime::from_secs(30),
+                component: Component::Chaos,
+                parent: None,
+                kind: TraceEventKind::FaultInjected {
+                    fault: "server-crash".into(),
+                    server: Some(1),
+                },
+            },
+            TraceEvent {
+                id: EventId(2),
+                at: SimTime::from_secs(30),
+                component: Component::Runtime,
+                parent: Some(EventId(1)),
+                kind: TraceEventKind::ServerCrashed {
+                    server: 1,
+                    actors_lost: 2,
+                    messages_lost: 7,
+                },
+            },
+            TraceEvent {
+                id: EventId(3),
+                at: SimTime::from_secs(40),
+                component: Component::Gem,
+                parent: Some(EventId(2)),
+                kind: TraceEventKind::ServerDeclaredDead {
+                    server: 1,
+                    detect_latency_us: 10_000_000,
+                },
+            },
+            TraceEvent {
+                id: EventId(4),
+                at: SimTime::from_secs(40),
+                component: Component::Runtime,
+                parent: Some(EventId(3)),
+                kind: TraceEventKind::ActorRecovered {
+                    actor: 5,
+                    src: 1,
+                    dst: 0,
+                    state_bytes_lost: 4096,
+                },
+            },
+        ];
+        assert_eq!(
+            to_jsonl(&events),
+            "{\"id\":1,\"at_us\":30000000,\"component\":\"chaos\",\"parent\":null,\
+             \"kind\":\"FaultInjected\",\"fault\":\"server-crash\",\"server\":1}\n\
+             {\"id\":2,\"at_us\":30000000,\"component\":\"runtime\",\"parent\":1,\
+             \"kind\":\"ServerCrashed\",\"server\":1,\"actors_lost\":2,\"messages_lost\":7}\n\
+             {\"id\":3,\"at_us\":40000000,\"component\":\"gem\",\"parent\":2,\
+             \"kind\":\"ServerDeclaredDead\",\"server\":1,\"detect_latency_us\":10000000}\n\
+             {\"id\":4,\"at_us\":40000000,\"component\":\"runtime\",\"parent\":3,\
+             \"kind\":\"ActorRecovered\",\"actor\":5,\"src\":1,\"dst\":0,\"state_bytes_lost\":4096}\n"
+        );
     }
 
     #[test]

@@ -100,8 +100,16 @@ fn decommission_refused_while_migration_inbound() {
     let w = rt.spawn_actor("Worker", Box::new(Worker { work: 0.01 }), 64 << 20, s0);
     rt.migrate(w, s1).unwrap();
     // The transfer of 64 MB is still in flight: s1 must refuse to die.
-    assert!(!rt.decommission_server(s1), "inbound migration protects s1");
-    assert!(rt.decommission_server(s2), "unrelated empty server may die");
+    assert_eq!(
+        rt.decommission_server(s1),
+        Err(plasma_actor::DecommissionError::InboundMigration),
+        "inbound migration protects s1"
+    );
+    assert_eq!(
+        rt.decommission_server(s2),
+        Ok(()),
+        "unrelated empty server may die"
+    );
     rt.run_until(SimTime::from_secs(30));
     assert_eq!(rt.actor_server(w), s1);
 }
