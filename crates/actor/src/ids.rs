@@ -144,6 +144,11 @@ impl NameRegistry {
     pub fn function_name(&self, id: FnId) -> &str {
         self.fns.name(id.0)
     }
+
+    /// Returns every registered function id, in registration order.
+    pub fn all_functions(&self) -> impl Iterator<Item = FnId> {
+        (0..self.fns.len() as u32).map(FnId)
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@
 //!   callbacks for modeling LEM/GEM round-trips.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 use plasma_chaos::fault::FaultKind;
 use plasma_chaos::{FaultPlan, RecoveryPolicy};
@@ -177,7 +178,7 @@ pub struct Runtime {
     rng: DetRng,
     tracer: Tracer,
     stopped: bool,
-    snapshot: ProfileSnapshot,
+    snapshot: Arc<ProfileSnapshot>,
     report: RunReport,
     next_request: u64,
     orphan_replies: u64,
@@ -215,7 +216,7 @@ impl Runtime {
             rng,
             tracer: Tracer::disabled(),
             stopped: false,
-            snapshot: ProfileSnapshot::default(),
+            snapshot: Arc::new(ProfileSnapshot::default()),
             report,
             next_request: 0,
             orphan_replies: 0,
@@ -489,6 +490,22 @@ impl Runtime {
     /// Returns the most recent profiling snapshot.
     pub fn snapshot(&self) -> &ProfileSnapshot {
         &self.snapshot
+    }
+
+    /// Returns a shared handle to the most recent profiling snapshot.
+    ///
+    /// The snapshot is built exactly once per profiling window
+    /// ([`ProfileSnapshot::generation`] counts the builds); cloning the
+    /// `Arc` lets every LEM/GEM consumer in a decision round read the same
+    /// build without copying any stats.
+    pub fn snapshot_shared(&self) -> Arc<ProfileSnapshot> {
+        Arc::clone(&self.snapshot)
+    }
+
+    /// Returns how many profiling snapshots have been built so far
+    /// (the generation of the current snapshot).
+    pub fn snapshot_builds(&self) -> u64 {
+        self.snapshot.generation
     }
 
     /// Returns the server currently hosting `actor`.
@@ -1294,12 +1311,13 @@ impl Runtime {
                 entry.counters.reset();
             }
         }
-        self.snapshot = ProfileSnapshot {
+        self.snapshot = Arc::new(ProfileSnapshot {
+            generation: self.snapshot.generation + 1,
             at: self.now,
             window,
             actors: actor_stats,
             servers,
-        };
+        });
         self.events.push(self.now + window, Event::ProfileWindow);
     }
 

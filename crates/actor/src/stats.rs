@@ -143,6 +143,10 @@ pub struct ServerWindowStats {
 /// A complete profiling snapshot: what every LEM ships to its GEM.
 #[derive(Clone, Debug, Default)]
 pub struct ProfileSnapshot {
+    /// Build counter, bumped once per profiling window. Two handles with
+    /// equal generations refer to the same build; the EMR uses this to
+    /// count reuse, and tests pin "one build per window" against it.
+    pub generation: u64,
     /// When the window closed.
     pub at: SimTime,
     /// Length of the window.
@@ -216,6 +220,7 @@ mod tests {
     #[test]
     fn snapshot_filters() {
         let snap = ProfileSnapshot {
+            generation: 1,
             at: SimTime::from_secs(10),
             window: SimDuration::from_secs(1),
             actors: vec![

@@ -9,6 +9,7 @@
 pub mod compare;
 pub mod result;
 pub mod runner;
+pub mod synth;
 
 pub use compare::{compare, CompareOptions, CompareReport, DiffKind, MetricDiff};
 pub use result::{Direction, MetricValue, ScenarioResult, SCHEMA_VERSION};

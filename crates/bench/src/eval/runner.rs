@@ -52,6 +52,11 @@ pub const SCENARIOS: &[ScenarioSpec] = &[
         summary: "Halo presence: creation-time colocation vs frequency default rule",
     },
     ScenarioSpec {
+        name: "eval-engine",
+        paper_section: "4.2",
+        summary: "indexed rule evaluator on a synthetic large cluster: env counts, oracle agreement, snapshot sharing",
+    },
+    ScenarioSpec {
         name: "chatroom-chaos",
         paper_section: "4.3",
         summary: "chat room under server crashes: detection, respawn, in-place reboot",
@@ -296,6 +301,47 @@ pub fn run_scenario(name: &str, scale: EvalScale, seed: Option<u64>) -> Option<S
                 },
                 Direction::Higher,
             );
+        }
+        "eval-engine" => {
+            use plasma_cluster::ServerId;
+            use plasma_emr::eval::{naive, solve_bound, BoundRule};
+            use plasma_emr::view::{EvalCtx, EvalFrame};
+
+            let world_seed = seed.unwrap_or(0x4556_414C); // "EVAL"
+            result.seed = world_seed;
+            let (n_servers, n_actors) = match scale {
+                EvalScale::Smoke => (8u32, 600u64),
+                EvalScale::Full => (32, 3000),
+            };
+            let (snap, servers) = super::synth::synth_world(n_servers, n_actors, world_seed);
+            let (types, fns) = super::synth::name_tables();
+            let frame = EvalFrame::from_parts(&snap, servers.clone(), types, fns);
+            let scope: Vec<ServerId> = servers.iter().map(|s| s.id).collect();
+            let ctx = EvalCtx::scoped(&frame, &scope);
+            let schema = super::synth::schema();
+            result.push("servers", n_servers as f64, Direction::Info);
+            result.push("actors", n_actors as f64, Direction::Info);
+            let mut agree = 0usize;
+            for (name, src) in super::synth::RULES {
+                let policy = plasma_epl::compile(src, &schema).expect("synth rule compiles");
+                let rule = &policy.rules[0];
+                let envs = solve_bound(&BoundRule::bind(rule, &frame), &ctx);
+                if envs == naive::solve(rule, &ctx) {
+                    agree += 1;
+                }
+                result.push(&format!("envs_{name}"), envs.len() as f64, Direction::Info);
+            }
+            // 1.0 = the indexed evaluator and the naive AST oracle agree on
+            // every rule shape; any drop gates the comparison.
+            result.push(
+                "oracle_agreement",
+                agree as f64 / super::synth::RULES.len() as f64,
+                Direction::Higher,
+            );
+            let (builds, reuse, ticks) = super::synth::sharing_probe(4, 120, world_seed);
+            result.push("snapshot_builds", builds as f64, Direction::Info);
+            result.push("snapshot_reuse", reuse, Direction::Higher);
+            result.push("emr_ticks", ticks, Direction::Info);
         }
         "chatroom-chaos" => {
             let mut cfg = chatroom::ChatConfig::chaos_preset(scale);

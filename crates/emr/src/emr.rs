@@ -19,6 +19,7 @@
 //! one server is drained and decommissioned.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
 
 use plasma_actor::ids::{ActorId, ActorTypeId};
 use plasma_actor::{ElasticityController, Runtime};
@@ -28,8 +29,9 @@ use plasma_epl::ast::{ActorRef, Behavior, Cond, Feature};
 use plasma_trace::{Component, EventId, TraceEventKind, Tracer};
 
 use crate::action::{resolve_conflicts, Action, ActionKind, RuleStat};
+use crate::eval::BoundPolicy;
 use crate::gem::{Bounds, GemConfig};
-use crate::view::EvalCtx;
+use crate::view::{EvalCtx, EvalFrame};
 use crate::{gem, lem};
 
 /// Control token for the apply phase.
@@ -129,6 +131,13 @@ pub struct EmrStats {
     pub decision_latency_ms_total: f64,
     /// Worst simulated plan→apply decision latency, in milliseconds.
     pub decision_latency_ms_max: f64,
+    /// Total *wall-clock* nanoseconds spent building the evaluation frame
+    /// and running GEM/LEM planning. Host-dependent: kept out of traces and
+    /// benchmark baselines, exported only as a report scalar.
+    pub eval_ns: u64,
+    /// Evaluation consumers (GEM scopes, the LEM pass, the apply phase)
+    /// served by an already-built snapshot/frame instead of rebuilding one.
+    pub snapshot_reuse: u64,
 }
 
 /// The PLASMA elasticity management runtime.
@@ -321,83 +330,99 @@ impl PlasmaEmr {
         self.reserved_homes
             .retain(|&actor, &mut home| rt.actor_alive(actor) && rt.actor_server(actor) == home);
         self.reserved_servers = self.reserved_homes.values().copied().collect();
-        // GEM phase: resource rules per GEM over its managed servers.
+        // GEM phase: resource rules per GEM over its managed servers. One
+        // evaluation frame (indexes + bound rule plans) is built from this
+        // round's snapshot and shared by every GEM scope and the LEM pass.
         let mut all_actions: Vec<Action> = Vec::new();
         let mut out_votes = 0usize;
         let mut in_votes = 0usize;
         let mut unplaced = 0usize;
         let assignment = self.gem_assignment(&scope);
         let gem_count = assignment.len();
+        let round_no = self.stats.ticks;
         let debug = std::env::var_os("PLASMA_EMR_DEBUG").is_some();
-        for (gem_idx, servers) in assignment.iter().enumerate() {
-            // Alg. 2 line 8: wait for more than K reports before planning.
-            if servers.len() <= self.cfg.k_reports {
-                continue;
-            }
-            let ctx = EvalCtx::new(rt, servers);
-            if debug {
-                for s in &ctx.servers {
-                    eprintln!(
-                        "[emr {}] {:?} cpu={:.2} actors={}",
-                        rt.now(),
-                        s.id,
-                        s.cpu,
-                        s.actor_count
-                    );
+        let eval_start = Instant::now();
+        let mut consumers: u32 = 0;
+        let mut lem_plan = {
+            let frame = EvalFrame::new(rt);
+            let bound = BoundPolicy::bind(&self.policy, &frame);
+            for (gem_idx, servers) in assignment.iter().enumerate() {
+                // Alg. 2 line 8: wait for more than K reports before
+                // planning.
+                if servers.len() <= self.cfg.k_reports {
+                    continue;
                 }
-                for a in ctx.actors() {
-                    eprintln!(
-                        "[emr]   {:?} on {:?} share={:.3} sent={} pinned={}",
-                        a.actor, a.server, a.cpu_share, a.counters.bytes_sent, a.pinned
-                    );
+                let ctx = EvalCtx::scoped(&frame, servers);
+                consumers += 1;
+                if debug {
+                    for s in &ctx.servers {
+                        eprintln!(
+                            "[emr {}] {:?} cpu={:.2} actors={}",
+                            trace_now, s.id, s.cpu, s.actor_count
+                        );
+                    }
+                    for a in ctx.actors() {
+                        eprintln!(
+                            "[emr]   {:?} on {:?} share={:.3} sent={} pinned={}",
+                            a.actor, a.server, a.cpu_share, a.counters.bytes_sent, a.pinned
+                        );
+                    }
                 }
+                let mut plan = gem::plan(&bound, &ctx, &gem_cfg, &self.reserved_servers);
+                Self::trace_rule_events(
+                    &tracer,
+                    trace_now,
+                    Component::Gem,
+                    &plan.rule_stats,
+                    &mut plan.actions,
+                );
+                tracer.emit(trace_now, Component::Gem, None, || {
+                    TraceEventKind::ScaleVote {
+                        gem: gem_idx as u32,
+                        scale_out: plan.scale_out_vote,
+                        scale_in: plan.scale_in_vote,
+                    }
+                });
+                if debug {
+                    eprintln!(
+                        "[emr] planned {} actions (out={} in={})",
+                        plan.actions.len(),
+                        plan.scale_out_vote,
+                        plan.scale_in_vote
+                    );
+                    for a in &plan.actions {
+                        eprintln!("[emr]   {a:?}");
+                    }
+                }
+                out_votes += plan.scale_out_vote as usize;
+                in_votes += plan.scale_in_vote as usize;
+                unplaced += plan.unplaced_reserves;
+                self.reserved_servers.extend(plan.reserved.iter().copied());
+                all_actions.extend(plan.actions);
             }
-            let mut plan = gem::plan(&self.policy, &ctx, &gem_cfg, &self.reserved_servers);
-            Self::trace_rule_events(
-                &tracer,
-                trace_now,
-                Component::Gem,
-                &plan.rule_stats,
-                &mut plan.actions,
-            );
+            // LEM phase: interaction rules, chasing the GEM round's targets.
+            let pending_dst: BTreeMap<ActorId, ServerId> =
+                all_actions.iter().map(|a| (a.actor, a.dst)).collect();
+            let bounds = self.policy_bounds();
+            let ctx = EvalCtx::scoped(&frame, &scope);
+            consumers += 1;
             tracer.emit(trace_now, Component::Gem, None, || {
-                TraceEventKind::ScaleVote {
-                    gem: gem_idx as u32,
-                    scale_out: plan.scale_out_vote,
-                    scale_in: plan.scale_in_vote,
+                TraceEventKind::SnapshotShared {
+                    round: round_no,
+                    generation: frame.generation(),
+                    consumers,
                 }
             });
-            if debug {
-                eprintln!(
-                    "[emr] planned {} actions (out={} in={})",
-                    plan.actions.len(),
-                    plan.scale_out_vote,
-                    plan.scale_in_vote
-                );
-                for a in &plan.actions {
-                    eprintln!("[emr]   {a:?}");
-                }
-            }
-            out_votes += plan.scale_out_vote as usize;
-            in_votes += plan.scale_in_vote as usize;
-            unplaced += plan.unplaced_reserves;
-            self.reserved_servers.extend(plan.reserved.iter().copied());
-            all_actions.extend(plan.actions);
-        }
-        // LEM phase: interaction rules, chasing the GEM round's targets.
-        let pending_dst: BTreeMap<ActorId, ServerId> =
-            all_actions.iter().map(|a| (a.actor, a.dst)).collect();
-        let bounds = self.policy_bounds();
-        let mut lem_plan = {
-            let ctx = EvalCtx::new(rt, &scope);
             lem::plan(
-                &self.policy,
+                &bound,
                 &ctx,
                 &pending_dst,
                 bounds.upper,
                 &self.reserved_servers,
             )
         };
+        self.stats.eval_ns += eval_start.elapsed().as_nanos() as u64;
+        self.stats.snapshot_reuse += consumers.saturating_sub(1) as u64;
         Self::trace_rule_events(
             &tracer,
             trace_now,
@@ -449,7 +474,6 @@ impl PlasmaEmr {
         }
 
         let mut actions = resolve_conflicts(all_actions);
-        let round_no = self.stats.ticks;
         if tracer.is_enabled() {
             for action in &mut actions {
                 let component = match action.kind {
@@ -541,7 +565,11 @@ impl PlasmaEmr {
         // Admission control: the QUERY/QREPLY handshake of Alg. 1. Each
         // target accepts an actor only while its projected usage stays
         // within bounds (this is what lets `balance` win over `colocate`).
-        let snapshot = rt.snapshot();
+        // The shared snapshot handle is fetched once at apply time (a
+        // profiling window may have elapsed since planning) and reused for
+        // every per-action share lookup below.
+        let snapshot = rt.snapshot_shared();
+        self.stats.snapshot_reuse += 1;
         let mut projected: BTreeMap<ServerId, f64> = rt
             .cluster()
             .running_ids()
@@ -554,8 +582,7 @@ impl PlasmaEmr {
         let mut actions = round.actions;
         actions.sort_by(|a, b| b.priority.cmp(&a.priority).then(a.rule.cmp(&b.rule)));
         for action in actions {
-            let share = rt
-                .snapshot()
+            let share = snapshot
                 .actor(action.actor)
                 .map(|s| s.cpu_share)
                 .unwrap_or(0.0);
@@ -690,6 +717,8 @@ impl PlasmaEmr {
         rt.record_scalar("emr.scale_outs", s.scale_outs as f64);
         rt.record_scalar("emr.scale_ins", s.scale_ins as f64);
         rt.record_scalar("emr.rounds_applied", s.rounds_applied as f64);
+        rt.record_scalar("emr.eval_ns", s.eval_ns as f64);
+        rt.record_scalar("emr.snapshot_reuse", s.snapshot_reuse as f64);
         rt.record_scalar("emr.decision_latency_ms_max", s.decision_latency_ms_max);
         rt.record_scalar(
             "emr.decision_latency_ms_mean",

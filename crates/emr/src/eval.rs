@@ -18,17 +18,27 @@
 //!   `reserve(VideoStream(v), cpu)`) expand at instantiation over actors on
 //!   the environment's server, or over all in-scope actors when no server
 //!   is bound.
+//!
+//! The solver drives off the rule's scheduled [`plan`](plasma_epl::plan)
+//! rather than the raw AST: conjuncts arrive in selectivity order, actor
+//! types and function names are bound to registry ids once per round (see
+//! [`BoundPolicy`]), and candidate enumeration runs on the
+//! [`EvalCtx`] indexes — including `partition_point` pruning for CPU
+//! threshold predicates. The pre-plan evaluator survives in [`naive`] as
+//! the test oracle; both produce identical environment sets, which the
+//! oracle's property tests pin.
 
 use std::collections::BTreeSet;
 
-use plasma_actor::ids::ActorId;
+use plasma_actor::ids::{ActorId, FnId};
 use plasma_actor::message::CallerKind;
 use plasma_actor::stats::ActorWindowStats;
 use plasma_cluster::ServerId;
-use plasma_epl::analyze::CompiledRule;
-use plasma_epl::ast::{ActorRef, Caller, Comp, Cond, Feature, Stat};
+use plasma_epl::analyze::{CompiledPolicy, CompiledRule};
+use plasma_epl::ast::{ActorRef, Comp, Res, Stat};
+use plasma_epl::plan::{CallerPlan, CondPlan, FeatPlan, FnSym, RefPlan, StepCond, TypePat};
 
-use crate::view::EvalCtx;
+use crate::view::{EvalCtx, EvalFrame, TypeSel};
 
 /// A (partial) satisfying assignment for one rule.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -54,10 +64,83 @@ impl Env {
     }
 }
 
+/// A compiled rule with its plan's symbol tables resolved against one
+/// frame's registry: every type symbol becomes a [`TypeSel`] and every
+/// function symbol an optional [`FnId`]. Binding happens once per decision
+/// round; evaluation then never touches a string.
+pub struct BoundRule<'r> {
+    /// The underlying compiled rule (behaviors, variable table, AST).
+    pub rule: &'r CompiledRule,
+    types: Vec<TypeSel>,
+    fns: Vec<Option<FnId>>,
+}
+
+impl<'r> BoundRule<'r> {
+    /// Resolves `rule`'s plan symbols against `frame`'s name tables.
+    pub fn bind(rule: &'r CompiledRule, frame: &EvalFrame<'_>) -> Self {
+        let types = rule
+            .plan
+            .type_syms
+            .iter()
+            .map(|name| match frame.type_id(name) {
+                Some(t) => TypeSel::Id(t),
+                None => TypeSel::Unknown,
+            })
+            .collect();
+        let fns = rule
+            .plan
+            .fn_syms
+            .iter()
+            .map(|name| frame.fn_id(name))
+            .collect();
+        BoundRule { rule, types, fns }
+    }
+
+    fn sel(&self, pat: TypePat) -> TypeSel {
+        match pat {
+            TypePat::Any => TypeSel::Any,
+            TypePat::Sym(i) => self.types[i as usize],
+        }
+    }
+
+    fn fnid(&self, sym: FnSym) -> Option<FnId> {
+        self.fns[sym as usize]
+    }
+}
+
+/// A whole policy bound against one frame (see [`BoundRule`]).
+pub struct BoundPolicy<'r> {
+    /// One bound rule per policy rule, in policy order.
+    pub rules: Vec<BoundRule<'r>>,
+}
+
+impl<'r> BoundPolicy<'r> {
+    /// Binds every rule of `policy` against `frame`'s name tables.
+    pub fn bind(policy: &'r CompiledPolicy, frame: &EvalFrame<'_>) -> Self {
+        BoundPolicy {
+            rules: policy
+                .rules
+                .iter()
+                .map(|r| BoundRule::bind(r, frame))
+                .collect(),
+        }
+    }
+}
+
 /// Computes all satisfying environments of `rule` within `ctx`.
+///
+/// Convenience wrapper that binds the rule against the context's frame on
+/// the fly; round-based callers bind once via [`BoundPolicy`] and use
+/// [`solve_bound`].
 pub fn solve(rule: &CompiledRule, ctx: &EvalCtx<'_>) -> Vec<Env> {
-    let start = vec![Env::empty(rule.vars.len())];
-    let mut result = solve_cond(&rule.cond, start, rule, ctx);
+    solve_bound(&BoundRule::bind(rule, ctx.frame()), ctx)
+}
+
+/// Computes all satisfying environments of a pre-bound rule within `ctx`.
+pub fn solve_bound(rule: &BoundRule<'_>, ctx: &EvalCtx<'_>) -> Vec<Env> {
+    let plan = &rule.rule.plan;
+    let start = vec![Env::empty(plan.nvars)];
+    let mut result = solve_plan(&plan.cond, start, rule, ctx);
     dedupe(&mut result);
     result
 }
@@ -67,167 +150,279 @@ fn dedupe(envs: &mut Vec<Env>) {
     envs.extend(set);
 }
 
-fn solve_cond(cond: &Cond, envs: Vec<Env>, rule: &CompiledRule, ctx: &EvalCtx<'_>) -> Vec<Env> {
-    if envs.is_empty() {
-        return envs;
+fn solve_plan(
+    plan: &CondPlan,
+    mut envs: Vec<Env>,
+    rule: &BoundRule<'_>,
+    ctx: &EvalCtx<'_>,
+) -> Vec<Env> {
+    for step in &plan.steps {
+        if envs.is_empty() {
+            return envs;
+        }
+        envs = solve_step(step, envs, rule, ctx);
     }
-    match cond {
-        Cond::True => envs,
-        Cond::And(a, b) => {
-            let mid = solve_cond(a, envs, rule, ctx);
-            solve_cond(b, mid, rule, ctx)
+    envs
+}
+
+fn solve_step(
+    step: &StepCond,
+    mut envs: Vec<Env>,
+    rule: &BoundRule<'_>,
+    ctx: &EvalCtx<'_>,
+) -> Vec<Env> {
+    match step {
+        StepCond::True => envs,
+        StepCond::Or(branches) => {
+            let mut out = Vec::new();
+            let last = branches.len().saturating_sub(1);
+            for (i, branch) in branches.iter().enumerate() {
+                let input = if i == last {
+                    std::mem::take(&mut envs)
+                } else {
+                    envs.clone()
+                };
+                out.extend(solve_plan(branch, input, rule, ctx));
+            }
+            dedupe(&mut out);
+            out
         }
-        Cond::Or(a, b) => {
-            let mut left = solve_cond(a, envs.clone(), rule, ctx);
-            let right = solve_cond(b, envs, rule, ctx);
-            left.extend(right);
-            dedupe(&mut left);
-            left
-        }
-        Cond::Compare {
+        StepCond::Compare {
             feat,
             stat,
             comp,
             val,
         } => solve_compare(feat, *stat, *comp, *val, envs, rule, ctx),
-        Cond::InRef {
+        StepCond::InRef {
             member,
             owner,
             prop,
-        } => solve_inref(member, owner, prop, envs, rule, ctx),
+        } => solve_inref(*member, *owner, prop, envs, rule, ctx),
     }
 }
 
-/// Enumerates candidate actors for a reference under an environment.
-///
-/// Already-bound variables yield exactly their binding; unbound references
-/// expand over actors of the declared type, restricted to the environment's
-/// server when `restrict_to_server` is set.
-fn candidates<'c>(
-    aref: &ActorRef,
+/// Enumerates candidate actors for a lowered reference under an
+/// environment: the binding itself when the slot is already bound,
+/// otherwise the context's index group for the reference's type selector
+/// (restricted to the environment's server when requested), in id order.
+fn plan_candidates<'c>(
+    refp: RefPlan,
     env: &Env,
-    rule: &CompiledRule,
+    rule: &BoundRule<'_>,
     ctx: &EvalCtx<'c>,
     restrict_to_server: bool,
 ) -> Vec<&'c ActorWindowStats> {
-    let slot = match aref {
-        ActorRef::Decl(_, v) | ActorRef::Var(v) => rule.var_slot(v),
-        ActorRef::Type(_) => None,
-    };
-    if let Some(actor) = slot.and_then(|s| env.var(s)) {
+    if let Some(actor) = refp.slot.and_then(|s| env.var(s)) {
         return ctx.actor(actor).into_iter().collect();
     }
-    let atype = rule.ref_type(aref);
     let on_server = if restrict_to_server { env.server } else { None };
-    ctx.actors_matching(&atype, on_server)
+    ctx.select(rule.sel(refp.ty), on_server)
 }
 
-/// Extends `env` by binding `aref`'s variable (if it has one) to `actor`.
-fn bind(aref: &ActorRef, env: &Env, rule: &CompiledRule, actor: ActorId) -> Env {
-    let mut out = env.clone();
-    if let ActorRef::Decl(_, v) | ActorRef::Var(v) = aref {
-        if let Some(slot) = rule.var_slot(v) {
-            out.vars[slot] = Some(actor);
+/// Extends `out` with `env` bound to each of `matches` in turn, cloning
+/// only for all but the last match (the environment itself is consumed).
+/// With no slot to bind, any match leaves `env` unchanged, so one copy
+/// suffices — the per-step dedupe collapses duplicates anyway.
+fn push_bindings(out: &mut Vec<Env>, env: Env, slot: Option<usize>, matches: Vec<ActorId>) {
+    let Some((last, rest)) = matches.split_last() else {
+        return;
+    };
+    match slot {
+        None => out.push(env),
+        Some(s) => {
+            for &actor in rest {
+                let mut e = env.clone();
+                e.vars[s] = Some(actor);
+                out.push(e);
+            }
+            let mut e = env;
+            e.vars[s] = Some(*last);
+            out.push(e);
         }
     }
-    out
 }
 
 fn solve_compare(
-    feat: &Feature,
+    feat: &FeatPlan,
     stat: Stat,
     comp: Comp,
     val: f64,
     envs: Vec<Env>,
-    rule: &CompiledRule,
+    rule: &BoundRule<'_>,
     ctx: &EvalCtx<'_>,
 ) -> Vec<Env> {
     let mut out = Vec::new();
     match feat {
-        Feature::ServerRes(res) => {
+        FeatPlan::ServerRes(res) => {
             for env in envs {
                 match env.server {
                     Some(sid) => {
-                        let Some(meta) = ctx.server(sid) else {
-                            continue;
-                        };
-                        if comp.eval(meta.usage(*res) * 100.0, val) {
+                        let passes = ctx
+                            .server(sid)
+                            .is_some_and(|meta| comp.eval(meta.usage(*res) * 100.0, val));
+                        if passes {
                             out.push(env);
                         }
                     }
                     None => {
-                        for meta in &ctx.servers {
-                            if comp.eval(meta.usage(*res) * 100.0, val) {
-                                let mut e = env.clone();
-                                e.server = Some(meta.id);
-                                out.push(e);
-                            }
+                        let hits: Vec<ServerId> = ctx
+                            .servers
+                            .iter()
+                            .filter(|meta| comp.eval(meta.usage(*res) * 100.0, val))
+                            .map(|meta| meta.id)
+                            .collect();
+                        let Some((last, rest)) = hits.split_last() else {
+                            continue;
+                        };
+                        for &sid in rest {
+                            let mut e = env.clone();
+                            e.server = Some(sid);
+                            out.push(e);
                         }
+                        let mut e = env;
+                        e.server = Some(*last);
+                        out.push(e);
                     }
                 }
             }
         }
-        Feature::ActorRes(aref, res) => {
+        FeatPlan::ActorRes(refp, res) => {
             for env in envs {
-                for actor in candidates(aref, &env, rule, ctx, true) {
-                    let value = match stat {
-                        Stat::Perc => ctx.actor_usage(actor, *res) * 100.0,
-                        Stat::Size => actor.state_size as f64,
-                        Stat::Count => continue,
+                // Bound slot: evaluate the binding directly (no server
+                // restriction applies to an existing binding).
+                if let Some(bound) = refp.slot.and_then(|s| env.var(s)) {
+                    let Some(actor) = ctx.actor(bound) else {
+                        continue;
                     };
-                    if comp.eval(value, val) {
-                        out.push(bind(aref, &env, rule, actor.actor));
+                    let passes = match stat {
+                        Stat::Perc => comp.eval(ctx.actor_usage(actor, *res) * 100.0, val),
+                        Stat::Size => comp.eval(actor.state_size as f64, val),
+                        Stat::Count => false,
+                    };
+                    if passes {
+                        out.push(env);
                     }
+                    continue;
                 }
+                let sel = rule.sel(refp.ty);
+                // `actor.cpu.perc comp val` compares `cpu_share * 100`
+                // directly, so the sorted index answers it exactly.
+                let matches: Vec<ActorId> = if *res == Res::Cpu && stat == Stat::Perc {
+                    ctx.select_cpu_threshold(sel, env.server, comp, val)
+                        .iter()
+                        .map(|a| a.actor)
+                        .collect()
+                } else {
+                    ctx.select(sel, env.server)
+                        .into_iter()
+                        .filter(|actor| match stat {
+                            Stat::Perc => comp.eval(ctx.actor_usage(actor, *res) * 100.0, val),
+                            Stat::Size => comp.eval(actor.state_size as f64, val),
+                            Stat::Count => false,
+                        })
+                        .map(|a| a.actor)
+                        .collect()
+                };
+                push_bindings(&mut out, env, refp.slot, matches);
             }
         }
-        Feature::Call {
+        FeatPlan::Call {
             caller,
             callee,
             fname,
         } => {
             // A function never called this window simply has zero stats.
-            let fnid = ctx.fn_id(fname);
+            let fnid = rule.fnid(*fname);
             for env in envs {
-                for callee_stats in candidates(callee, &env, rule, ctx, true) {
-                    match caller {
-                        Caller::Client => {
-                            let stat_val = fnid
-                                .map(|f| {
-                                    call_stat_value(
-                                        ctx,
-                                        callee_stats,
-                                        CallerKind::Client,
-                                        None,
-                                        f,
-                                        stat,
-                                    )
-                                })
-                                .unwrap_or(0.0);
-                            if comp.eval(stat_val, val) {
-                                out.push(bind(callee, &env, rule, callee_stats.actor));
-                            }
-                        }
-                        Caller::Actor(caller_ref) => {
-                            let env2 = bind(callee, &env, rule, callee_stats.actor);
-                            for caller_stats in candidates(caller_ref, &env2, rule, ctx, false) {
-                                let kind = CallerKind::Actor(caller_stats.type_id);
+                let callee_cands = plan_candidates(*callee, &env, rule, ctx, true);
+                match caller {
+                    CallerPlan::Client => {
+                        let matches: Vec<ActorId> = callee_cands
+                            .iter()
+                            .filter(|cs| {
                                 let stat_val = fnid
                                     .map(|f| {
-                                        call_stat_value(
-                                            ctx,
-                                            callee_stats,
-                                            kind,
-                                            Some(caller_stats.actor),
-                                            f,
-                                            stat,
-                                        )
+                                        call_stat_value(ctx, cs, CallerKind::Client, None, f, stat)
                                     })
                                     .unwrap_or(0.0);
-                                if comp.eval(stat_val, val) {
-                                    out.push(bind(caller_ref, &env2, rule, caller_stats.actor));
-                                }
+                                comp.eval(stat_val, val)
+                            })
+                            .map(|cs| cs.actor)
+                            .collect();
+                        push_bindings(&mut out, env, callee.slot, matches);
+                    }
+                    CallerPlan::Actor(caller_ref) => {
+                        let mut base = Some(env);
+                        let last = callee_cands.len().saturating_sub(1);
+                        for (i, callee_stats) in callee_cands.iter().enumerate() {
+                            let mut env2 = if i == last {
+                                base.take().expect("consumed only on the last callee")
+                            } else {
+                                base.as_ref().expect("still present before last").clone()
+                            };
+                            if let Some(s) = callee.slot {
+                                env2.vars[s] = Some(callee_stats.actor);
                             }
+                            let caller_bound = caller_ref.slot.and_then(|s| env2.var(s));
+                            // An unrecorded caller always reads a stat of
+                            // exactly 0 (count, size, and perc alike). When
+                            // zero fails the comparison, only callers this
+                            // callee recorded can pass, so iterate the
+                            // callee's counter keys instead of every
+                            // caller-type candidate in scope.
+                            let matches: Vec<ActorId> = match fnid {
+                                Some(f) if caller_bound.is_none() && !comp.eval(0.0, val) => {
+                                    let caller_sel = rule.sel(caller_ref.ty);
+                                    let mut seen: Vec<ActorId> = callee_stats
+                                        .counters
+                                        .calls
+                                        .keys()
+                                        .filter(|k| k.fname == f)
+                                        .filter_map(|k| k.caller)
+                                        .collect();
+                                    seen.sort_unstable();
+                                    seen.dedup();
+                                    seen.into_iter()
+                                        .filter(|&cid| {
+                                            ctx.actor(cid).is_some_and(|cs| {
+                                                caller_sel.matches(cs) && {
+                                                    let kind = CallerKind::Actor(cs.type_id);
+                                                    let v = call_stat_value(
+                                                        ctx,
+                                                        callee_stats,
+                                                        kind,
+                                                        Some(cid),
+                                                        f,
+                                                        stat,
+                                                    );
+                                                    comp.eval(v, val)
+                                                }
+                                            })
+                                        })
+                                        .collect()
+                                }
+                                _ => plan_candidates(*caller_ref, &env2, rule, ctx, false)
+                                    .iter()
+                                    .filter(|caller_stats| {
+                                        let kind = CallerKind::Actor(caller_stats.type_id);
+                                        let stat_val = fnid
+                                            .map(|f| {
+                                                call_stat_value(
+                                                    ctx,
+                                                    callee_stats,
+                                                    kind,
+                                                    Some(caller_stats.actor),
+                                                    f,
+                                                    stat,
+                                                )
+                                            })
+                                            .unwrap_or(0.0);
+                                        comp.eval(stat_val, val)
+                                    })
+                                    .map(|caller_stats| caller_stats.actor)
+                                    .collect(),
+                            };
+                            push_bindings(&mut out, env2, caller_ref.slot, matches);
                         }
                     }
                 }
@@ -243,13 +438,13 @@ fn solve_compare(
 /// - `count`: messages per minute (the paper's "per time unit, e.g. 1 min").
 /// - `size`: bytes received.
 /// - `perc`: this callee's share of such calls among actors of the same
-///   type on the same server.
+///   type on the same server (the `(server, type)` index group).
 fn call_stat_value(
     ctx: &EvalCtx<'_>,
     callee: &ActorWindowStats,
     kind: CallerKind,
     caller: Option<ActorId>,
-    fnid: plasma_actor::ids::FnId,
+    fnid: FnId,
     stat: Stat,
 ) -> f64 {
     let own = match caller {
@@ -260,12 +455,11 @@ fn call_stat_value(
         Stat::Count => own.count as f64 * 60.0 / ctx.window_secs(),
         Stat::Size => own.bytes as f64,
         Stat::Perc => {
-            let mut total = 0u64;
-            for peer in ctx.actors() {
-                if peer.server == callee.server && peer.type_id == callee.type_id {
-                    total += peer.counters.calls_from_kind(kind, fnid).count;
-                }
-            }
+            let total: u64 = ctx
+                .select(TypeSel::Id(callee.type_id), Some(callee.server))
+                .iter()
+                .map(|peer| peer.counters.calls_from_kind(kind, fnid).count)
+                .sum();
             if total == 0 {
                 0.0
             } else {
@@ -276,41 +470,38 @@ fn call_stat_value(
 }
 
 fn solve_inref(
-    member: &ActorRef,
-    owner: &ActorRef,
+    member: RefPlan,
+    owner: RefPlan,
     prop: &str,
     envs: Vec<Env>,
-    rule: &CompiledRule,
+    rule: &BoundRule<'_>,
     ctx: &EvalCtx<'_>,
 ) -> Vec<Env> {
     let mut out = Vec::new();
-    let member_type = rule.ref_type(member);
+    let member_sel = rule.sel(member.ty);
     for env in envs {
-        for owner_stats in candidates(owner, &env, rule, ctx, false) {
+        for owner_stats in plan_candidates(owner, &env, rule, ctx, false) {
             let Some(refs) = owner_stats.refs.get(prop) else {
                 continue;
             };
-            let env2 = bind(owner, &env, rule, owner_stats.actor);
+            let mut env2 = env.clone();
+            if let Some(s) = owner.slot {
+                env2.vars[s] = Some(owner_stats.actor);
+            }
             // Fast path: iterate the owner's reference list rather than all
             // actors of the member type.
-            let member_slot = match member {
-                ActorRef::Decl(_, v) | ActorRef::Var(v) => rule.var_slot(v),
-                ActorRef::Type(_) => None,
-            };
-            if let Some(bound) = member_slot.and_then(|s| env2.var(s)) {
+            if let Some(bound) = member.slot.and_then(|s| env2.var(s)) {
                 if refs.contains(&bound) {
-                    out.push(env2.clone());
+                    out.push(env2);
                 }
                 continue;
             }
-            for &m in refs {
-                let Some(m_stats) = ctx.actor(m) else {
-                    continue;
-                };
-                if ctx.matches_type(m_stats, &member_type) {
-                    out.push(bind(member, &env2, rule, m));
-                }
-            }
+            let matches: Vec<ActorId> = refs
+                .iter()
+                .filter(|&&m| ctx.actor(m).is_some_and(|ms| member_sel.matches(ms)))
+                .copied()
+                .collect();
+            push_bindings(&mut out, env2, member.slot, matches);
         }
     }
     dedupe(&mut out);
@@ -326,8 +517,295 @@ pub fn expand_behavior_ref(
     rule: &CompiledRule,
     ctx: &EvalCtx<'_>,
 ) -> Vec<ActorId> {
-    candidates(aref, env, rule, ctx, true)
+    let slot = match aref {
+        ActorRef::Decl(_, v) | ActorRef::Var(v) => rule.var_slot(v),
+        ActorRef::Type(_) => None,
+    };
+    if let Some(actor) = slot.and_then(|s| env.var(s)) {
+        return ctx.actor(actor).into_iter().map(|a| a.actor).collect();
+    }
+    let atype = rule.ref_type(aref);
+    ctx.actors_matching(&atype, env.server)
         .into_iter()
         .map(|a| a.actor)
         .collect()
+}
+
+/// The pre-plan evaluator, retained as the test oracle.
+///
+/// This walks the rule's raw AST condition left to right, resolves names
+/// through string lookups per predicate, and enumerates candidates by
+/// scanning the full in-scope actor list — no plans, no symbol binding, no
+/// indexes. Property tests assert its environment sets match
+/// [`solve`] exactly.
+#[cfg(any(test, feature = "naive-oracle"))]
+pub mod naive {
+    use super::{dedupe, Env};
+    use plasma_actor::ids::ActorId;
+    use plasma_actor::message::CallerKind;
+    use plasma_actor::stats::ActorWindowStats;
+    use plasma_cluster::ServerId;
+    use plasma_epl::analyze::CompiledRule;
+    use plasma_epl::ast::{AType, ActorRef, Caller, Comp, Cond, Feature, Stat};
+
+    use crate::view::EvalCtx;
+
+    /// Computes all satisfying environments of `rule` within `ctx` by
+    /// direct AST interpretation.
+    pub fn solve(rule: &CompiledRule, ctx: &EvalCtx<'_>) -> Vec<Env> {
+        let start = vec![Env::empty(rule.vars.len())];
+        let mut result = solve_cond(&rule.cond, start, rule, ctx);
+        dedupe(&mut result);
+        result
+    }
+
+    fn solve_cond(cond: &Cond, envs: Vec<Env>, rule: &CompiledRule, ctx: &EvalCtx<'_>) -> Vec<Env> {
+        if envs.is_empty() {
+            return envs;
+        }
+        match cond {
+            Cond::True => envs,
+            Cond::And(a, b) => {
+                let mid = solve_cond(a, envs, rule, ctx);
+                solve_cond(b, mid, rule, ctx)
+            }
+            Cond::Or(a, b) => {
+                let mut left = solve_cond(a, envs.clone(), rule, ctx);
+                let right = solve_cond(b, envs, rule, ctx);
+                left.extend(right);
+                dedupe(&mut left);
+                left
+            }
+            Cond::Compare {
+                feat,
+                stat,
+                comp,
+                val,
+            } => solve_compare(feat, *stat, *comp, *val, envs, rule, ctx),
+            Cond::InRef {
+                member,
+                owner,
+                prop,
+            } => solve_inref(member, owner, prop, envs, rule, ctx),
+        }
+    }
+
+    /// Full-scan type matching, independent of the context's indexes.
+    fn actors_of_type<'c>(
+        ctx: &EvalCtx<'c>,
+        pattern: &AType,
+        on_server: Option<ServerId>,
+    ) -> Vec<&'c ActorWindowStats> {
+        ctx.actors()
+            .iter()
+            .filter(|a| ctx.matches_type(a, pattern))
+            .filter(|a| on_server.is_none_or(|s| a.server == s))
+            .copied()
+            .collect()
+    }
+
+    fn candidates<'c>(
+        aref: &ActorRef,
+        env: &Env,
+        rule: &CompiledRule,
+        ctx: &EvalCtx<'c>,
+        restrict_to_server: bool,
+    ) -> Vec<&'c ActorWindowStats> {
+        let slot = match aref {
+            ActorRef::Decl(_, v) | ActorRef::Var(v) => rule.var_slot(v),
+            ActorRef::Type(_) => None,
+        };
+        if let Some(actor) = slot.and_then(|s| env.var(s)) {
+            return ctx.actor(actor).into_iter().collect();
+        }
+        let atype = rule.ref_type(aref);
+        let on_server = if restrict_to_server { env.server } else { None };
+        actors_of_type(ctx, &atype, on_server)
+    }
+
+    fn bind(aref: &ActorRef, env: &Env, rule: &CompiledRule, actor: ActorId) -> Env {
+        let mut out = env.clone();
+        if let ActorRef::Decl(_, v) | ActorRef::Var(v) = aref {
+            if let Some(slot) = rule.var_slot(v) {
+                out.vars[slot] = Some(actor);
+            }
+        }
+        out
+    }
+
+    fn solve_compare(
+        feat: &Feature,
+        stat: Stat,
+        comp: Comp,
+        val: f64,
+        envs: Vec<Env>,
+        rule: &CompiledRule,
+        ctx: &EvalCtx<'_>,
+    ) -> Vec<Env> {
+        let mut out = Vec::new();
+        match feat {
+            Feature::ServerRes(res) => {
+                for env in envs {
+                    match env.server {
+                        Some(sid) => {
+                            let Some(meta) = ctx.server(sid) else {
+                                continue;
+                            };
+                            if comp.eval(meta.usage(*res) * 100.0, val) {
+                                out.push(env);
+                            }
+                        }
+                        None => {
+                            for meta in &ctx.servers {
+                                if comp.eval(meta.usage(*res) * 100.0, val) {
+                                    let mut e = env.clone();
+                                    e.server = Some(meta.id);
+                                    out.push(e);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Feature::ActorRes(aref, res) => {
+                for env in envs {
+                    for actor in candidates(aref, &env, rule, ctx, true) {
+                        let value = match stat {
+                            Stat::Perc => ctx.actor_usage(actor, *res) * 100.0,
+                            Stat::Size => actor.state_size as f64,
+                            Stat::Count => continue,
+                        };
+                        if comp.eval(value, val) {
+                            out.push(bind(aref, &env, rule, actor.actor));
+                        }
+                    }
+                }
+            }
+            Feature::Call {
+                caller,
+                callee,
+                fname,
+            } => {
+                let fnid = ctx.fn_id(fname);
+                for env in envs {
+                    for callee_stats in candidates(callee, &env, rule, ctx, true) {
+                        match caller {
+                            Caller::Client => {
+                                let stat_val = fnid
+                                    .map(|f| {
+                                        call_stat_value(
+                                            ctx,
+                                            callee_stats,
+                                            CallerKind::Client,
+                                            None,
+                                            f,
+                                            stat,
+                                        )
+                                    })
+                                    .unwrap_or(0.0);
+                                if comp.eval(stat_val, val) {
+                                    out.push(bind(callee, &env, rule, callee_stats.actor));
+                                }
+                            }
+                            Caller::Actor(caller_ref) => {
+                                let env2 = bind(callee, &env, rule, callee_stats.actor);
+                                for caller_stats in candidates(caller_ref, &env2, rule, ctx, false)
+                                {
+                                    let kind = CallerKind::Actor(caller_stats.type_id);
+                                    let stat_val = fnid
+                                        .map(|f| {
+                                            call_stat_value(
+                                                ctx,
+                                                callee_stats,
+                                                kind,
+                                                Some(caller_stats.actor),
+                                                f,
+                                                stat,
+                                            )
+                                        })
+                                        .unwrap_or(0.0);
+                                    if comp.eval(stat_val, val) {
+                                        out.push(bind(caller_ref, &env2, rule, caller_stats.actor));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dedupe(&mut out);
+        out
+    }
+
+    fn call_stat_value(
+        ctx: &EvalCtx<'_>,
+        callee: &ActorWindowStats,
+        kind: CallerKind,
+        caller: Option<ActorId>,
+        fnid: plasma_actor::ids::FnId,
+        stat: Stat,
+    ) -> f64 {
+        let own = match caller {
+            Some(c) => callee.counters.calls_from_actor(c, fnid),
+            None => callee.counters.calls_from_kind(kind, fnid),
+        };
+        match stat {
+            Stat::Count => own.count as f64 * 60.0 / ctx.window_secs(),
+            Stat::Size => own.bytes as f64,
+            Stat::Perc => {
+                let mut total = 0u64;
+                for peer in ctx.actors() {
+                    if peer.server == callee.server && peer.type_id == callee.type_id {
+                        total += peer.counters.calls_from_kind(kind, fnid).count;
+                    }
+                }
+                if total == 0 {
+                    0.0
+                } else {
+                    own.count as f64 * 100.0 / total as f64
+                }
+            }
+        }
+    }
+
+    fn solve_inref(
+        member: &ActorRef,
+        owner: &ActorRef,
+        prop: &str,
+        envs: Vec<Env>,
+        rule: &CompiledRule,
+        ctx: &EvalCtx<'_>,
+    ) -> Vec<Env> {
+        let mut out = Vec::new();
+        let member_type = rule.ref_type(member);
+        for env in envs {
+            for owner_stats in candidates(owner, &env, rule, ctx, false) {
+                let Some(refs) = owner_stats.refs.get(prop) else {
+                    continue;
+                };
+                let env2 = bind(owner, &env, rule, owner_stats.actor);
+                let member_slot = match member {
+                    ActorRef::Decl(_, v) | ActorRef::Var(v) => rule.var_slot(v),
+                    ActorRef::Type(_) => None,
+                };
+                if let Some(bound) = member_slot.and_then(|s| env2.var(s)) {
+                    if refs.contains(&bound) {
+                        out.push(env2.clone());
+                    }
+                    continue;
+                }
+                for &m in refs {
+                    let Some(m_stats) = ctx.actor(m) else {
+                        continue;
+                    };
+                    if ctx.matches_type(m_stats, &member_type) {
+                        out.push(bind(member, &env2, rule, m));
+                    }
+                }
+            }
+        }
+        dedupe(&mut out);
+        out
+    }
 }

@@ -11,11 +11,11 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use plasma_actor::ids::ActorId;
 use plasma_cluster::ServerId;
-use plasma_epl::analyze::{CompiledPolicy, CompiledRule};
+use plasma_epl::analyze::CompiledRule;
 use plasma_epl::ast::{AType, Behavior, Comp, Cond, Feature, Res, Stat};
 
 use crate::action::{Action, ActionKind, RuleStat};
-use crate::eval::{expand_behavior_ref, solve};
+use crate::eval::{expand_behavior_ref, solve_bound, BoundPolicy};
 use crate::view::EvalCtx;
 
 /// Utilization bounds extracted from a rule's condition.
@@ -122,7 +122,7 @@ impl Default for GemConfig {
 
 /// Plans resource-rule actions over the GEM's managed scope.
 pub fn plan(
-    policy: &CompiledPolicy,
+    policy: &BoundPolicy<'_>,
     ctx: &EvalCtx<'_>,
     cfg: &GemConfig,
     reserved_servers: &BTreeSet<ServerId>,
@@ -136,11 +136,12 @@ pub fn plan(
         .map(|s| (s.id, [s.cpu, s.mem, s.net]))
         .collect();
     let mut moved: BTreeSet<ActorId> = BTreeSet::new();
-    for rule in &policy.rules {
+    for bound in &policy.rules {
+        let rule = bound.rule;
         if !rule.has_resource_behavior() {
             continue;
         }
-        let envs = solve(rule, ctx);
+        let envs = solve_bound(bound, ctx);
         let actions_before = plan.actions.len();
         if envs.is_empty() {
             plan.rule_stats.push(RuleStat {

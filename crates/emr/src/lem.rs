@@ -10,11 +10,11 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use plasma_actor::ids::ActorId;
 use plasma_cluster::ServerId;
-use plasma_epl::analyze::{CompiledPolicy, CompiledRule};
+use plasma_epl::analyze::CompiledRule;
 use plasma_epl::ast::{ActorRef, Behavior};
 
 use crate::action::{Action, ActionKind, RuleStat};
-use crate::eval::{expand_behavior_ref, solve, Env};
+use crate::eval::{expand_behavior_ref, solve_bound, BoundPolicy, Env};
 use crate::view::EvalCtx;
 
 /// The outcome of one LEM planning pass.
@@ -38,7 +38,7 @@ pub struct LemPlan {
 /// Metadata Server rule (`reserve(fo, cpu); colocate(fo, fi);`) move the
 /// files along with the folder.
 pub fn plan(
-    policy: &CompiledPolicy,
+    policy: &BoundPolicy<'_>,
     ctx: &EvalCtx<'_>,
     pending_dst: &BTreeMap<ActorId, ServerId>,
     upper_bound: f64,
@@ -54,11 +54,12 @@ pub fn plan(
     for dst in pending_dst.values() {
         *incoming.entry(*dst).or_insert(0) += 1;
     }
-    for rule in &policy.rules {
+    for bound in &policy.rules {
+        let rule = bound.rule;
         if !rule.has_interaction_behavior() {
             continue;
         }
-        let envs = solve(rule, ctx);
+        let envs = solve_bound(bound, ctx);
         let actions_before = plan.actions.len();
         for env in &envs {
             for cb in &rule.behaviors {

@@ -31,6 +31,8 @@ pub mod action;
 pub mod baselines;
 pub mod emr;
 pub mod eval;
+#[cfg(test)]
+mod eval_props;
 pub mod gem;
 pub mod lem;
 pub mod view;

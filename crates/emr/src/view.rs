@@ -1,9 +1,20 @@
-//! The evaluation context: a scoped view over one profiling snapshot.
+//! The evaluation view: one shared indexed frame per round, scoped contexts
+//! per consumer.
 //!
 //! LEMs evaluate rules anchored to their own server; GEMs evaluate over all
-//! servers they manage. Both use an [`EvalCtx`] built from the runtime's
-//! latest [`ProfileSnapshot`] plus the static capacity data (speed, memory,
-//! NIC) needed to turn raw counters into the percentages the EPL compares.
+//! servers they manage. Both used to rebuild a string-keyed context per
+//! evaluation; now the EMR builds one [`EvalFrame`] per decision round from
+//! the runtime's generation-stamped [`ProfileSnapshot`] and every consumer
+//! borrows it through a cheap scoped [`EvalCtx`].
+//!
+//! The frame carries the indexes the evaluator drives candidate enumeration
+//! off: per-type actor lists, a per-server residency index, their
+//! `(server, type)` intersection, and `cpu_share`-sorted copies of each for
+//! threshold conditions (`actor.cpu.perc > X` resolves to a
+//! `partition_point` over a sorted index instead of a scan). All index
+//! groups store positions into the id-ordered actor list, so enumeration
+//! order — which behavior expansion relies on — is identical to the old
+//! full-scan implementation.
 
 use std::collections::BTreeMap;
 
@@ -11,7 +22,7 @@ use plasma_actor::ids::{ActorId, ActorTypeId, FnId};
 use plasma_actor::stats::{ActorWindowStats, ProfileSnapshot};
 use plasma_actor::Runtime;
 use plasma_cluster::ServerId;
-use plasma_epl::ast::{AType, Res};
+use plasma_epl::ast::{AType, Comp, Res};
 
 /// Static capacity data of one server, captured at context build time.
 #[derive(Clone, Copy, Debug)]
@@ -47,22 +58,63 @@ impl ServerMeta {
     }
 }
 
-/// A scoped, immutable view over one profiling snapshot.
-pub struct EvalCtx<'a> {
+/// A resolved actor-type selector, produced by binding a plan's type symbol
+/// against the runtime's registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TypeSel {
+    /// Matches every actor type.
+    Any,
+    /// Matches one concrete type.
+    Id(ActorTypeId),
+    /// The named type is unknown to the registry: matches nothing.
+    Unknown,
+}
+
+impl TypeSel {
+    /// Returns whether `actor` matches this selector.
+    pub fn matches(self, actor: &ActorWindowStats) -> bool {
+        match self {
+            TypeSel::Any => true,
+            TypeSel::Id(t) => actor.type_id == t,
+            TypeSel::Unknown => false,
+        }
+    }
+}
+
+/// The per-round indexed view over one profiling snapshot: server metadata,
+/// the id-ordered actor list, candidate indexes, and the name tables rule
+/// plans are bound against. Built once per decision round and shared by
+/// every [`EvalCtx`].
+pub struct EvalFrame<'a> {
     snap: &'a ProfileSnapshot,
-    /// Servers in scope, in id order.
-    pub servers: Vec<ServerMeta>,
-    /// Actor stats in scope (hosted on in-scope servers), in id order.
+    /// Server metadata in construction-scope order.
+    servers: Vec<ServerMeta>,
+    server_idx: BTreeMap<ServerId, usize>,
+    /// Actor stats on frame servers, in id order.
     actors: Vec<&'a ActorWindowStats>,
-    by_id: BTreeMap<ActorId, usize>,
+    by_id: BTreeMap<ActorId, u32>,
+    by_type: BTreeMap<ActorTypeId, Vec<u32>>,
+    by_server: BTreeMap<ServerId, Vec<u32>>,
+    by_server_type: BTreeMap<(ServerId, ActorTypeId), Vec<u32>>,
+    /// `cpu_share`-ascending copies of the groups above, for threshold
+    /// pruning via `partition_point`.
+    all_cpu: Vec<u32>,
+    by_type_cpu: BTreeMap<ActorTypeId, Vec<u32>>,
+    by_server_cpu: BTreeMap<ServerId, Vec<u32>>,
+    by_server_type_cpu: BTreeMap<(ServerId, ActorTypeId), Vec<u32>>,
     type_names: BTreeMap<String, ActorTypeId>,
     fn_names: BTreeMap<String, FnId>,
 }
 
-impl<'a> EvalCtx<'a> {
-    /// Builds a context over `scope` servers from the runtime's latest
-    /// snapshot.
-    pub fn new(rt: &'a Runtime, scope: &[ServerId]) -> Self {
+impl<'a> EvalFrame<'a> {
+    /// Builds the round's frame over every running server.
+    pub fn new(rt: &'a Runtime) -> Self {
+        Self::from_runtime(rt, &rt.cluster().running_ids())
+    }
+
+    /// Builds a frame over `scope` servers from the runtime's latest
+    /// snapshot (non-running servers are skipped).
+    pub(crate) fn from_runtime(rt: &'a Runtime, scope: &[ServerId]) -> Self {
         let snap = rt.snapshot();
         let mut servers = Vec::with_capacity(scope.len());
         for &sid in scope {
@@ -87,50 +139,256 @@ impl<'a> EvalCtx<'a> {
                 actor_count,
             });
         }
-        let in_scope = |sid: ServerId| servers.iter().any(|s| s.id == sid);
-        let mut actors = Vec::new();
-        let mut by_id = BTreeMap::new();
-        for a in &snap.actors {
-            if in_scope(a.server) {
-                by_id.insert(a.actor, actors.len());
-                actors.push(a);
-            }
-        }
-        let mut type_names = BTreeMap::new();
         let names = rt.names();
+        let mut type_names = BTreeMap::new();
         for t in names.all_types() {
             type_names.insert(names.type_name(t).to_string(), t);
         }
         let mut fn_names = BTreeMap::new();
-        for a in &snap.actors {
-            for key in a.counters.calls.keys() {
-                let name = names.function_name(key.fname).to_string();
-                fn_names.insert(name, key.fname);
-            }
+        for f in names.all_functions() {
+            fn_names.insert(names.function_name(f).to_string(), f);
         }
-        EvalCtx {
+        Self::build(snap, servers, type_names, fn_names)
+    }
+
+    /// Builds a frame from pre-assembled parts (synthetic snapshots in
+    /// benches and property tests). Actors on servers absent from `servers`
+    /// are excluded, as they would be for non-running servers.
+    pub fn from_parts(
+        snap: &'a ProfileSnapshot,
+        servers: Vec<ServerMeta>,
+        type_names: BTreeMap<String, ActorTypeId>,
+        fn_names: BTreeMap<String, FnId>,
+    ) -> Self {
+        Self::build(snap, servers, type_names, fn_names)
+    }
+
+    fn build(
+        snap: &'a ProfileSnapshot,
+        servers: Vec<ServerMeta>,
+        type_names: BTreeMap<String, ActorTypeId>,
+        fn_names: BTreeMap<String, FnId>,
+    ) -> Self {
+        let server_idx: BTreeMap<ServerId, usize> =
+            servers.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+        let mut actors = Vec::new();
+        let mut by_id = BTreeMap::new();
+        let mut by_type: BTreeMap<ActorTypeId, Vec<u32>> = BTreeMap::new();
+        let mut by_server: BTreeMap<ServerId, Vec<u32>> = BTreeMap::new();
+        let mut by_server_type: BTreeMap<(ServerId, ActorTypeId), Vec<u32>> = BTreeMap::new();
+        for a in &snap.actors {
+            if !server_idx.contains_key(&a.server) {
+                continue;
+            }
+            let pos = actors.len() as u32;
+            by_id.insert(a.actor, pos);
+            by_type.entry(a.type_id).or_default().push(pos);
+            by_server.entry(a.server).or_default().push(pos);
+            by_server_type
+                .entry((a.server, a.type_id))
+                .or_default()
+                .push(pos);
+            actors.push(a);
+        }
+        let sort_cpu = |group: &[u32]| {
+            let mut sorted = group.to_vec();
+            // Stable sort keeps id-order ties deterministic; shares are
+            // finite so `total_cmp` equals the usual order.
+            sorted.sort_by(|&x, &y| {
+                actors[x as usize]
+                    .cpu_share
+                    .total_cmp(&actors[y as usize].cpu_share)
+            });
+            sorted
+        };
+        let all: Vec<u32> = (0..actors.len() as u32).collect();
+        let all_cpu = sort_cpu(&all);
+        let by_type_cpu = by_type.iter().map(|(&k, v)| (k, sort_cpu(v))).collect();
+        let by_server_cpu = by_server.iter().map(|(&k, v)| (k, sort_cpu(v))).collect();
+        let by_server_type_cpu = by_server_type
+            .iter()
+            .map(|(&k, v)| (k, sort_cpu(v)))
+            .collect();
+        EvalFrame {
             snap,
             servers,
+            server_idx,
             actors,
             by_id,
+            by_type,
+            by_server,
+            by_server_type,
+            all_cpu,
+            by_type_cpu,
+            by_server_cpu,
+            by_server_type_cpu,
             type_names,
             fn_names,
         }
     }
 
+    /// Returns the snapshot generation this frame was built from.
+    pub fn generation(&self) -> u64 {
+        self.snap.generation
+    }
+
+    /// Returns the metadata of every frame server.
+    pub fn servers(&self) -> &[ServerMeta] {
+        &self.servers
+    }
+
+    /// Returns the metadata of one frame server.
+    pub fn server(&self, id: ServerId) -> Option<&ServerMeta> {
+        self.server_idx.get(&id).map(|&i| &self.servers[i])
+    }
+
+    /// Resolves an EPL type name against the application's registry.
+    pub fn type_id(&self, name: &str) -> Option<ActorTypeId> {
+        self.type_names.get(name).copied()
+    }
+
+    /// Resolves a function name against the application's registry.
+    pub fn fn_id(&self, name: &str) -> Option<FnId> {
+        self.fn_names.get(name).copied()
+    }
+
+    fn group(&self, sel: TypeSel, on_server: Option<ServerId>, cpu_sorted: bool) -> &[u32] {
+        let found = match (sel, on_server) {
+            (TypeSel::Unknown, _) => None,
+            (TypeSel::Any, None) => {
+                // The unsorted full list is `EvalCtx::actors()`; only the
+                // sorted variant is served from here.
+                debug_assert!(cpu_sorted);
+                Some(&self.all_cpu)
+            }
+            (TypeSel::Any, Some(s)) => {
+                if cpu_sorted {
+                    self.by_server_cpu.get(&s)
+                } else {
+                    self.by_server.get(&s)
+                }
+            }
+            (TypeSel::Id(t), None) => {
+                if cpu_sorted {
+                    self.by_type_cpu.get(&t)
+                } else {
+                    self.by_type.get(&t)
+                }
+            }
+            (TypeSel::Id(t), Some(s)) => {
+                if cpu_sorted {
+                    self.by_server_type_cpu.get(&(s, t))
+                } else {
+                    self.by_server_type.get(&(s, t))
+                }
+            }
+        };
+        found.map_or(&[], |v| v)
+    }
+}
+
+/// How an [`EvalCtx`] holds its frame: built for this context alone, or
+/// borrowed from the round's shared frame.
+enum FrameRef<'a> {
+    Owned(Box<EvalFrame<'a>>),
+    Shared(&'a EvalFrame<'a>),
+}
+
+/// A scoped, immutable view over one profiling snapshot.
+///
+/// A context narrows a frame to the servers one consumer manages; all
+/// candidate enumeration stays index-driven on the shared frame, filtered
+/// by scope where the scope is partial.
+pub struct EvalCtx<'a> {
+    frame: FrameRef<'a>,
+    /// Servers in scope, in scope order.
+    pub servers: Vec<ServerMeta>,
+    /// `None` when the scope covers the whole frame.
+    scope: Option<BTreeMap<ServerId, ()>>,
+    /// Scoped actor list (id order); `None` when the scope is full.
+    scoped_actors: Option<Vec<&'a ActorWindowStats>>,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Builds a standalone context over `scope` servers from the runtime's
+    /// latest snapshot (the frame is private to this context).
+    pub fn new(rt: &'a Runtime, scope: &[ServerId]) -> Self {
+        let frame = EvalFrame::from_runtime(rt, scope);
+        let servers = frame.servers.clone();
+        EvalCtx {
+            frame: FrameRef::Owned(Box::new(frame)),
+            servers,
+            scope: None,
+            scoped_actors: None,
+        }
+    }
+
+    /// Borrows the round's shared frame, narrowed to `scope` servers.
+    /// Servers absent from the frame (not running at build time) are
+    /// skipped, mirroring [`EvalCtx::new`].
+    pub fn scoped(frame: &'a EvalFrame<'a>, scope: &[ServerId]) -> Self {
+        let servers: Vec<ServerMeta> = scope
+            .iter()
+            .filter_map(|&sid| frame.server(sid))
+            .copied()
+            .collect();
+        let full = servers.len() == frame.servers.len();
+        let (scope_set, scoped_actors) = if full {
+            (None, None)
+        } else {
+            let set: BTreeMap<ServerId, ()> = servers.iter().map(|s| (s.id, ())).collect();
+            let actors = frame
+                .actors
+                .iter()
+                .filter(|a| set.contains_key(&a.server))
+                .copied()
+                .collect();
+            (Some(set), Some(actors))
+        };
+        EvalCtx {
+            frame: FrameRef::Shared(frame),
+            servers,
+            scope: scope_set,
+            scoped_actors,
+        }
+    }
+
+    pub(crate) fn frame(&self) -> &EvalFrame<'a> {
+        match &self.frame {
+            FrameRef::Owned(f) => f,
+            FrameRef::Shared(f) => f,
+        }
+    }
+
+    fn in_scope(&self, sid: ServerId) -> bool {
+        match &self.scope {
+            Some(set) => set.contains_key(&sid),
+            None => self.frame().server_idx.contains_key(&sid),
+        }
+    }
+
     /// Returns the window length in seconds.
     pub fn window_secs(&self) -> f64 {
-        self.snap.window.as_secs_f64().max(1e-9)
+        self.frame().snap.window.as_secs_f64().max(1e-9)
     }
 
     /// Returns every in-scope actor.
     pub fn actors(&self) -> &[&'a ActorWindowStats] {
-        &self.actors
+        match &self.scoped_actors {
+            Some(v) => v,
+            None => &self.frame().actors,
+        }
     }
 
     /// Returns the stats of one actor, if in scope.
     pub fn actor(&self, id: ActorId) -> Option<&'a ActorWindowStats> {
-        self.by_id.get(&id).map(|&i| self.actors[i])
+        let frame = self.frame();
+        let a = frame.by_id.get(&id).map(|&i| frame.actors[i as usize])?;
+        if self.in_scope(a.server) {
+            Some(a)
+        } else {
+            None
+        }
     }
 
     /// Returns the server metadata for `id`, if in scope.
@@ -140,34 +398,103 @@ impl<'a> EvalCtx<'a> {
 
     /// Resolves an EPL type name against the application's registry.
     pub fn type_id(&self, name: &str) -> Option<ActorTypeId> {
-        self.type_names.get(name).copied()
+        self.frame().type_id(name)
     }
 
-    /// Resolves a function name seen in profiling data.
+    /// Resolves a function name against the application's registry.
     pub fn fn_id(&self, name: &str) -> Option<FnId> {
-        self.fn_names.get(name).copied()
+        self.frame().fn_id(name)
     }
 
     /// Returns whether an actor's type matches an EPL type pattern.
     pub fn matches_type(&self, actor: &ActorWindowStats, pattern: &AType) -> bool {
+        self.type_sel(pattern).matches(actor)
+    }
+
+    /// Binds a type pattern to a selector over this context's registry.
+    pub fn type_sel(&self, pattern: &AType) -> TypeSel {
         match pattern {
-            AType::Any => true,
-            AType::Named(name) => self.type_id(name) == Some(actor.type_id),
+            AType::Any => TypeSel::Any,
+            AType::Named(name) => match self.type_id(name) {
+                Some(t) => TypeSel::Id(t),
+                None => TypeSel::Unknown,
+            },
         }
     }
 
     /// Returns the in-scope actors matching a type pattern, optionally
-    /// restricted to one server.
+    /// restricted to one server, in id order.
     pub fn actors_matching(
         &self,
         pattern: &AType,
         on_server: Option<ServerId>,
     ) -> Vec<&'a ActorWindowStats> {
-        self.actors
-            .iter()
-            .filter(|a| self.matches_type(a, pattern))
-            .filter(|a| on_server.is_none_or(|s| a.server == s))
-            .copied()
+        self.select(self.type_sel(pattern), on_server)
+    }
+
+    /// Index-driven candidate enumeration: in-scope actors matching `sel`,
+    /// optionally on one server, in id order.
+    pub(crate) fn select(
+        &self,
+        sel: TypeSel,
+        on_server: Option<ServerId>,
+    ) -> Vec<&'a ActorWindowStats> {
+        let frame = self.frame();
+        match (sel, on_server) {
+            (TypeSel::Unknown, _) => Vec::new(),
+            (_, Some(s)) if !self.in_scope(s) => Vec::new(),
+            (TypeSel::Any, None) => self.actors().to_vec(),
+            (sel, on_server @ Some(_)) => frame
+                .group(sel, on_server, false)
+                .iter()
+                .map(|&i| frame.actors[i as usize])
+                .collect(),
+            (sel @ TypeSel::Id(_), None) => {
+                let group = frame.group(sel, None, false);
+                match &self.scope {
+                    None => group.iter().map(|&i| frame.actors[i as usize]).collect(),
+                    Some(set) => group
+                        .iter()
+                        .map(|&i| frame.actors[i as usize])
+                        .filter(|a| set.contains_key(&a.server))
+                        .collect(),
+                }
+            }
+        }
+    }
+
+    /// Threshold-pruned enumeration for `actor.cpu.perc comp val`
+    /// conditions: candidates whose `cpu_share * 100` satisfies `comp`
+    /// against `val`, selected by `partition_point` over the frame's
+    /// cpu-sorted index. The comparison applied is bit-identical to the
+    /// per-candidate check, so the result set matches a full scan exactly;
+    /// output order is unspecified (callers dedupe).
+    pub(crate) fn select_cpu_threshold(
+        &self,
+        sel: TypeSel,
+        on_server: Option<ServerId>,
+        comp: Comp,
+        val: f64,
+    ) -> Vec<&'a ActorWindowStats> {
+        if let Some(s) = on_server {
+            if !self.in_scope(s) {
+                return Vec::new();
+            }
+        }
+        let frame = self.frame();
+        let sorted = frame.group(sel, on_server, true);
+        let pass = |&i: &u32| comp.eval(frame.actors[i as usize].cpu_share * 100.0, val);
+        // `cpu_share` ascends along the group and every `Comp` is a
+        // half-line, so passing candidates form a prefix (Lt/Le) or a
+        // suffix (Gt/Ge).
+        let hits = match comp {
+            Comp::Gt | Comp::Ge => &sorted[sorted.partition_point(|i| !pass(i))..],
+            Comp::Lt | Comp::Le => &sorted[..sorted.partition_point(pass)],
+        };
+        let needs_scope_filter = on_server.is_none() && self.scope.is_some();
+        hits.iter()
+            .map(|&i| frame.actors[i as usize])
+            .filter(|a| !needs_scope_filter || self.in_scope(a.server))
             .collect()
     }
 

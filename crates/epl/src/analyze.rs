@@ -16,6 +16,7 @@ use std::collections::BTreeMap;
 
 use crate::ast::{AType, ActorRef, Behavior, Caller, Cond, Feature, Policy, Res, Rule, Stat};
 use crate::error::{SemanticError, Warning};
+use crate::plan::RulePlan;
 use crate::schema::ActorSchema;
 
 /// A variable declared inline in a rule.
@@ -51,6 +52,8 @@ pub struct CompiledRule {
     pub behaviors: Vec<CompiledBehavior>,
     /// The rule's variable table, in declaration order.
     pub vars: Vec<VarDecl>,
+    /// Evaluation-ready query plan lowered from `cond`.
+    pub plan: RulePlan,
 }
 
 impl CompiledRule {
@@ -381,7 +384,7 @@ fn analyze_rule(
             priority,
         });
     }
-    let vars = cx
+    let vars: Vec<VarDecl> = cx
         .order
         .iter()
         .map(|name| VarDecl {
@@ -389,11 +392,13 @@ fn analyze_rule(
             atype: cx.vars[name].clone(),
         })
         .collect();
+    let plan = RulePlan::build(&cond, &vars);
     Ok(CompiledRule {
         index,
         cond,
         behaviors,
         vars,
+        plan,
     })
 }
 

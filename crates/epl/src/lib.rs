@@ -53,6 +53,7 @@ pub mod ast;
 pub mod conflict;
 pub mod error;
 pub mod parser;
+pub mod plan;
 pub mod schema;
 pub mod schema_text;
 pub mod token;

@@ -1,0 +1,526 @@
+//! Query-plan IR: the evaluation-ready lowering of a `CompiledRule`.
+//!
+//! The analyzer resolves *names*; this module resolves *shape*. A
+//! [`RulePlan`] flattens the rule's `and`-tree into an ordered list of
+//! conjunct steps, reorders them by estimated selectivity (cheap,
+//! highly-filtering predicates first), and interns every actor-type and
+//! function name into small symbol tables so the evaluator never touches a
+//! string. The EMR binds the symbol tables to runtime `ActorTypeId`/`FnId`
+//! values once per decision round; evaluation is then purely integer-keyed.
+//!
+//! # Why reordering is sound
+//!
+//! The evaluator threads partial environments left-to-right through the
+//! conjunction and deduplicates the environment set after every predicate,
+//! so the *set* of satisfying environments is insensitive to the order of
+//! two conjuncts unless they interact through shared state. Two conjuncts
+//! interact iff they share a variable slot, or one may *bind* the server
+//! coordinate (`server.res` predicates) while the other reads it
+//! (actor-resource and call predicates restrict candidates to the bound
+//! server). The scheduler performs a stable topological sort that only
+//! moves a conjunct ahead of another when they provably do not interact,
+//! picking the cheapest ready conjunct at each step and breaking ties by
+//! source order — so plans are deterministic and decisions are bit-for-bit
+//! identical to the unplanned evaluator.
+
+use std::collections::BTreeSet;
+
+use crate::analyze::VarDecl;
+use crate::ast::{AType, ActorRef, Caller, Comp, Cond, Feature, Res, Stat};
+
+/// Index into [`RulePlan::type_syms`].
+pub type TypeSym = u32;
+/// Index into [`RulePlan::fn_syms`].
+pub type FnSym = u32;
+
+/// A resolved actor-type pattern: wildcard or an interned type name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TypePat {
+    /// Matches every actor type (`any`).
+    Any,
+    /// Matches one named type (index into [`RulePlan::type_syms`]).
+    Sym(TypeSym),
+}
+
+/// A lowered actor reference: variable slot plus type pattern.
+///
+/// `slot` is `Some` for `Type(v)` / bare-`v` references (the rule-local
+/// variable slot the match binds or reads) and `None` for anonymous typed
+/// references.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RefPlan {
+    /// Variable slot in the rule's environment, if the reference is named.
+    pub slot: Option<usize>,
+    /// The declared type pattern candidates must match.
+    pub ty: TypePat,
+}
+
+/// A lowered caller position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallerPlan {
+    /// External clients.
+    Client,
+    /// A calling actor.
+    Actor(RefPlan),
+}
+
+/// A lowered feature.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FeatPlan {
+    /// `server.res`.
+    ServerRes(Res),
+    /// `actor.res`.
+    ActorRes(RefPlan, Res),
+    /// `cllr.call(actor.fname)` with the function name interned.
+    Call {
+        /// The caller position.
+        caller: CallerPlan,
+        /// The callee actor.
+        callee: RefPlan,
+        /// Interned function name (index into [`RulePlan::fn_syms`]).
+        fname: FnSym,
+    },
+}
+
+/// One scheduled conjunct.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StepCond {
+    /// `true` — the trivially satisfied plan.
+    True,
+    /// `feat.stat comp val`.
+    Compare {
+        /// The measured feature.
+        feat: FeatPlan,
+        /// Which statistic of it.
+        stat: Stat,
+        /// Comparison operator.
+        comp: Comp,
+        /// Bound value.
+        val: f64,
+    },
+    /// `member in ref(owner.prop)`.
+    InRef {
+        /// The member actor.
+        member: RefPlan,
+        /// The owning actor.
+        owner: RefPlan,
+        /// The reference property on the owner.
+        prop: String,
+    },
+    /// A disjunction: each branch is an independently scheduled sub-plan.
+    Or(Vec<CondPlan>),
+}
+
+/// An ordered conjunction of steps. Evaluation threads environments through
+/// `steps` front to back.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CondPlan {
+    /// Conjuncts in scheduled (selectivity) order.
+    pub steps: Vec<StepCond>,
+}
+
+/// The full evaluation plan for one rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RulePlan {
+    /// The scheduled condition.
+    pub cond: CondPlan,
+    /// Actor-type names referenced by the condition, deduplicated.
+    pub type_syms: Vec<String>,
+    /// Function names referenced by the condition, deduplicated.
+    pub fn_syms: Vec<String>,
+    /// Number of variable slots in the rule's environment.
+    pub nvars: usize,
+}
+
+impl RulePlan {
+    /// Lowers a resolved condition and variable table into a plan.
+    pub fn build(cond: &Cond, vars: &[VarDecl]) -> RulePlan {
+        let mut cx = PlanCx {
+            vars,
+            type_syms: Vec::new(),
+            fn_syms: Vec::new(),
+        };
+        let plan = lower_cond(&mut cx, cond);
+        RulePlan {
+            cond: plan,
+            type_syms: cx.type_syms,
+            fn_syms: cx.fn_syms,
+            nvars: vars.len(),
+        }
+    }
+}
+
+struct PlanCx<'a> {
+    vars: &'a [VarDecl],
+    type_syms: Vec<String>,
+    fn_syms: Vec<String>,
+}
+
+impl PlanCx<'_> {
+    fn type_pat(&mut self, t: &AType) -> TypePat {
+        match t {
+            AType::Any => TypePat::Any,
+            AType::Named(name) => TypePat::Sym(intern(&mut self.type_syms, name)),
+        }
+    }
+
+    fn fn_sym(&mut self, name: &str) -> FnSym {
+        intern(&mut self.fn_syms, name)
+    }
+
+    fn lower_ref(&mut self, aref: &ActorRef) -> RefPlan {
+        let (slot, ty) = match aref {
+            ActorRef::Decl(t, v) => (self.slot_of(v), t.clone()),
+            ActorRef::Type(t) => (None, t.clone()),
+            ActorRef::Var(v) => (
+                self.slot_of(v),
+                self.vars
+                    .iter()
+                    .find(|d| &d.name == v)
+                    .map(|d| d.atype.clone())
+                    .unwrap_or(AType::Any),
+            ),
+        };
+        RefPlan {
+            slot,
+            ty: self.type_pat(&ty),
+        }
+    }
+
+    fn slot_of(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|d| d.name == name)
+    }
+}
+
+fn intern(table: &mut Vec<String>, name: &str) -> u32 {
+    if let Some(i) = table.iter().position(|s| s == name) {
+        return i as u32;
+    }
+    table.push(name.to_string());
+    (table.len() - 1) as u32
+}
+
+/// Flattens the `and`-tree of `cond` into conjuncts (left-to-right source
+/// order), lowers each, then schedules them.
+fn lower_cond(cx: &mut PlanCx<'_>, cond: &Cond) -> CondPlan {
+    let mut conjuncts = Vec::new();
+    flatten_and(cond, &mut conjuncts);
+    let mut steps: Vec<StepCond> = conjuncts.iter().map(|c| lower_pred(cx, c)).collect();
+    // `true` conjuncts are identities under conjunction; drop them unless
+    // the whole condition is trivial.
+    if steps.iter().any(|s| !matches!(s, StepCond::True)) {
+        steps.retain(|s| !matches!(s, StepCond::True));
+    } else {
+        steps.truncate(1);
+    }
+    CondPlan {
+        steps: schedule(steps),
+    }
+}
+
+fn flatten_and<'c>(cond: &'c Cond, out: &mut Vec<&'c Cond>) {
+    match cond {
+        Cond::And(a, b) => {
+            flatten_and(a, out);
+            flatten_and(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Lowers one non-`and` conjunct.
+fn lower_pred(cx: &mut PlanCx<'_>, cond: &Cond) -> StepCond {
+    match cond {
+        Cond::True => StepCond::True,
+        Cond::And(..) => unreachable!("flatten_and removes nested conjunctions"),
+        Cond::Or(a, b) => {
+            // Collect the whole `or`-spine so `a or b or c` becomes one
+            // three-branch disjunction rather than nested pairs.
+            let mut branches = Vec::new();
+            flatten_or(a, cx, &mut branches);
+            flatten_or(b, cx, &mut branches);
+            StepCond::Or(branches)
+        }
+        Cond::Compare {
+            feat,
+            stat,
+            comp,
+            val,
+        } => {
+            let feat = match feat {
+                Feature::ServerRes(r) => FeatPlan::ServerRes(*r),
+                Feature::ActorRes(a, r) => FeatPlan::ActorRes(cx.lower_ref(a), *r),
+                Feature::Call {
+                    caller,
+                    callee,
+                    fname,
+                } => FeatPlan::Call {
+                    caller: match caller {
+                        Caller::Client => CallerPlan::Client,
+                        Caller::Actor(a) => CallerPlan::Actor(cx.lower_ref(a)),
+                    },
+                    callee: cx.lower_ref(callee),
+                    fname: cx.fn_sym(fname),
+                },
+            };
+            StepCond::Compare {
+                feat,
+                stat: *stat,
+                comp: *comp,
+                val: *val,
+            }
+        }
+        Cond::InRef {
+            member,
+            owner,
+            prop,
+        } => StepCond::InRef {
+            member: cx.lower_ref(member),
+            owner: cx.lower_ref(owner),
+            prop: prop.clone(),
+        },
+    }
+}
+
+fn flatten_or(cond: &Cond, cx: &mut PlanCx<'_>, out: &mut Vec<CondPlan>) {
+    match cond {
+        Cond::Or(a, b) => {
+            flatten_or(a, cx, out);
+            flatten_or(b, cx, out);
+        }
+        other => out.push(lower_cond(cx, other)),
+    }
+}
+
+/// What a step reads/writes, for the interference analysis.
+#[derive(Default)]
+struct Effects {
+    reads_server: bool,
+    writes_server: bool,
+    slots: BTreeSet<usize>,
+}
+
+impl Effects {
+    fn interferes(&self, other: &Effects) -> bool {
+        if self.slots.intersection(&other.slots).next().is_some() {
+            return true;
+        }
+        (self.writes_server && (other.reads_server || other.writes_server))
+            || (other.writes_server && (self.reads_server || self.writes_server))
+    }
+}
+
+fn ref_slot(effects: &mut Effects, r: &RefPlan) {
+    if let Some(s) = r.slot {
+        effects.slots.insert(s);
+    }
+}
+
+fn effects_of(step: &StepCond) -> Effects {
+    let mut e = Effects::default();
+    collect_effects(step, &mut e);
+    e
+}
+
+fn collect_effects(step: &StepCond, e: &mut Effects) {
+    match step {
+        StepCond::True => {}
+        StepCond::Compare { feat, .. } => match feat {
+            // `server.res` binds the environment's server coordinate.
+            FeatPlan::ServerRes(_) => {
+                e.reads_server = true;
+                e.writes_server = true;
+            }
+            // Actor-resource candidates are restricted to a bound server.
+            FeatPlan::ActorRes(a, _) => {
+                e.reads_server = true;
+                ref_slot(e, a);
+            }
+            // Callee candidates are restricted to a bound server; the
+            // caller side is not.
+            FeatPlan::Call { caller, callee, .. } => {
+                e.reads_server = true;
+                ref_slot(e, callee);
+                if let CallerPlan::Actor(a) = caller {
+                    ref_slot(e, a);
+                }
+            }
+        },
+        StepCond::InRef { member, owner, .. } => {
+            ref_slot(e, member);
+            ref_slot(e, owner);
+        }
+        StepCond::Or(branches) => {
+            for b in branches {
+                for s in &b.steps {
+                    collect_effects(s, e);
+                }
+            }
+        }
+    }
+}
+
+/// Estimated evaluation cost: lower runs earlier when reordering is sound.
+/// Server predicates enumerate servers (few), actor-resource predicates use
+/// the stat-sorted index, `in ref` walks reference lists, and call
+/// predicates walk per-caller counter maps (the most expensive).
+fn cost_of(step: &StepCond) -> u32 {
+    match step {
+        StepCond::True => 0,
+        StepCond::Compare { feat, .. } => match feat {
+            FeatPlan::ServerRes(_) => 10,
+            FeatPlan::ActorRes(..) => 20,
+            FeatPlan::Call { caller, .. } => match caller {
+                CallerPlan::Client => 40,
+                CallerPlan::Actor(_) => 50,
+            },
+        },
+        StepCond::InRef { .. } => 30,
+        StepCond::Or(branches) => {
+            5 + branches
+                .iter()
+                .flat_map(|b| b.steps.iter())
+                .map(cost_of)
+                .max()
+                .unwrap_or(0)
+        }
+    }
+}
+
+/// Stable selectivity scheduling: repeatedly emit the cheapest step whose
+/// interfering predecessors have all been emitted; ties break on source
+/// order. The earliest unemitted step is always ready, so this terminates.
+fn schedule(steps: Vec<StepCond>) -> Vec<StepCond> {
+    let n = steps.len();
+    if n <= 1 {
+        return steps;
+    }
+    let effects: Vec<Effects> = steps.iter().map(effects_of).collect();
+    let costs: Vec<u32> = steps.iter().map(cost_of).collect();
+    let mut emitted = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut best: Option<usize> = None;
+        for i in 0..n {
+            if emitted[i] {
+                continue;
+            }
+            let ready = (0..i).all(|j| emitted[j] || !effects[j].interferes(&effects[i]));
+            if ready && best.is_none_or(|b| costs[i] < costs[b]) {
+                best = Some(i);
+            }
+        }
+        let pick = best.expect("at least the earliest unemitted step is ready");
+        emitted[pick] = true;
+        order.push(pick);
+    }
+    let mut slots: Vec<Option<StepCond>> = steps.into_iter().map(Some).collect();
+    order
+        .into_iter()
+        .map(|i| slots[i].take().expect("each step emitted once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::parser::parse_policy;
+    use crate::schema::ActorSchema;
+
+    fn schema() -> ActorSchema {
+        let mut s = ActorSchema::new();
+        s.actor_type("Folder").prop("files").func("open");
+        s.actor_type("File").func("read");
+        s
+    }
+
+    fn plan_of(src: &str) -> RulePlan {
+        let policy = parse_policy(src).unwrap();
+        let compiled = analyze(&policy, &schema()).unwrap();
+        compiled.rules[0].plan.clone()
+    }
+
+    #[test]
+    fn trivial_condition_lowers_to_true() {
+        let p = plan_of("true => pin(Folder);");
+        assert_eq!(p.cond.steps, vec![StepCond::True]);
+        assert!(p.type_syms.is_empty());
+        assert!(p.fn_syms.is_empty());
+    }
+
+    #[test]
+    fn names_are_interned_once() {
+        let p = plan_of(
+            "client.call(Folder(f).open).count > 1 and client.call(Folder(f).open).size > 9 \
+             => pin(f);",
+        );
+        assert_eq!(p.type_syms, vec!["Folder".to_string()]);
+        assert_eq!(p.fn_syms, vec!["open".to_string()]);
+        assert_eq!(p.nvars, 1);
+    }
+
+    #[test]
+    fn server_bind_stays_ahead_of_dependent_actor_predicates() {
+        // The call predicate reads the server binding the first conjunct
+        // writes; reordering would change semantics, so source order holds.
+        let p = plan_of(
+            "server.cpu.perc > 80 and client.call(Folder(f).open).perc > 40 => reserve(f, cpu);",
+        );
+        assert!(matches!(
+            p.cond.steps[0],
+            StepCond::Compare {
+                feat: FeatPlan::ServerRes(Res::Cpu),
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.cond.steps[1],
+            StepCond::Compare {
+                feat: FeatPlan::Call { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn independent_cheap_predicate_moves_first() {
+        // `in ref` (cost 30) and the call predicate (cost 40) share the
+        // slots of `fo`/`fi`... so use disjoint variables to let the
+        // scheduler hoist the cheaper containment check.
+        let p = plan_of(
+            "client.call(Folder(a).open).count > 0 and File(m) in ref(Folder(o).files) \
+             => colocate(o, m);",
+        );
+        assert!(
+            matches!(p.cond.steps[0], StepCond::InRef { .. }),
+            "expected InRef first, got {:?}",
+            p.cond.steps
+        );
+    }
+
+    #[test]
+    fn shared_slots_preserve_source_order() {
+        let p = plan_of(
+            "client.call(Folder(f).open).count > 0 and File(m) in ref(f.files) \
+             => colocate(f, m);",
+        );
+        assert!(
+            matches!(p.cond.steps[0], StepCond::Compare { .. }),
+            "shared slot must keep source order, got {:?}",
+            p.cond.steps
+        );
+    }
+
+    #[test]
+    fn or_branches_are_sub_plans() {
+        let p = plan_of(
+            "server.cpu.perc > 90 or server.mem.perc > 90 or server.net.perc > 90 \
+             => balance({Folder}, cpu);",
+        );
+        match &p.cond.steps[0] {
+            StepCond::Or(branches) => assert_eq!(branches.len(), 3),
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+}

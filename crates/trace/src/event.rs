@@ -267,6 +267,18 @@ pub enum TraceEventKind {
         /// Why (e.g. `within-headroom`, `improves-source`, `no-headroom`).
         reason: String,
     },
+    /// One round's profiling snapshot/evaluation frame was built once and
+    /// shared across every evaluation consumer (GEM scopes plus the LEM
+    /// pass), instead of each consumer rebuilding its own view.
+    SnapshotShared {
+        /// Elasticity round (tick count).
+        round: u64,
+        /// Generation stamp of the profiling snapshot the frame was built
+        /// from (bumped once per profiling window).
+        generation: u64,
+        /// Evaluation consumers served by the shared frame this round.
+        consumers: u32,
+    },
     /// One GEM's scale vote for this round (§4.2 majority voting).
     ScaleVote {
         /// Voting GEM index.
@@ -410,7 +422,9 @@ impl TraceEventKind {
             TraceEventKind::RuleEvaluated { .. } | TraceEventKind::RuleFired { .. } => {
                 Category::Rule
             }
-            TraceEventKind::PlanProposed { .. } => Category::Plan,
+            TraceEventKind::PlanProposed { .. } | TraceEventKind::SnapshotShared { .. } => {
+                Category::Plan
+            }
             TraceEventKind::QuerySent { .. } | TraceEventKind::QueryReply { .. } => {
                 Category::Admission
             }
@@ -447,6 +461,7 @@ impl TraceEventKind {
             TraceEventKind::RuleEvaluated { .. } => "RuleEvaluated",
             TraceEventKind::RuleFired { .. } => "RuleFired",
             TraceEventKind::PlanProposed { .. } => "PlanProposed",
+            TraceEventKind::SnapshotShared { .. } => "SnapshotShared",
             TraceEventKind::QuerySent { .. } => "QuerySent",
             TraceEventKind::QueryReply { .. } => "QueryReply",
             TraceEventKind::ScaleVote { .. } => "ScaleVote",

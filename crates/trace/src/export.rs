@@ -155,6 +155,16 @@ fn push_kind_fields(out: &mut String, kind: &TraceEventKind) {
             escape_into(out, reason);
             out.push('"');
         }
+        TraceEventKind::SnapshotShared {
+            round,
+            generation,
+            consumers,
+        } => {
+            let _ = write!(
+                out,
+                "\"round\":{round},\"generation\":{generation},\"consumers\":{consumers}"
+            );
+        }
         TraceEventKind::ScaleVote {
             gem,
             scale_out,
@@ -311,6 +321,7 @@ fn chrome_tid(kind: &TraceEventKind) -> u64 {
             }
         }
         TraceEventKind::ScaleVote { gem, .. } => u64::from(*gem),
+        TraceEventKind::SnapshotShared { round, .. } => *round,
         other => other.subject_actor().unwrap_or(0),
     }
 }
