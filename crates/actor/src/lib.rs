@@ -38,5 +38,6 @@ pub use controller::{ControlFault, ElasticityController, NullController};
 pub use ids::{ActorId, ActorTypeId, ClientId, FnId};
 pub use logic::{ActorCtx, ActorLogic, ClientCtx, ClientLogic};
 pub use message::{CallerKind, Message};
-pub use report::RunReport;
+pub use plasma_backend::{BackendKind, BackendStats};
+pub use report::{DecisionKind, DecisionRecord, RunReport};
 pub use runtime::{DecommissionError, Runtime, RuntimeConfig};

@@ -21,6 +21,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
+use plasma_backend::{BackendKind, BackendStats, Delivery, Execution, ExecutionBackend};
 use plasma_chaos::fault::FaultKind;
 use plasma_chaos::{FaultPlan, RecoveryPolicy};
 use plasma_cluster::topology::ClusterLimits;
@@ -34,7 +35,7 @@ use crate::entry::{ActorEntry, MigrationBlocked, MigrationState};
 use crate::ids::{ActorId, ActorTypeId, ClientId, FnId, NameRegistry};
 use crate::logic::{ActorCtx, ActorLogic, ClientCtx, ClientLogic, PendingSend};
 use crate::message::{CallerKind, Correlation, Message, Payload};
-use crate::report::{MigrationRecord, RunReport};
+use crate::report::{DecisionKind, DecisionRecord, MigrationRecord, RunReport};
 use crate::stats::{ActorWindowStats, ProfileSnapshot, ServerWindowStats};
 
 /// Tunable parameters of a simulation run.
@@ -61,6 +62,9 @@ pub struct RuntimeConfig {
     pub epr_tax_frac: f64,
     /// Bucket width for latency series in the report.
     pub latency_bucket: SimDuration,
+    /// Which execution backend carries the run (sim by default). The
+    /// logical event schedule is identical either way; see `plasma-backend`.
+    pub backend: BackendKind,
 }
 
 impl Default for RuntimeConfig {
@@ -80,6 +84,7 @@ impl Default for RuntimeConfig {
             epr_tax_fixed: 2e-6,
             epr_tax_frac: 0.004,
             latency_bucket: SimDuration::from_secs(1),
+            backend: BackendKind::Sim,
         }
     }
 }
@@ -188,6 +193,11 @@ pub struct Runtime {
     inbound_migrations: Vec<u32>,
     /// Present only while a non-empty fault plan is installed.
     chaos: Option<ChaosState>,
+    /// The carrier underneath the logical schedule (sim or live).
+    backend: Box<dyn ExecutionBackend>,
+    /// Elasticity ticks fired so far (the round counter fed to the
+    /// backend's round barrier).
+    elasticity_rounds: u64,
 }
 
 impl Runtime {
@@ -200,6 +210,7 @@ impl Runtime {
         events.push(SimTime::ZERO + cfg.elasticity_period, Event::ElasticityTick);
         let rng = DetRng::new(cfg.seed);
         let report = RunReport::new(cfg.latency_bucket);
+        let backend = plasma_backend::make(cfg.backend);
         Runtime {
             cfg,
             now: SimTime::ZERO,
@@ -223,6 +234,8 @@ impl Runtime {
             server_epoch: Vec::new(),
             inbound_migrations: Vec::new(),
             chaos: None,
+            backend,
+            elasticity_rounds: 0,
         }
     }
 
@@ -248,9 +261,14 @@ impl Runtime {
     }
 
     /// Adds a server that is usable immediately (initial deployment).
+    ///
+    /// Part of the initial topology, not an elasticity decision: it is
+    /// excluded from the decision sequence (unlike
+    /// [`Runtime::request_server`]).
     pub fn add_server(&mut self, itype: InstanceType) -> ServerId {
         let id = self.cluster.add_running_server(itype, self.now);
         self.ensure_server_slots(id);
+        self.sync_backend_lifecycle();
         id
     }
 
@@ -269,6 +287,10 @@ impl Runtime {
         let (id, ready_at) = self.cluster.request_server(itype, self.now)?;
         self.ensure_server_slots(id);
         self.events.push(ready_at, Event::ServerReady(id));
+        self.report.decisions.push(DecisionRecord {
+            at: self.now,
+            kind: DecisionKind::Grow { server: id },
+        });
         Some(id)
     }
 
@@ -286,6 +308,11 @@ impl Runtime {
             return Err(DecommissionError::InboundMigration);
         }
         if self.cluster.decommission(id, self.now) {
+            self.report.decisions.push(DecisionRecord {
+                at: self.now,
+                kind: DecisionKind::Shrink { server: id },
+            });
+            self.sync_backend_lifecycle();
             Ok(())
         } else {
             Err(DecommissionError::MinServers)
@@ -656,6 +683,11 @@ impl Runtime {
             // could never complete, so refuse up front.
             return Err(MigrationBlocked::DestinationDown);
         }
+        let src = self.entry(actor).server;
+        self.report.decisions.push(DecisionRecord {
+            at: self.now,
+            kind: DecisionKind::Migrate { actor, src, dst },
+        });
         self.inbound_migrations[dst.0 as usize] += 1;
         self.entry_mut(actor).migration_trace = parent;
         if self.entry(actor).servicing {
@@ -788,6 +820,11 @@ impl Runtime {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.handle(event);
+            // Forward any server lifecycle transitions this event caused to
+            // the carrier, so worker threads track cluster membership.
+            if self.cluster.has_lifecycle_events() {
+                self.sync_backend_lifecycle();
+            }
         }
         if !self.stopped && self.now < end {
             self.now = end;
@@ -895,6 +932,12 @@ impl Runtime {
                     forwarded: msg.forwarded,
                 }
             });
+        self.backend.transmit(Delivery {
+            server: here.0,
+            actor: msg.to.0,
+            bytes: msg.bytes,
+            remote: msg.was_remote,
+        });
         let entry = self.entry_mut(msg.to);
         entry.mailbox.push_back(msg);
         let id = entry.id;
@@ -961,6 +1004,11 @@ impl Runtime {
                 .expect("entry stable during dispatch");
             entry.logic = Some(logic);
             entry.counters.record_cpu(service);
+            self.backend.execute(Execution {
+                server: server.0,
+                actor: actor.0,
+                service_ns: service.as_micros() * 1_000,
+            });
             self.cluster.server_mut(server).add_cpu_busy(service);
             self.free_lanes[sidx] -= 1;
             self.in_service
@@ -1259,6 +1307,16 @@ impl Runtime {
     }
 
     fn on_profile_window(&mut self) {
+        self.roll_window(true);
+    }
+
+    /// Closes the current profiling window: builds the next
+    /// [`ProfileSnapshot`], resets actor counters, and barriers the
+    /// execution backend. The periodic chain passes `schedule_next`; a
+    /// forced early roll (snapshot-skew fault injection) does not, so the
+    /// periodic cadence is preserved and the extra roll just inserts one
+    /// additional generation.
+    fn roll_window(&mut self, schedule_next: bool) {
         let window = self.cfg.profile_window;
         let mut servers = Vec::new();
         for sid in self.cluster.running_ids() {
@@ -1318,10 +1376,17 @@ impl Runtime {
             actors: actor_stats,
             servers,
         });
-        self.events.push(self.now + window, Event::ProfileWindow);
+        // Barrier the carrier on the freshly built generation; under live
+        // this verifies exactly-once carriage of the window's events.
+        self.backend.window_close(self.snapshot.generation);
+        if schedule_next {
+            self.events.push(self.now + window, Event::ProfileWindow);
+        }
     }
 
     fn on_elasticity_tick(&mut self) {
+        self.elasticity_rounds += 1;
+        self.backend.round_barrier(self.elasticity_rounds);
         let mut controller = self.controller.take();
         if let Some(c) = controller.as_mut() {
             c.on_elasticity_tick(self);
@@ -1444,6 +1509,13 @@ impl Runtime {
                             until_us: until.as_micros(),
                         }
                     });
+            }
+            FaultKind::SnapshotSkew => {
+                // Roll the profiling window early, off the periodic cadence:
+                // any elasticity round currently between planning and apply
+                // sees its snapshot generation change under it.
+                chaos.stats.snapshot_skews += 1;
+                self.roll_window(false);
             }
         }
         self.chaos = Some(chaos);
@@ -1770,6 +1842,21 @@ impl Runtime {
         self.clients[id.0 as usize].logic = Some(logic);
     }
 
+    /// Drains the cluster's lifecycle journal into the execution backend,
+    /// opening and closing per-server carriers as servers come and go.
+    fn sync_backend_lifecycle(&mut self) {
+        if !self.cluster.has_lifecycle_events() {
+            return;
+        }
+        for ev in self.cluster.drain_lifecycle() {
+            if ev.up {
+                self.backend.server_up(ev.server.0, ev.vcpus);
+            } else {
+                self.backend.server_down(ev.server.0);
+            }
+        }
+    }
+
     fn ensure_server_slots(&mut self, id: ServerId) {
         let idx = id.0 as usize;
         if idx >= self.actors_by_server.len() {
@@ -1802,6 +1889,7 @@ impl Runtime {
             put("messages_dropped_link", s.messages_dropped_link as f64);
             put("migrations_aborted", s.migrations_aborted as f64);
             put("migration_retries", s.migration_retries as f64);
+            put("snapshot_skews", s.snapshot_skews as f64);
             put("detections", s.detections as f64);
             put("detect_latency_mean_s", s.detect_latency_mean_s());
             put("detect_latency_max_s", s.detect_latency_max_s);
@@ -1811,11 +1899,49 @@ impl Runtime {
                 put("first_crash_at_s", t);
             }
         }
+        // Backend scalars exist only for live runs, so sim reports stay
+        // byte-identical to builds predating the backend layer. All
+        // wall-clock values here are measurement side-channels (excluded
+        // from decision digests and benchmark baselines).
+        if self.backend.kind() == BackendKind::Live {
+            let s = self.backend.stats();
+            let scalars = &mut self.report.scalars;
+            let mut put = |k: &str, v: f64| {
+                scalars.insert(format!("backend.{k}"), v);
+            };
+            put("deliveries", s.deliveries as f64);
+            put("executions", s.executions as f64);
+            put("windows_closed", s.windows_closed as f64);
+            put("window_mismatches", s.window_mismatches as f64);
+            put("rounds", s.rounds as f64);
+            put("workers_spawned", s.workers_spawned as f64);
+            put("wall_ms", s.wall_ns as f64 / 1e6);
+            put("worker_busy_ms", s.worker_busy_ns as f64 / 1e6);
+            put("channel_latency_us_mean", s.channel_latency_us_mean());
+            put("channel_latency_us_max", s.channel_ns_max as f64 / 1e3);
+        }
     }
 
     /// Returns the run report.
     pub fn report(&self) -> &RunReport {
         &self.report
+    }
+
+    /// Which execution backend carries this run.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// Nanoseconds on the backend's monotonic clock: identically 0 under
+    /// sim (virtual time lives in the event queue), real wall clock under
+    /// live. Measurement only — never feed this back into scheduling.
+    pub fn monotonic_ns(&self) -> u64 {
+        self.backend.monotonic_ns()
+    }
+
+    /// Snapshot of the backend's cumulative carriage counters.
+    pub fn backend_stats(&self) -> BackendStats {
+        self.backend.stats()
     }
 
     /// Consumes the runtime, returning the report plus the cluster for cost

@@ -39,6 +39,8 @@ pub struct ChatConfig {
     pub faults: FaultPlan,
     /// Detection and recovery policy for the fault plan.
     pub recovery: RecoveryPolicy,
+    /// Execution backend carrying deliveries and service time.
+    pub backend: BackendKind,
     /// RNG seed.
     pub seed: u64,
 }
@@ -53,6 +55,7 @@ impl Default for ChatConfig {
             servers: 1,
             faults: FaultPlan::new(),
             recovery: RecoveryPolicy::default(),
+            backend: BackendKind::Sim,
             seed: 1,
         }
     }
@@ -168,6 +171,7 @@ pub fn run(cfg: &ChatConfig) -> ChatReport {
     let mut rt = Runtime::new(RuntimeConfig {
         seed: cfg.seed,
         epr_enabled: cfg.epr_enabled,
+        backend: cfg.backend,
         ..RuntimeConfig::default()
     });
     rt.install_fault_plan(&cfg.faults, cfg.recovery);
@@ -246,6 +250,7 @@ pub fn run_chaos(cfg: &ChatConfig, run_for: SimDuration) -> ChatChaosReport {
     let mut rt = Runtime::new(RuntimeConfig {
         seed: cfg.seed,
         epr_enabled: cfg.epr_enabled,
+        backend: cfg.backend,
         ..RuntimeConfig::default()
     });
     rt.install_fault_plan(&cfg.faults, cfg.recovery);

@@ -81,6 +81,14 @@ pub struct ElasticityEval {
     /// across running servers at the end of the run, floored at 0. An idle
     /// or perfectly even cluster scores 1.
     pub balance_score: f64,
+    /// Elasticity decisions (grow/shrink/migrate) the runtime recorded.
+    pub decisions_total: u64,
+    /// FNV-1a digest of the decision sequence, order-sensitive but
+    /// timestamp-free: sim and live runs of the same seed must agree.
+    pub decision_digest: u64,
+    /// EMR rounds whose apply phase saw a newer profiling generation than
+    /// the one it planned against.
+    pub snapshot_skew_rounds: u64,
 }
 
 impl ElasticityEval {
@@ -136,6 +144,9 @@ impl ElasticityEval {
                 .map(|m| m.at.as_secs_f64())
                 .unwrap_or(0.0),
             balance_score,
+            decisions_total: report.decisions.len() as u64,
+            decision_digest: report.decision_digest(),
+            snapshot_skew_rounds: report.scalar("emr.snapshot_skew_rounds").unwrap_or(0.0) as u64,
         }
     }
 }

@@ -71,6 +71,8 @@ pub struct EstoreConfig {
     pub faults: FaultPlan,
     /// Detection and recovery policy for the fault plan.
     pub recovery: RecoveryPolicy,
+    /// Execution backend carrying deliveries and service time.
+    pub backend: BackendKind,
     /// RNG seed.
     pub seed: u64,
 }
@@ -88,6 +90,7 @@ impl Default for EstoreConfig {
             mode: Mode::Plasma,
             faults: FaultPlan::new(),
             recovery: RecoveryPolicy::default(),
+            backend: BackendKind::Sim,
             seed: 17,
         }
     }
@@ -293,6 +296,7 @@ pub fn run(cfg: &EstoreConfig) -> EstoreReport {
         elasticity_period: cfg.period,
         min_residency: cfg.period,
         profile_window: SimDuration::from_secs(5),
+        backend: cfg.backend,
         ..RuntimeConfig::default()
     };
     let mut app = match cfg.mode {

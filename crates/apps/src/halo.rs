@@ -202,6 +202,8 @@ pub struct HaloConfig {
     pub faults: FaultPlan,
     /// Detection and recovery policy for the fault plan.
     pub recovery: RecoveryPolicy,
+    /// Execution backend carrying deliveries and service time.
+    pub backend: BackendKind,
     /// RNG seed.
     pub seed: u64,
 }
@@ -220,6 +222,7 @@ impl Default for HaloConfig {
             gems: 1,
             faults: FaultPlan::new(),
             recovery: RecoveryPolicy::default(),
+            backend: BackendKind::Sim,
             seed: 23,
         }
     }
@@ -306,6 +309,7 @@ pub fn run(cfg: &HaloConfig) -> HaloReport {
         network: halo_network(),
         profile_window: SimDuration::from_secs(5),
         latency_bucket: SimDuration::from_secs(5),
+        backend: cfg.backend,
         ..RuntimeConfig::default()
     };
     let mut app = match cfg.mode {
@@ -428,6 +432,8 @@ pub struct HaloScaleConfig {
     pub period: SimDuration,
     /// Run length.
     pub run_for: SimDuration,
+    /// Execution backend carrying deliveries and service time.
+    pub backend: BackendKind,
     /// RNG seed.
     pub seed: u64,
 }
@@ -442,6 +448,7 @@ impl Default for HaloScaleConfig {
             gems: 1,
             period: SimDuration::from_secs(80),
             run_for: SimDuration::from_secs(780),
+            backend: BackendKind::Sim,
             seed: 29,
         }
     }
@@ -467,6 +474,7 @@ pub fn run_scale(cfg: &HaloScaleConfig) -> HaloScaleReport {
         network: halo_network(),
         profile_window: SimDuration::from_secs(10),
         latency_bucket: SimDuration::from_secs(10),
+        backend: cfg.backend,
         ..RuntimeConfig::default()
     };
     let mut app = Plasma::builder()

@@ -66,6 +66,8 @@ pub struct MediaConfig {
     pub leave_mean: SimDuration,
     /// Total run length.
     pub run_for: SimDuration,
+    /// Execution backend carrying deliveries and service time.
+    pub backend: BackendKind,
     /// RNG seed.
     pub seed: u64,
 }
@@ -81,6 +83,7 @@ impl Default for MediaConfig {
             sigma: SimDuration::from_secs(90),
             leave_mean: SimDuration::from_secs(1_140),
             run_for: SimDuration::from_secs(1_440),
+            backend: BackendKind::Sim,
             seed: 31,
         }
     }
@@ -436,6 +439,7 @@ pub fn run(cfg: &MediaConfig) -> MediaReport {
             max_servers: cfg.max_servers,
             min_servers: cfg.initial_servers,
         },
+        backend: cfg.backend,
         ..RuntimeConfig::default()
     };
     let mut app = Plasma::builder()

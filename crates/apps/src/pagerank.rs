@@ -100,6 +100,8 @@ pub struct PageRankConfig {
     /// time. Models the global rank application + barrier phase that keeps
     /// equilibrium CPU inside the 60-80% band (Figs. 7b/8b).
     pub sync_frac: f64,
+    /// Execution backend carrying deliveries and service time.
+    pub backend: BackendKind,
 }
 
 impl Default for PageRankConfig {
@@ -121,6 +123,7 @@ impl Default for PageRankConfig {
             debug_trace: false,
             min_residency: None,
             sync_frac: 0.12,
+            backend: BackendKind::Sim,
         }
     }
 }
@@ -376,6 +379,7 @@ pub fn run_on(
             max_servers: cfg.max_servers,
             min_servers: 1,
         },
+        backend: cfg.backend,
         ..RuntimeConfig::default()
     };
     let emr_cfg = EmrConfig {

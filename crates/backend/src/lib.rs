@@ -1,0 +1,264 @@
+#![warn(missing_docs)]
+
+//! Execution backends for the PLASMA runtime.
+//!
+//! Everything above this crate — the actor runtime, the EMR, compiled EPL
+//! policies, chaos — plans and decides on *logical* state: the deterministic
+//! event schedule, profiling snapshots, and the decision sequence they
+//! produce. What varies between a simulated run and a deployed one is the
+//! *carrier* underneath that logic: where the clock comes from, what a
+//! message delivery physically is, where a service executes, and what closes
+//! a profiling window. The [`ExecutionBackend`] trait abstracts exactly that
+//! carrier surface:
+//!
+//! - **clock** — [`ExecutionBackend::monotonic_ns`]: virtual (identically
+//!   zero offsets) under sim, a real monotonic clock under live.
+//! - **transport** — [`ExecutionBackend::transmit`]: a counter under sim,
+//!   a real cross-thread channel send under live.
+//! - **spawn surface** — [`ExecutionBackend::server_up`] /
+//!   [`ExecutionBackend::server_down`]: bookkeeping under sim, an OS worker
+//!   thread per server under live.
+//! - **windows and rounds** — [`ExecutionBackend::window_close`] /
+//!   [`ExecutionBackend::round_barrier`]: no-ops under sim, real barriers
+//!   under live that verify exactly-once carriage of every event.
+//!
+//! The two implementations are [`SimBackend`] (an adapter over the
+//! `plasma-sim` event loop: the queue itself already *is* the carrier, so
+//! the backend only audits) and [`LiveBackend`] (OS threads plus real
+//! channels, conservatively time-stepped: the logical schedule stays
+//! deterministic and single-threaded while every delivery and service is
+//! carried to per-server worker threads over real channels and re-counted
+//! at window barriers). Decision-relevant ordering is therefore identical
+//! by construction — the parity the `backend-parity` CI job gates.
+
+pub mod live;
+pub mod sim;
+
+pub use live::LiveBackend;
+pub use sim::SimBackend;
+
+/// Which execution backend carries a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The discrete-event simulator carries everything (the default).
+    #[default]
+    Sim,
+    /// OS threads and real channels carry deliveries and services.
+    Live,
+}
+
+impl BackendKind {
+    /// Parses `"sim"` / `"live"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "sim" => Some(BackendKind::Sim),
+            "live" => Some(BackendKind::Live),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Sim => "sim",
+            BackendKind::Live => "live",
+        }
+    }
+}
+
+/// One message delivery handed to the carrier.
+///
+/// Identifies the hosting server and target actor by raw id so the backend
+/// stays below the actor crate in the dependency order.
+#[derive(Clone, Copy, Debug)]
+pub struct Delivery {
+    /// The server the target actor resides on.
+    pub server: u32,
+    /// The target actor.
+    pub actor: u64,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Whether the message crossed servers.
+    pub remote: bool,
+}
+
+/// One message service handed to the carrier.
+#[derive(Clone, Copy, Debug)]
+pub struct Execution {
+    /// The server whose CPU lane runs the service.
+    pub server: u32,
+    /// The serviced actor.
+    pub actor: u64,
+    /// Simulated service time in nanoseconds (the live backend accounts it
+    /// as busy time; it does not dilate wall-clock to simulated durations).
+    pub service_ns: u64,
+}
+
+/// What one profiling-window barrier observed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WindowReport {
+    /// The snapshot generation the window closed for.
+    pub generation: u64,
+    /// Deliveries the carrier confirmed for the window.
+    pub deliveries: u64,
+    /// Services the carrier confirmed for the window.
+    pub executions: u64,
+    /// Whether the carrier-side counts matched the coordinator's — the
+    /// exactly-once check. Always `true` under sim.
+    pub matched: bool,
+}
+
+/// Cumulative backend counters, exported as `backend.*` report scalars for
+/// live runs (sim runs export nothing, keeping their reports byte-stable).
+///
+/// All wall-clock fields are measurement side-channels: they never feed
+/// back into scheduling or decisions, and they are excluded from decision
+/// digests and benchmark baselines.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BackendStats {
+    /// Deliveries handed to the carrier.
+    pub deliveries: u64,
+    /// Services handed to the carrier.
+    pub executions: u64,
+    /// Profiling-window barriers completed.
+    pub windows_closed: u64,
+    /// Window barriers whose carrier counts diverged from the
+    /// coordinator's (lost or duplicated carriage; gated to 0 by parity).
+    pub window_mismatches: u64,
+    /// Elasticity-round barriers completed.
+    pub rounds: u64,
+    /// Worker threads ever spawned.
+    pub workers_spawned: u64,
+    /// Wall-clock nanoseconds since the backend was created (0 under sim).
+    pub wall_ns: u64,
+    /// Simulated service time carried by workers, in nanoseconds.
+    pub worker_busy_ns: u64,
+    /// Total wall-clock transport latency over sampled deliveries, ns.
+    pub channel_ns_total: u64,
+    /// Worst wall-clock transport latency over sampled deliveries, ns.
+    pub channel_ns_max: u64,
+    /// Deliveries with a transport-latency sample.
+    pub channel_samples: u64,
+}
+
+impl BackendStats {
+    /// Mean wall-clock transport latency in microseconds (0 when no
+    /// samples were taken, e.g. under sim).
+    pub fn channel_latency_us_mean(&self) -> f64 {
+        if self.channel_samples == 0 {
+            0.0
+        } else {
+            self.channel_ns_total as f64 / self.channel_samples as f64 / 1e3
+        }
+    }
+}
+
+/// The carrier surface under the actor runtime.
+///
+/// # Contract
+///
+/// The caller (the runtime's single-threaded coordinator) promises:
+///
+/// - [`ExecutionBackend::server_up`] precedes any [`Delivery`] or
+///   [`Execution`] naming that server; [`ExecutionBackend::server_down`]
+///   ends the server's stream (a later `server_up` re-opens it — reboots).
+/// - [`ExecutionBackend::window_close`] is called once per profiling
+///   window, after the window's last delivery and before the next window's
+///   first; `generation` strictly increases.
+/// - Nothing the backend returns may alter logical scheduling: clock reads
+///   and window reports feed measurements only, never decisions. This is
+///   what makes sim/live decision sequences comparable at all.
+///
+/// The backend promises in return: `window_close` confirms every event of
+/// the window reached its carrier exactly once (`matched`), and
+/// `monotonic_ns` never decreases.
+pub trait ExecutionBackend {
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Nanoseconds on the backend's monotonic clock. Sim returns 0 —
+    /// virtual time lives in the event queue, and nothing wall-clock
+    /// dependent may leak into simulated results.
+    fn monotonic_ns(&self) -> u64;
+
+    /// Opens (or re-opens, after a crash/reboot) a server's carrier.
+    fn server_up(&mut self, server: u32, vcpus: u32);
+
+    /// Closes a server's carrier, draining its in-flight accounting.
+    fn server_down(&mut self, server: u32);
+
+    /// Carries one message delivery.
+    fn transmit(&mut self, delivery: Delivery);
+
+    /// Carries one message service.
+    fn execute(&mut self, execution: Execution);
+
+    /// Closes a profiling window: barriers all carriers and verifies the
+    /// window's event counts arrived exactly once.
+    fn window_close(&mut self, generation: u64) -> WindowReport;
+
+    /// Barriers all carriers at an elasticity-round boundary.
+    fn round_barrier(&mut self, round: u64);
+
+    /// Snapshot of the cumulative counters.
+    fn stats(&self) -> BackendStats;
+
+    /// Stops the carrier (joins worker threads under live). Idempotent.
+    fn shutdown(&mut self);
+}
+
+/// Constructs the backend for `kind`.
+pub fn make(kind: BackendKind) -> Box<dyn ExecutionBackend> {
+    match kind {
+        BackendKind::Sim => Box::new(SimBackend::new()),
+        BackendKind::Live => Box::new(LiveBackend::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parses_and_names() {
+        assert_eq!(BackendKind::parse("sim"), Some(BackendKind::Sim));
+        assert_eq!(BackendKind::parse("LIVE"), Some(BackendKind::Live));
+        assert_eq!(BackendKind::parse("tcp"), None);
+        assert_eq!(BackendKind::Sim.name(), "sim");
+        assert_eq!(BackendKind::Live.name(), "live");
+        assert_eq!(BackendKind::default(), BackendKind::Sim);
+    }
+
+    /// Both backends, driven with the same event stream, agree on every
+    /// logical counter — the unit-level version of the parity property.
+    #[test]
+    fn backends_agree_on_logical_counters() {
+        let mut counts = Vec::new();
+        for kind in [BackendKind::Sim, BackendKind::Live] {
+            let mut b = make(kind);
+            b.server_up(0, 2);
+            b.server_up(1, 2);
+            for i in 0..10u64 {
+                b.transmit(Delivery {
+                    server: (i % 2) as u32,
+                    actor: i,
+                    bytes: 64,
+                    remote: i % 2 == 1,
+                });
+                b.execute(Execution {
+                    server: (i % 2) as u32,
+                    actor: i,
+                    service_ns: 1_000,
+                });
+            }
+            let w = b.window_close(1);
+            assert!(w.matched, "{kind:?} window must verify");
+            b.round_barrier(1);
+            b.server_down(1);
+            b.shutdown();
+            let s = b.stats();
+            counts.push((s.deliveries, s.executions, s.windows_closed, s.rounds));
+        }
+        assert_eq!(counts[0], counts[1]);
+    }
+}

@@ -1,0 +1,455 @@
+//! The live carrier: OS threads and real channels, conservatively stepped.
+//!
+//! A deployed PLASMA runtime cannot free-run its servers and still promise
+//! the simulator's decision sequence — real thread interleaving is not
+//! deterministic. This backend takes the conservative time-stepped design
+//! instead: the logical event schedule stays single-threaded and
+//! deterministic in the coordinator (the actor runtime), while the *carriage*
+//! of every decision-relevant event is real. Each up server owns an OS
+//! worker thread fed over a real channel; every delivery and service is
+//! shipped to its server's worker, which does the per-window accounting and
+//! wall-clock latency measurement on its own thread.
+//!
+//! Correctness is enforced at window barriers: closing a profiling window
+//! sends a FIFO marker down every worker channel and waits for the acks.
+//! Because the channels are FIFO, the ack proves every event sent before
+//! the marker was received before it; the coordinator then compares the
+//! workers' counts against its own. Any loss or duplication shows up as a
+//! `window_mismatches` increment — which the parity tests and CI gate at 0.
+//!
+//! Wall-clock quantities (transport latency, busy time) are measured and
+//! reported separately; they never influence the logical schedule, which is
+//! what makes live decision sequences replay the simulator's exactly.
+
+use std::collections::BTreeMap;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::{BackendKind, BackendStats, Delivery, Execution, ExecutionBackend, WindowReport};
+
+/// How long a barrier waits for one worker ack before declaring the window
+/// broken. Generous: a worker only does counter arithmetic per message.
+const ACK_TIMEOUT: Duration = Duration::from_secs(10);
+
+enum WorkerMsg {
+    Deliver {
+        bytes: u64,
+        remote: bool,
+        /// Coordinator clock at send; the worker's receive stamp minus this
+        /// is the real cross-thread transport latency.
+        sent_ns: u64,
+    },
+    Execute {
+        service_ns: u64,
+    },
+    /// FIFO window barrier: report and reset the window counters.
+    WindowMark {
+        generation: u64,
+        ack: Sender<WorkerWindow>,
+    },
+    /// FIFO round barrier: prove liveness at an elasticity boundary.
+    RoundMark {
+        ack: Sender<u32>,
+    },
+    Shutdown,
+}
+
+/// One worker's accounting for one profiling window.
+#[derive(Clone, Copy, Debug, Default)]
+struct WorkerWindow {
+    deliveries: u64,
+    executions: u64,
+    busy_ns: u64,
+    channel_ns_total: u64,
+    channel_ns_max: u64,
+    channel_samples: u64,
+}
+
+struct WorkerHandle {
+    tx: Sender<WorkerMsg>,
+    join: JoinHandle<()>,
+}
+
+/// The OS-thread carrier. See the [module docs](self).
+pub struct LiveBackend {
+    epoch: Instant,
+    workers: BTreeMap<u32, WorkerHandle>,
+    stats: BackendStats,
+    /// Coordinator-side tallies for the open window, compared against the
+    /// workers' counts at the barrier.
+    sent_deliveries: u64,
+    sent_executions: u64,
+    /// Partial-window accounting drained from workers that went down
+    /// mid-window (crashes, decommissions); folded into the next barrier.
+    retired: WorkerWindow,
+    shut: bool,
+}
+
+impl Default for LiveBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LiveBackend {
+    /// Creates the live carrier; workers spawn as servers come up.
+    pub fn new() -> Self {
+        LiveBackend {
+            epoch: Instant::now(),
+            workers: BTreeMap::new(),
+            stats: BackendStats::default(),
+            sent_deliveries: 0,
+            sent_executions: 0,
+            retired: WorkerWindow::default(),
+            shut: false,
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn fold(acc: &mut WorkerWindow, w: &WorkerWindow) {
+        acc.deliveries += w.deliveries;
+        acc.executions += w.executions;
+        acc.busy_ns += w.busy_ns;
+        acc.channel_ns_total += w.channel_ns_total;
+        acc.channel_ns_max = acc.channel_ns_max.max(w.channel_ns_max);
+        acc.channel_samples += w.channel_samples;
+    }
+
+    /// Barriers every live worker, returning the summed window accounting
+    /// and whether every ack arrived.
+    fn collect_windows(&mut self, generation: u64) -> (WorkerWindow, bool) {
+        let (ack_tx, ack_rx): (Sender<WorkerWindow>, Receiver<WorkerWindow>) = unbounded();
+        let mut expected = 0usize;
+        for handle in self.workers.values() {
+            if handle
+                .tx
+                .send(WorkerMsg::WindowMark {
+                    generation,
+                    ack: ack_tx.clone(),
+                })
+                .is_ok()
+            {
+                expected += 1;
+            }
+        }
+        drop(ack_tx);
+        let mut sum = WorkerWindow::default();
+        let mut complete = expected == self.workers.len();
+        for _ in 0..expected {
+            match ack_rx.recv_timeout(ACK_TIMEOUT) {
+                Ok(w) => Self::fold(&mut sum, &w),
+                Err(_) => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        (sum, complete)
+    }
+}
+
+impl ExecutionBackend for LiveBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Live
+    }
+
+    fn monotonic_ns(&self) -> u64 {
+        self.now_ns()
+    }
+
+    fn server_up(&mut self, server: u32, vcpus: u32) {
+        // Re-announcing a live server (initial boot paths overlap with
+        // reboot paths upstream) must not restart its carrier.
+        if self.workers.contains_key(&server) {
+            return;
+        }
+        let _ = vcpus;
+        let (tx, rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
+        let epoch = self.epoch;
+        let join = std::thread::Builder::new()
+            .name(format!("plasma-srv-{server}"))
+            .spawn(move || worker_loop(epoch, rx))
+            .expect("spawn server worker thread");
+        self.workers.insert(server, WorkerHandle { tx, join });
+        self.stats.workers_spawned += 1;
+    }
+
+    fn server_down(&mut self, server: u32) {
+        let Some(handle) = self.workers.remove(&server) else {
+            return;
+        };
+        // Drain the worker's partial window before stopping it, so the next
+        // barrier still balances: a crashed server's delivered messages were
+        // delivered, even though the server is gone by window close.
+        let (ack_tx, ack_rx) = unbounded();
+        if handle
+            .tx
+            .send(WorkerMsg::WindowMark {
+                generation: u64::MAX,
+                ack: ack_tx,
+            })
+            .is_ok()
+        {
+            if let Ok(w) = ack_rx.recv_timeout(ACK_TIMEOUT) {
+                Self::fold(&mut self.retired, &w);
+            }
+        }
+        let _ = handle.tx.send(WorkerMsg::Shutdown);
+        let _ = handle.join.join();
+    }
+
+    fn transmit(&mut self, d: Delivery) {
+        let sent_ns = self.now_ns();
+        if let Some(handle) = self.workers.get(&d.server) {
+            if handle
+                .tx
+                .send(WorkerMsg::Deliver {
+                    bytes: d.bytes,
+                    remote: d.remote,
+                    sent_ns,
+                })
+                .is_ok()
+            {
+                self.sent_deliveries += 1;
+            }
+        }
+        self.stats.deliveries += 1;
+    }
+
+    fn execute(&mut self, e: Execution) {
+        if let Some(handle) = self.workers.get(&e.server) {
+            if handle
+                .tx
+                .send(WorkerMsg::Execute {
+                    service_ns: e.service_ns,
+                })
+                .is_ok()
+            {
+                self.sent_executions += 1;
+            }
+        }
+        self.stats.executions += 1;
+    }
+
+    fn window_close(&mut self, generation: u64) -> WindowReport {
+        let (mut sum, complete) = self.collect_windows(generation);
+        Self::fold(&mut sum, &self.retired.clone());
+        self.retired = WorkerWindow::default();
+        let matched = complete
+            && sum.deliveries == self.sent_deliveries
+            && sum.executions == self.sent_executions;
+        let report = WindowReport {
+            generation,
+            deliveries: sum.deliveries,
+            executions: sum.executions,
+            matched,
+        };
+        self.stats.windows_closed += 1;
+        if !matched {
+            self.stats.window_mismatches += 1;
+        }
+        self.stats.worker_busy_ns += sum.busy_ns;
+        self.stats.channel_ns_total += sum.channel_ns_total;
+        self.stats.channel_ns_max = self.stats.channel_ns_max.max(sum.channel_ns_max);
+        self.stats.channel_samples += sum.channel_samples;
+        self.sent_deliveries = 0;
+        self.sent_executions = 0;
+        report
+    }
+
+    fn round_barrier(&mut self, _round: u64) {
+        let (ack_tx, ack_rx): (Sender<u32>, Receiver<u32>) = unbounded();
+        let mut expected = 0usize;
+        for handle in self.workers.values() {
+            if handle
+                .tx
+                .send(WorkerMsg::RoundMark {
+                    ack: ack_tx.clone(),
+                })
+                .is_ok()
+            {
+                expected += 1;
+            }
+        }
+        drop(ack_tx);
+        for _ in 0..expected {
+            if ack_rx.recv_timeout(ACK_TIMEOUT).is_err() {
+                self.stats.window_mismatches += 1;
+                break;
+            }
+        }
+        self.stats.rounds += 1;
+    }
+
+    fn stats(&self) -> BackendStats {
+        let mut s = self.stats;
+        s.wall_ns = self.now_ns();
+        s
+    }
+
+    fn shutdown(&mut self) {
+        if self.shut {
+            return;
+        }
+        self.shut = true;
+        let servers: Vec<u32> = self.workers.keys().copied().collect();
+        for server in servers {
+            self.server_down(server);
+        }
+    }
+}
+
+impl Drop for LiveBackend {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The per-server worker: receive, account, ack barriers.
+fn worker_loop(epoch: Instant, rx: Receiver<WorkerMsg>) {
+    let mut window = WorkerWindow::default();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Deliver {
+                bytes,
+                remote,
+                sent_ns,
+            } => {
+                let _ = (bytes, remote);
+                let latency = (epoch.elapsed().as_nanos() as u64).saturating_sub(sent_ns);
+                window.deliveries += 1;
+                window.channel_ns_total += latency;
+                window.channel_ns_max = window.channel_ns_max.max(latency);
+                window.channel_samples += 1;
+            }
+            WorkerMsg::Execute { service_ns } => {
+                window.executions += 1;
+                window.busy_ns += service_ns;
+            }
+            WorkerMsg::WindowMark { generation, ack } => {
+                let _ = generation;
+                let _ = ack.send(window);
+                window = WorkerWindow::default();
+            }
+            WorkerMsg::RoundMark { ack } => {
+                let _ = ack.send(0);
+            }
+            WorkerMsg::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver(b: &mut LiveBackend, server: u32, n: u64) {
+        for i in 0..n {
+            b.transmit(Delivery {
+                server,
+                actor: i,
+                bytes: 8,
+                remote: false,
+            });
+        }
+    }
+
+    #[test]
+    fn window_barrier_verifies_exactly_once() {
+        let mut b = LiveBackend::new();
+        b.server_up(0, 2);
+        b.server_up(1, 2);
+        deliver(&mut b, 0, 5);
+        deliver(&mut b, 1, 7);
+        b.execute(Execution {
+            server: 0,
+            actor: 0,
+            service_ns: 2_000,
+        });
+        let w = b.window_close(1);
+        assert!(w.matched);
+        assert_eq!(w.deliveries, 12);
+        assert_eq!(w.executions, 1);
+        // Counters reset per window.
+        let w2 = b.window_close(2);
+        assert!(w2.matched);
+        assert_eq!(w2.deliveries, 0);
+        b.shutdown();
+        let s = b.stats();
+        assert_eq!(s.window_mismatches, 0);
+        assert_eq!(s.deliveries, 12);
+        assert_eq!(s.worker_busy_ns, 2_000);
+        assert_eq!(s.channel_samples, 12);
+    }
+
+    #[test]
+    fn server_down_mid_window_still_balances() {
+        let mut b = LiveBackend::new();
+        b.server_up(0, 2);
+        b.server_up(1, 2);
+        deliver(&mut b, 1, 4);
+        // Server 1 crashes before the window closes; its 4 deliveries must
+        // still be confirmed by the barrier via the retired accounting.
+        b.server_down(1);
+        deliver(&mut b, 0, 3);
+        let w = b.window_close(1);
+        assert!(w.matched, "retired counts keep the barrier balanced");
+        assert_eq!(w.deliveries, 7);
+        b.shutdown();
+        assert_eq!(b.stats().window_mismatches, 0);
+    }
+
+    #[test]
+    fn reboot_reopens_a_carrier() {
+        let mut b = LiveBackend::new();
+        b.server_up(3, 1);
+        b.server_down(3);
+        b.server_up(3, 1);
+        deliver(&mut b, 3, 2);
+        let w = b.window_close(1);
+        assert!(w.matched);
+        assert_eq!(w.deliveries, 2);
+        assert_eq!(b.stats().workers_spawned, 2);
+        b.shutdown();
+    }
+
+    #[test]
+    fn rounds_and_clock_advance() {
+        let mut b = LiveBackend::new();
+        b.server_up(0, 1);
+        let t0 = b.monotonic_ns();
+        b.round_barrier(1);
+        b.round_barrier(2);
+        assert!(b.monotonic_ns() >= t0);
+        assert_eq!(b.stats().rounds, 2);
+        assert_eq!(b.stats().window_mismatches, 0);
+        b.shutdown();
+        // Idempotent.
+        b.shutdown();
+    }
+
+    #[test]
+    fn transmit_to_unknown_server_never_wedges_the_barrier() {
+        let mut b = LiveBackend::new();
+        b.server_up(0, 1);
+        // No worker for server 9: the send is dropped on the coordinator
+        // side and excluded from the coordinator tally, so the barrier
+        // still balances.
+        b.transmit(Delivery {
+            server: 9,
+            actor: 0,
+            bytes: 1,
+            remote: true,
+        });
+        let w = b.window_close(1);
+        assert!(w.matched);
+        assert_eq!(w.deliveries, 0);
+        assert_eq!(b.stats().deliveries, 1);
+        b.shutdown();
+    }
+}

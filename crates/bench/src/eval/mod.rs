@@ -13,4 +13,4 @@ pub mod synth;
 
 pub use compare::{compare, CompareOptions, CompareReport, DiffKind, MetricDiff};
 pub use result::{Direction, MetricValue, ScenarioResult, SCHEMA_VERSION};
-pub use runner::{render_summary, run_scenario, spec, ScenarioSpec, SCENARIOS};
+pub use runner::{render_summary, run_scenario, run_scenario_on, spec, ScenarioSpec, SCENARIOS};

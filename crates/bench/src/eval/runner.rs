@@ -7,6 +7,7 @@
 //! order is fixed, which — together with the deterministic simulator — makes
 //! the serialized results byte-identical across same-seed runs.
 
+use plasma_actor::BackendKind;
 use plasma_apps::common::{ChaosEval, ElasticityEval, EvalScale};
 use plasma_apps::{chatroom, estore, halo, media, pagerank};
 use plasma_sim::SimDuration;
@@ -118,6 +119,24 @@ fn push_common(result: &mut ScenarioResult, eval: &ElasticityEval, rebalance_dir
         rebalance_direction,
     );
     result.push("balance_score", eval.balance_score, Direction::Higher);
+    result.push(
+        "decisions_total",
+        eval.decisions_total as f64,
+        Direction::Info,
+    );
+    // Low 32 bits of the order-sensitive decision-sequence digest. An f64
+    // carries a u32 exactly, so the value survives the round-trip through
+    // the BENCH file and backend-parity can compare it byte-for-byte.
+    result.push(
+        "decision_digest",
+        (eval.decision_digest & 0xFFFF_FFFF) as f64,
+        Direction::Info,
+    );
+    result.push(
+        "snapshot_skew_rounds",
+        eval.snapshot_skew_rounds as f64,
+        Direction::Info,
+    );
 }
 
 /// Pushes the recovery metrics of a chaos scenario.
@@ -208,11 +227,28 @@ fn push_chaos(result: &mut ScenarioResult, chaos: &ChaosEval) {
 /// `seed` overrides the preset's fixed seed when given; CI and the checked
 /// in baselines always use the preset seed.
 pub fn run_scenario(name: &str, scale: EvalScale, seed: Option<u64>) -> Option<ScenarioResult> {
+    run_scenario_on(name, scale, seed, BackendKind::Sim)
+}
+
+/// [`run_scenario`] with an explicit execution backend.
+///
+/// All BENCH metrics derive from logical state only, so a scenario run
+/// under [`BackendKind::Live`] must produce a byte-identical result — that
+/// equivalence is the backend-parity gate. The `eval-engine` scenario has
+/// no runtime (it probes the evaluator on a synthetic world) and ignores
+/// the backend.
+pub fn run_scenario_on(
+    name: &str,
+    scale: EvalScale,
+    seed: Option<u64>,
+    backend: BackendKind,
+) -> Option<ScenarioResult> {
     let spec = spec(name)?;
     let mut result = ScenarioResult::new(spec.name, spec.paper_section, scale.name(), 0);
     match name {
         "chatroom" => {
             let mut cfg = chatroom::ChatConfig::preset(scale);
+            cfg.backend = backend;
             if let Some(s) = seed {
                 cfg.seed = s;
             }
@@ -236,6 +272,7 @@ pub fn run_scenario(name: &str, scale: EvalScale, seed: Option<u64>) -> Option<S
         }
         "pagerank" => {
             let mut cfg = pagerank::PageRankConfig::preset(scale);
+            cfg.backend = backend;
             if let Some(s) = seed {
                 cfg.seed = s;
             }
@@ -256,6 +293,7 @@ pub fn run_scenario(name: &str, scale: EvalScale, seed: Option<u64>) -> Option<S
         }
         "estore" => {
             let mut cfg = estore::EstoreConfig::preset(scale);
+            cfg.backend = backend;
             if let Some(s) = seed {
                 cfg.seed = s;
             }
@@ -266,6 +304,7 @@ pub fn run_scenario(name: &str, scale: EvalScale, seed: Option<u64>) -> Option<S
         }
         "media" => {
             let mut cfg = media::MediaConfig::preset(scale);
+            cfg.backend = backend;
             if let Some(s) = seed {
                 cfg.seed = s;
             }
@@ -283,6 +322,7 @@ pub fn run_scenario(name: &str, scale: EvalScale, seed: Option<u64>) -> Option<S
         }
         "halo" => {
             let mut cfg = halo::HaloConfig::preset(scale);
+            cfg.backend = backend;
             if let Some(s) = seed {
                 cfg.seed = s;
             }
@@ -345,6 +385,7 @@ pub fn run_scenario(name: &str, scale: EvalScale, seed: Option<u64>) -> Option<S
         }
         "chatroom-chaos" => {
             let mut cfg = chatroom::ChatConfig::chaos_preset(scale);
+            cfg.backend = backend;
             if let Some(s) = seed {
                 cfg.seed = s;
             }
@@ -360,6 +401,7 @@ pub fn run_scenario(name: &str, scale: EvalScale, seed: Option<u64>) -> Option<S
         }
         "estore-chaos" => {
             let mut cfg = estore::EstoreConfig::chaos_preset(scale);
+            cfg.backend = backend;
             if let Some(s) = seed {
                 cfg.seed = s;
             }
@@ -371,6 +413,7 @@ pub fn run_scenario(name: &str, scale: EvalScale, seed: Option<u64>) -> Option<S
         }
         "halo-chaos" => {
             let mut cfg = halo::HaloConfig::chaos_preset(scale);
+            cfg.backend = backend;
             if let Some(s) = seed {
                 cfg.seed = s;
             }

@@ -1,39 +1,46 @@
 //! `plasma-eval`: CLI over the deterministic paper-evaluation harness.
 //!
 //! ```text
-//! plasma-eval run all [--scale smoke|full] [--seed N] [--out DIR]
-//! plasma-eval run <scenario>... [--scale smoke|full] [--seed N] [--out DIR]
+//! plasma-eval run all [--scale smoke|full] [--seed N] [--out DIR] [--backend sim|live]
+//! plasma-eval run <scenario>... [--scale smoke|full] [--seed N] [--out DIR] [--backend sim|live]
+//! plasma-eval parity all|<scenario>... [--scale smoke|full] [--seed N]
 //! plasma-eval compare <baseline-dir-or-file> [current-dir-or-file] [--threshold F]
 //! plasma-eval list
 //! ```
 //!
-//! Exit codes: 0 success / comparison passed, 1 comparison failed
-//! (regression, missing scenario, or identity mismatch), 2 usage or I/O
-//! error.
+//! Exit codes: 0 success / comparison passed, 1 comparison or parity
+//! failed (regression, missing scenario, identity mismatch, or backend
+//! divergence), 2 usage or I/O error.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::str::FromStr;
 
+use plasma_actor::BackendKind;
 use plasma_apps::common::EvalScale;
 use plasma_bench::eval::{
-    compare, render_summary, run_scenario, CompareOptions, ScenarioResult, SCENARIOS,
+    compare, render_summary, run_scenario_on, CompareOptions, ScenarioResult, SCENARIOS,
 };
 
 const USAGE: &str = "\
 plasma-eval: deterministic PLASMA paper-evaluation harness
 
 USAGE:
-  plasma-eval run all|<scenario>... [--scale smoke|full] [--seed N] [--out DIR]
+  plasma-eval run all|<scenario>... [--scale smoke|full] [--seed N] [--out DIR] [--backend sim|live]
+  plasma-eval parity all|<scenario>... [--scale smoke|full] [--seed N]
   plasma-eval compare <baseline> [current] [--threshold F]
   plasma-eval list
 
 `run` writes one BENCH_<scenario>.json per scenario (default: repo root)
-and prints a human summary. `compare` diffs two result sets — each side a
-directory holding BENCH_*.json files or a single file — and exits 1 when a
-gated metric regresses past the threshold (default 0.10); with `current`
-omitted it compares against the repo root. `list` prints the registry.";
+and prints a human summary; `--backend live` carries the run on OS threads
+instead of the simulated event loop (results must not change). `parity`
+runs each scenario under both backends and exits 1 unless the serialized
+results are byte-identical (the `eval-engine` scenario has no runtime and
+is skipped). `compare` diffs two result sets — each side a directory
+holding BENCH_*.json files or a single file — and exits 1 when a gated
+metric regresses past the threshold (default 0.10); with `current` omitted
+it compares against the repo root. `list` prints the registry.";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("plasma-eval: {msg}");
@@ -80,10 +87,26 @@ fn load_results(path: &Path) -> Result<Vec<ScenarioResult>, String> {
     Ok(results)
 }
 
+/// Expands `all`, validates every name, and returns the vetted list.
+fn resolve_names(mut names: Vec<String>) -> Result<Vec<String>, String> {
+    if names.iter().any(|n| n == "all") {
+        names = SCENARIOS.iter().map(|s| s.name.to_string()).collect();
+    }
+    for name in &names {
+        if plasma_bench::eval::spec(name).is_none() {
+            return Err(format!(
+                "unknown scenario `{name}` (try `plasma-eval list`)"
+            ));
+        }
+    }
+    Ok(names)
+}
+
 fn cmd_run(args: &[String]) -> ExitCode {
     let mut names: Vec<String> = Vec::new();
     let mut scale = EvalScale::Full;
     let mut seed: Option<u64> = None;
+    let mut backend = BackendKind::Sim;
     let mut out_dir = repo_root();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -95,6 +118,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
             "--seed" => match it.next().and_then(|s| s.parse::<u64>().ok()) {
                 Some(s) => seed = Some(s),
                 None => return fail("--seed expects an integer"),
+            },
+            "--backend" => match it.next().map(|s| BackendKind::parse(s)) {
+                Some(Some(b)) => backend = b,
+                _ => return fail("--backend expects `sim` or `live`"),
             },
             "--out" => match it.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
@@ -109,22 +136,20 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if names.is_empty() {
         return fail("`run` expects `all` or one or more scenario names");
     }
-    if names.iter().any(|n| n == "all") {
-        names = SCENARIOS.iter().map(|s| s.name.to_string()).collect();
-    }
-    for name in &names {
-        if plasma_bench::eval::spec(name).is_none() {
-            return fail(&format!(
-                "unknown scenario `{name}` (try `plasma-eval list`)"
-            ));
-        }
-    }
+    let names = match resolve_names(names) {
+        Ok(n) => n,
+        Err(e) => return fail(&e),
+    };
     if let Err(e) = fs::create_dir_all(&out_dir) {
         return fail(&format!("cannot create {}: {e}", out_dir.display()));
     }
     for name in &names {
-        eprintln!("[plasma-eval] running {name} (scale={})...", scale.name());
-        let result = run_scenario(name, scale, seed).expect("scenario name vetted above");
+        eprintln!(
+            "[plasma-eval] running {name} (scale={}, backend={})...",
+            scale.name(),
+            backend.name()
+        );
+        let result = run_scenario_on(name, scale, seed, backend).expect("scenario name vetted");
         let path = out_dir.join(result.file_name());
         if let Err(e) = fs::write(&path, result.to_pretty_string()) {
             eprintln!("plasma-eval: cannot write {}: {e}", path.display());
@@ -134,6 +159,81 @@ fn cmd_run(args: &[String]) -> ExitCode {
         println!("  -> {}", path.display());
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_parity(args: &[String]) -> ExitCode {
+    let mut names: Vec<String> = Vec::new();
+    let mut scale = EvalScale::Smoke;
+    let mut seed: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().map(|s| EvalScale::parse(s)) {
+                Some(Some(s)) => scale = s,
+                _ => return fail("--scale expects `smoke` or `full`"),
+            },
+            "--seed" => match it.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(s) => seed = Some(s),
+                None => return fail("--seed expects an integer"),
+            },
+            other if other.starts_with("--") => {
+                return fail(&format!("unknown flag `{other}`"));
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        return fail("`parity` expects `all` or one or more scenario names");
+    }
+    let names = match resolve_names(names) {
+        Ok(n) => n,
+        Err(e) => return fail(&e),
+    };
+    let mut divergences = 0usize;
+    for name in &names {
+        if name == "eval-engine" {
+            // No runtime, no carrier: nothing to compare.
+            println!("  - {name:<16} skipped (no runtime)");
+            continue;
+        }
+        eprintln!("[plasma-eval] parity {name} (scale={})...", scale.name());
+        let sim = run_scenario_on(name, scale, seed, BackendKind::Sim).expect("name vetted");
+        let live = run_scenario_on(name, scale, seed, BackendKind::Live).expect("name vetted");
+        let sim_text = sim.to_pretty_string();
+        let live_text = live.to_pretty_string();
+        let digest = sim
+            .metric("decision_digest")
+            .map(|m| m.value as u64)
+            .unwrap_or(0);
+        if sim_text == live_text {
+            println!(
+                "  = {name:<16} parity ok ({} decisions, digest {digest:08x})",
+                sim.metric("decisions_total")
+                    .map(|m| m.value)
+                    .unwrap_or(0.0)
+            );
+        } else {
+            divergences += 1;
+            println!("  ! {name:<16} DIVERGED");
+            for (metric, s) in &sim.metrics {
+                let l = live.metric(metric).map(|m| m.value);
+                if l != Some(s.value) {
+                    println!(
+                        "      {metric}: sim {} vs live {}",
+                        s.value,
+                        l.map(|v| v.to_string()).unwrap_or_else(|| "-".into())
+                    );
+                }
+            }
+        }
+    }
+    if divergences == 0 {
+        println!("parity: all scenarios agree across backends");
+        ExitCode::SUCCESS
+    } else {
+        println!("parity: {divergences} scenario(s) diverged");
+        ExitCode::from(1)
+    }
 }
 
 fn cmd_compare(args: &[String]) -> ExitCode {
@@ -186,6 +286,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("parity") => cmd_parity(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("list") => cmd_list(),
         Some("--help" | "-h" | "help") => {

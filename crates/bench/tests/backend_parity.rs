@@ -1,0 +1,86 @@
+//! Backend-parity gate: the live (OS-thread) execution backend must replay
+//! the sim backend's elasticity behavior exactly.
+//!
+//! Elasticity decisions are a pure function of logical runtime state; the
+//! execution backend only *carries* deliveries and service time. Under that
+//! contract a same-seed scenario run must serialize to byte-identical BENCH
+//! JSON under both backends, and in particular the decision-sequence digest
+//! (grow/shrink/migrate, in order, timestamps excluded) must match. These
+//! tests pin that property on §5 scenarios at smoke scale; the CI
+//! `backend-parity` job runs the same check through the `plasma-eval
+//! parity` subcommand.
+
+use plasma_actor::BackendKind;
+use plasma_apps::common::EvalScale;
+use plasma_bench::eval::run_scenario_on;
+
+/// §5 scenarios whose smoke presets produce a nonzero decision sequence —
+/// the interesting ones, where a carriage bug could actually reorder or
+/// drop a grow/shrink/migrate.
+const DECIDING: &[&str] = &["pagerank", "estore", "media", "estore-chaos"];
+
+fn digest_of(name: &str, backend: BackendKind) -> (f64, f64, String) {
+    let r = run_scenario_on(name, EvalScale::Smoke, None, backend).expect("known scenario");
+    let decisions = r.metric("decisions_total").expect("metric present").value;
+    let digest = r.metric("decision_digest").expect("metric present").value;
+    (decisions, digest, r.to_pretty_string())
+}
+
+#[test]
+fn live_replays_sims_decision_sequence() {
+    for name in DECIDING {
+        let (sim_n, sim_digest, sim_text) = digest_of(name, BackendKind::Sim);
+        let (live_n, live_digest, live_text) = digest_of(name, BackendKind::Live);
+        assert!(sim_n > 0.0, "`{name}` smoke preset must decide something");
+        assert_eq!(sim_n, live_n, "`{name}`: decision counts diverged");
+        assert_eq!(
+            sim_digest, live_digest,
+            "`{name}`: decision sequences diverged"
+        );
+        assert_eq!(
+            sim_text, live_text,
+            "`{name}`: BENCH output diverged between backends"
+        );
+    }
+}
+
+#[test]
+fn live_runs_are_deterministic_across_repeats() {
+    // Same seed, two live runs: the decision digest (and the whole BENCH
+    // serialization, which excludes wall-clock latencies by construction)
+    // must be byte-identical even though thread interleavings differ.
+    for name in ["estore", "media"] {
+        let (_, digest_a, text_a) = digest_of(name, BackendKind::Live);
+        let (_, digest_b, text_b) = digest_of(name, BackendKind::Live);
+        assert_eq!(digest_a, digest_b, "`{name}`: live digest not stable");
+        assert_eq!(text_a, text_b, "`{name}`: live BENCH bytes not stable");
+    }
+}
+
+#[test]
+fn parity_holds_on_quiet_scenarios_too() {
+    // Scenarios that happen not to migrate at smoke scale still must agree
+    // byte-for-byte (the digest of an empty sequence is the FNV offset).
+    for name in ["chatroom", "halo"] {
+        let (_, sim_digest, sim_text) = digest_of(name, BackendKind::Sim);
+        let (_, live_digest, live_text) = digest_of(name, BackendKind::Live);
+        assert_eq!(sim_digest, live_digest);
+        assert_eq!(sim_text, live_text, "`{name}`: BENCH output diverged");
+    }
+}
+
+#[test]
+fn full_scale_eval_engine_matches_checked_in_baseline() {
+    // Satellite of the backend PR: the `full` eval-engine scale is promoted
+    // to a checked-in baseline. It has no runtime, so it is cheap enough to
+    // pin byte-for-byte in the suite as well as in CI.
+    let r = run_scenario_on("eval-engine", EvalScale::Full, None, BackendKind::Sim).unwrap();
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../baselines/full/BENCH_eval-engine.json");
+    let baseline = std::fs::read_to_string(path).expect("baselines/full checked in");
+    assert_eq!(
+        r.to_pretty_string(),
+        baseline,
+        "full-scale eval-engine diverged from baselines/full"
+    );
+}

@@ -66,6 +66,13 @@ pub enum FaultKind {
         /// How long requests keep failing.
         duration: SimDuration,
     },
+    /// Force an early profiling-window close, so a snapshot generation
+    /// rolls between an elasticity round's *planning* and its *apply*
+    /// (which happen a control round-trip apart). EMR apply paths must
+    /// tolerate this skew — §4.3's "window closing mid-apply" hazard —
+    /// and count it (`emr.snapshot_skew_rounds`) rather than acting on
+    /// assumptions from the stale snapshot.
+    SnapshotSkew,
 }
 
 impl FaultKind {
@@ -81,6 +88,7 @@ impl FaultKind {
             FaultKind::GemCrash { .. } => "gem-crash",
             FaultKind::LemCrash { .. } => "lem-crash",
             FaultKind::ProvisionerStall { .. } => "provisioner-stall",
+            FaultKind::SnapshotSkew => "snapshot-skew",
         }
     }
 
@@ -208,6 +216,13 @@ impl FaultPlan {
         self.with(at, FaultKind::ProvisionerStall { duration })
     }
 
+    /// Schedules a forced early profiling-window close (snapshot skew).
+    /// Inject it between an elasticity tick and its apply instant (one
+    /// control round-trip later) to exercise the plan/apply skew path.
+    pub fn skew_snapshot(self, at: SimTime) -> Self {
+        self.with(at, FaultKind::SnapshotSkew)
+    }
+
     /// The faults in insertion order (unsorted).
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
@@ -278,6 +293,7 @@ mod tests {
             FaultKind::ProvisionerStall {
                 duration: SimDuration::from_secs(1),
             },
+            FaultKind::SnapshotSkew,
         ];
         let labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
         let mut unique = labels.clone();

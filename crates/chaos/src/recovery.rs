@@ -77,6 +77,8 @@ pub struct ChaosStats {
     pub migrations_aborted: u64,
     /// Migration retry attempts issued.
     pub migration_retries: u64,
+    /// Forced early profiling-window closes injected (snapshot skew).
+    pub snapshot_skews: u64,
     /// Servers declared dead by the failure detector.
     pub detections: u64,
     /// Sum of crash-to-detection latencies, seconds.

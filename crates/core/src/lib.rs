@@ -58,7 +58,7 @@
 //! assert_eq!(app.report().dropped_messages, 0);
 //! ```
 
-use plasma_actor::{ElasticityController, Runtime, RuntimeConfig};
+use plasma_actor::{BackendKind, ElasticityController, Runtime, RuntimeConfig};
 use plasma_chaos::{FaultPlan, RecoveryPolicy};
 use plasma_emr::{EmrConfig, PlasmaEmr};
 use plasma_epl::error::Warning;
@@ -140,6 +140,16 @@ impl PlasmaBuilder {
     /// Replaces the whole runtime configuration.
     pub fn runtime_config(mut self, cfg: RuntimeConfig) -> Self {
         self.runtime_cfg = cfg;
+        self
+    }
+
+    /// Selects the execution backend carrying deliveries and service time
+    /// (simulated event loop by default, OS threads under
+    /// [`BackendKind::Live`]). Elasticity decisions are a pure function of
+    /// logical state, so both backends produce the same decision sequence
+    /// for the same seed.
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.runtime_cfg.backend = kind;
         self
     }
 

@@ -7,8 +7,9 @@
 pub use plasma_actor::logic::{ActorCtx, ClientCtx};
 pub use plasma_actor::message::Payload;
 pub use plasma_actor::{
-    ActorId, ActorLogic, ActorTypeId, ClientId, ClientLogic, ElasticityController, FnId, Message,
-    NullController, RunReport, Runtime, RuntimeConfig,
+    ActorId, ActorLogic, ActorTypeId, BackendKind, BackendStats, ClientId, ClientLogic,
+    DecisionKind, DecisionRecord, ElasticityController, FnId, Message, NullController, RunReport,
+    Runtime, RuntimeConfig,
 };
 pub use plasma_chaos::{
     ChaosStats, FaultEvent, FaultKind, FaultPlan, LinkDegradation, RecoveryPolicy,

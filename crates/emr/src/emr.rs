@@ -19,7 +19,6 @@
 //! one server is drained and decommissioned.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::time::Instant;
 
 use plasma_actor::ids::{ActorId, ActorTypeId};
 use plasma_actor::{ElasticityController, Runtime};
@@ -106,6 +105,10 @@ struct Round {
     /// When planning happened; the plan→apply gap is the LEM→GEM→LEM
     /// decision latency the evaluation harness reports.
     planned_at: plasma_sim::SimTime,
+    /// Snapshot generation the plan was computed from. If a profiling
+    /// window (or an injected snapshot-skew fault) rolls a new generation
+    /// before the apply instant, the apply phase detects the skew.
+    planned_generation: u64,
     actions: Vec<Action>,
 }
 
@@ -131,10 +134,16 @@ pub struct EmrStats {
     pub decision_latency_ms_total: f64,
     /// Worst simulated plan→apply decision latency, in milliseconds.
     pub decision_latency_ms_max: f64,
-    /// Total *wall-clock* nanoseconds spent building the evaluation frame
-    /// and running GEM/LEM planning. Host-dependent: kept out of traces and
+    /// Total nanoseconds on the execution backend's monotonic clock spent
+    /// building the evaluation frame and running GEM/LEM planning.
+    /// Identically 0 under the sim backend (its carrier clock never moves)
+    /// and host-dependent under live — so it is kept out of traces and
     /// benchmark baselines, exported only as a report scalar.
     pub eval_ns: u64,
+    /// Rounds whose apply phase ran against a newer snapshot generation
+    /// than the one it was planned from (a profiling window — or an
+    /// injected snapshot-skew fault — closed mid-round).
+    pub snapshot_skew_rounds: u64,
     /// Evaluation consumers (GEM scopes, the LEM pass, the apply phase)
     /// served by an already-built snapshot/frame instead of rebuilding one.
     pub snapshot_reuse: u64,
@@ -341,9 +350,9 @@ impl PlasmaEmr {
         let gem_count = assignment.len();
         let round_no = self.stats.ticks;
         let debug = std::env::var_os("PLASMA_EMR_DEBUG").is_some();
-        let eval_start = Instant::now();
+        let eval_start = rt.monotonic_ns();
         let mut consumers: u32 = 0;
-        let mut lem_plan = {
+        let (mut lem_plan, planned_generation) = {
             let frame = EvalFrame::new(rt);
             let bound = BoundPolicy::bind(&self.policy, &frame);
             for (gem_idx, servers) in assignment.iter().enumerate() {
@@ -413,15 +422,16 @@ impl PlasmaEmr {
                     consumers,
                 }
             });
-            lem::plan(
+            let plan = lem::plan(
                 &bound,
                 &ctx,
                 &pending_dst,
                 bounds.upper,
                 &self.reserved_servers,
-            )
+            );
+            (plan, frame.generation())
         };
-        self.stats.eval_ns += eval_start.elapsed().as_nanos() as u64;
+        self.stats.eval_ns += rt.monotonic_ns().saturating_sub(eval_start);
         self.stats.snapshot_reuse += consumers.saturating_sub(1) as u64;
         Self::trace_rule_events(
             &tracer,
@@ -497,6 +507,7 @@ impl PlasmaEmr {
         self.pending = Some(Round {
             number: round_no,
             planned_at: trace_now,
+            planned_generation,
             actions,
         });
         // Model the LEM -> GEM -> LEM control round-trip before applying.
@@ -570,6 +581,12 @@ impl PlasmaEmr {
         // every per-action share lookup below.
         let snapshot = rt.snapshot_shared();
         self.stats.snapshot_reuse += 1;
+        // The plan was computed from an older generation: admission below
+        // intentionally re-reads the *current* snapshot (fresher usage data
+        // beats stale plans), and the round is counted as skewed.
+        if snapshot.generation != round.planned_generation {
+            self.stats.snapshot_skew_rounds += 1;
+        }
         let mut projected: BTreeMap<ServerId, f64> = rt
             .cluster()
             .running_ids()
@@ -719,6 +736,7 @@ impl PlasmaEmr {
         rt.record_scalar("emr.rounds_applied", s.rounds_applied as f64);
         rt.record_scalar("emr.eval_ns", s.eval_ns as f64);
         rt.record_scalar("emr.snapshot_reuse", s.snapshot_reuse as f64);
+        rt.record_scalar("emr.snapshot_skew_rounds", s.snapshot_skew_rounds as f64);
         rt.record_scalar("emr.decision_latency_ms_max", s.decision_latency_ms_max);
         rt.record_scalar(
             "emr.decision_latency_ms_mean",

@@ -127,5 +127,20 @@ fn emr_reports_snapshot_reuse() {
     let eval_ns = report
         .scalar("emr.eval_ns")
         .expect("emr.eval_ns scalar exported");
-    assert!(eval_ns > 0.0, "planning time must be accounted: {eval_ns}");
+    // Planning time is measured on the execution backend's monotonic
+    // clock, which is identically zero under the sim backend — nothing
+    // host-dependent may leak into simulated results.
+    assert_eq!(eval_ns, 0.0, "sim carrier clock never moves: {eval_ns}");
+    let skews = report
+        .scalar("emr.snapshot_skew_rounds")
+        .expect("emr.snapshot_skew_rounds scalar exported");
+    let rounds = report
+        .scalar("emr.rounds_applied")
+        .expect("emr.rounds_applied scalar exported");
+    // Under the default cadence the 1s profiling window divides the 60s
+    // elasticity period, and the tick (scheduled once at startup) wins the
+    // FIFO tie at the shared boundary: every round plans against the old
+    // generation and applies after the boundary rolls a new one.
+    assert!(rounds >= 1.0, "at least one applied round: {rounds}");
+    assert_eq!(skews, rounds, "every boundary round skews one generation");
 }
