@@ -36,7 +36,7 @@ use crate::ids::{ActorId, ActorTypeId, ClientId, FnId, NameRegistry};
 use crate::logic::{ActorCtx, ActorLogic, ClientCtx, ClientLogic, PendingSend};
 use crate::message::{CallerKind, Correlation, Message, Payload};
 use crate::report::{DecisionKind, DecisionRecord, MigrationRecord, RunReport};
-use crate::stats::{ActorWindowStats, ProfileSnapshot, ServerWindowStats};
+use crate::stats::{ActorWindowStats, ProfileSnapshot, ServerWindowStats, SnapshotDelta};
 
 /// Tunable parameters of a simulation run.
 #[derive(Clone, Debug)]
@@ -184,6 +184,13 @@ pub struct Runtime {
     tracer: Tracer,
     stopped: bool,
     snapshot: Arc<ProfileSnapshot>,
+    /// Per-window deltas between consecutive snapshot generations, oldest
+    /// first; bounded by `delta_cap`. Consumers compose them via
+    /// [`Runtime::delta_since`] to patch retained indexes incrementally.
+    deltas: VecDeque<SnapshotDelta>,
+    /// History bound: a couple of elasticity periods' worth of windows, so
+    /// a round can always bridge back to the previous round's generation.
+    delta_cap: usize,
     report: RunReport,
     next_request: u64,
     orphan_replies: u64,
@@ -211,6 +218,13 @@ impl Runtime {
         let rng = DetRng::new(cfg.seed);
         let report = RunReport::new(cfg.latency_bucket);
         let backend = plasma_backend::make(cfg.backend);
+        // Enough per-window deltas to span two elasticity rounds (plus
+        // slack for skew-injected extra generations); if a configuration
+        // outruns this, `delta_since` reports a gap and consumers rebuild.
+        let windows_per_round = (cfg.elasticity_period.as_secs_f64()
+            / cfg.profile_window.as_secs_f64().max(1e-9))
+        .ceil() as usize;
+        let delta_cap = (2 * windows_per_round + 4).clamp(8, 1024);
         Runtime {
             cfg,
             now: SimTime::ZERO,
@@ -228,6 +242,8 @@ impl Runtime {
             tracer: Tracer::disabled(),
             stopped: false,
             snapshot: Arc::new(ProfileSnapshot::default()),
+            deltas: VecDeque::new(),
+            delta_cap,
             report,
             next_request: 0,
             orphan_replies: 0,
@@ -535,6 +551,38 @@ impl Runtime {
         self.snapshot.generation
     }
 
+    /// Composes the per-window deltas from generation `from` up to the
+    /// current snapshot into one [`SnapshotDelta`], or `None` when the
+    /// bounded history no longer reaches back that far (or `from` is ahead
+    /// of the current generation) — the caller must rebuild from scratch.
+    ///
+    /// `from == current` yields an empty delta.
+    pub fn delta_since(&self, from: u64) -> Option<SnapshotDelta> {
+        let current = self.snapshot.generation;
+        if from > current {
+            return None;
+        }
+        let mut merged = SnapshotDelta {
+            from_generation: from,
+            to_generation: from,
+            ..SnapshotDelta::default()
+        };
+        if from == current {
+            return Some(merged);
+        }
+        // History holds consecutive one-generation steps, oldest first.
+        let first = self.deltas.front()?.from_generation;
+        if from < first {
+            return None;
+        }
+        for step in self.deltas.iter().skip((from - first) as usize) {
+            debug_assert_eq!(step.from_generation, merged.to_generation);
+            merged.merge(step);
+        }
+        debug_assert_eq!(merged.to_generation, current);
+        Some(merged)
+    }
+
     /// Returns the server currently hosting `actor`.
     ///
     /// # Panics
@@ -834,7 +882,7 @@ impl Runtime {
 
     fn handle(&mut self, event: Event) {
         match event {
-            Event::DeliverActor(msg) => self.on_deliver(msg),
+            Event::DeliverActor(msg) => self.on_deliver_batch(msg),
             Event::DeliverReply {
                 client,
                 request,
@@ -894,6 +942,67 @@ impl Runtime {
         }
     }
 
+    /// Returns whether `event` is a delivery that will take the plain
+    /// enqueue path (live destination, no forwarding hop) on `server` —
+    /// i.e. its bookkeeping pushes no events and touches only that
+    /// server's queues, so it can join a coalesced same-tick batch.
+    fn simple_delivery_to(actors: &[Option<ActorEntry>], event: &Event, server: ServerId) -> bool {
+        let Event::DeliverActor(msg) = event else {
+            return false;
+        };
+        let Some(entry) = actors.get(msg.to.0 as usize).and_then(|e| e.as_ref()) else {
+            return false;
+        };
+        entry.server == server && Self::plain_delivery(msg, entry.server)
+    }
+
+    /// Returns whether `msg` takes the plain enqueue path when its
+    /// destination actor lives on `host`: either the send-time destination
+    /// still matches, or the message already took its one forwarding hop —
+    /// so delivering it pushes no re-route events.
+    fn plain_delivery(msg: &Message, host: ServerId) -> bool {
+        msg.forwarded || msg.dest_server_at_send.is_none_or(|s| s == host)
+    }
+
+    /// Delivers `msg` and coalesces the run of same-tick deliveries bound
+    /// for the same server behind it into a single dispatch pass.
+    ///
+    /// This is behavior-preserving: a plain delivery's bookkeeping pushes
+    /// no events, so deferring `try_dispatch` to the end of the run
+    /// schedules the exact same `ServiceDone` events with the exact same
+    /// sequence numbers the one-dispatch-per-delivery path would — the run
+    /// queue is FIFO and lanes are claimed in delivery order either way.
+    /// The batch stops at the first same-tick event that is not a plain
+    /// delivery to this server (forwarding hops and orphan drops re-route
+    /// or count events, so they keep their positions in the global order).
+    fn on_deliver_batch(&mut self, msg: Message) {
+        let simple = self
+            .actors
+            .get(msg.to.0 as usize)
+            .and_then(|e| e.as_ref())
+            .map(|entry| (entry.server, Self::plain_delivery(&msg, entry.server)));
+        let Some((server, true)) = simple else {
+            self.on_deliver(msg);
+            return;
+        };
+        let mut queued = self.deliver_enqueue(msg);
+        loop {
+            let next = {
+                let actors = &self.actors;
+                self.events
+                    .pop_at_if(self.now, |e| Self::simple_delivery_to(actors, e, server))
+            };
+            match next {
+                Some(Event::DeliverActor(m)) => queued |= self.deliver_enqueue(m),
+                Some(_) => unreachable!("predicate admits deliveries only"),
+                None => break,
+            }
+        }
+        if queued {
+            self.try_dispatch(server);
+        }
+    }
+
     fn on_deliver(&mut self, mut msg: Message) {
         let Some(entry) = self.actors.get(msg.to.0 as usize).and_then(|e| e.as_ref()) else {
             // Arrivals addressed to an orphaned actor (crashed, not yet
@@ -917,6 +1026,18 @@ impl Runtime {
             self.events.push(self.now + delay, Event::DeliverActor(msg));
             return;
         }
+        if self.deliver_enqueue(msg) {
+            self.try_dispatch(here);
+        }
+    }
+
+    /// The plain delivery path: byte accounting, tracing, carriage, and
+    /// mailbox/run-queue bookkeeping — everything `on_deliver` does short
+    /// of dispatching. Returns whether the destination joined the run
+    /// queue. The caller has already ruled out the orphan and forwarding
+    /// branches.
+    fn deliver_enqueue(&mut self, msg: Message) -> bool {
+        let here = self.entry(msg.to).server;
         if msg.was_remote {
             self.cluster.server_mut(here).add_net_bytes(msg.bytes);
             self.report.remote_messages += 1;
@@ -944,7 +1065,9 @@ impl Runtime {
         if entry.runnable() {
             entry.in_runq = true;
             self.runq[here.0 as usize].push_back(id);
-            self.try_dispatch(here);
+            true
+        } else {
+            false
         }
     }
 
@@ -1369,13 +1492,22 @@ impl Runtime {
                 entry.counters.reset();
             }
         }
-        self.snapshot = Arc::new(ProfileSnapshot {
+        let next = Arc::new(ProfileSnapshot {
             generation: self.snapshot.generation + 1,
             at: self.now,
             window,
             actors: actor_stats,
             servers,
         });
+        // Emit the generation delta alongside the snapshot itself, so
+        // retained index structures (the EMR's EvalFrame) can patch in
+        // place instead of rebuilding per round.
+        if self.deltas.len() == self.delta_cap {
+            self.deltas.pop_front();
+        }
+        self.deltas
+            .push_back(SnapshotDelta::between(&self.snapshot, &next));
+        self.snapshot = next;
         // Barrier the carrier on the freshly built generation; under live
         // this verifies exactly-once carriage of the window's events.
         self.backend.window_close(self.snapshot.generation);

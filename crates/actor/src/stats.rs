@@ -174,6 +174,167 @@ impl ProfileSnapshot {
     }
 }
 
+/// Churn threshold for reporting an actor's `cpu_share` as changed between
+/// two generations.
+///
+/// This must stay `0.0` as long as consumers patch cpu-sorted indexes from
+/// deltas: the EMR's `partition_point` threshold pruning relies on the
+/// retained order being *exactly* the order a full re-sort of the current
+/// generation would produce, so every bitwise change has to be reported. A
+/// nonzero epsilon would trade that exactness for smaller deltas.
+pub const CPU_DELTA_EPSILON: f64 = 0.0;
+
+/// What changed between two consecutive profiling snapshots.
+///
+/// Emitted by the runtime alongside every generation bump, derived from the
+/// slab-backed actor rows and the per-window server lists (which mirror the
+/// cluster lifecycle journal: a server enters when it starts running and
+/// leaves when it stops, crashes, or is decommissioned). Consumers use
+/// deltas to patch retained indexes in place instead of rebuilding them —
+/// only `server`, `type_id`, and `cpu_share` feed indexes, so those are the
+/// only per-actor stats diffed; everything else is read straight from the
+/// current snapshot.
+///
+/// All id vectors are sorted and deduplicated. After [`merge`], an id may
+/// appear in more than one category (e.g. added in one window and removed a
+/// few windows later); consumers must classify a touched actor by its state
+/// in the two endpoint generations, not by category.
+///
+/// [`merge`]: SnapshotDelta::merge
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SnapshotDelta {
+    /// Generation this delta starts from.
+    pub from_generation: u64,
+    /// Generation this delta produces (`from + 1` until merged).
+    pub to_generation: u64,
+    /// Actors present in `to` but not in `from`.
+    pub added: Vec<ActorId>,
+    /// Actors present in `from` but not in `to`.
+    pub removed: Vec<ActorId>,
+    /// Actors present in both whose hosting server changed.
+    pub moved: Vec<ActorId>,
+    /// Actors present in both whose `cpu_share` changed beyond
+    /// [`CPU_DELTA_EPSILON`].
+    pub stat_changed: Vec<ActorId>,
+    /// Servers reporting in `to` but not in `from` (booted).
+    pub servers_added: Vec<ServerId>,
+    /// Servers reporting in `from` but not in `to` (decommissioned or
+    /// crashed).
+    pub servers_removed: Vec<ServerId>,
+}
+
+impl SnapshotDelta {
+    /// Diffs two consecutive snapshots; both actor and server lists are
+    /// id-ordered, so this is a single merge walk.
+    pub fn between(from: &ProfileSnapshot, to: &ProfileSnapshot) -> Self {
+        let mut delta = SnapshotDelta {
+            from_generation: from.generation,
+            to_generation: to.generation,
+            ..SnapshotDelta::default()
+        };
+        let (mut i, mut j) = (0, 0);
+        while i < from.actors.len() || j < to.actors.len() {
+            let old = from.actors.get(i);
+            let new = to.actors.get(j);
+            match (old, new) {
+                (Some(o), Some(n)) if o.actor == n.actor => {
+                    if o.server != n.server {
+                        delta.moved.push(o.actor);
+                    }
+                    if (o.cpu_share - n.cpu_share).abs() > CPU_DELTA_EPSILON {
+                        delta.stat_changed.push(o.actor);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (Some(o), Some(n)) if o.actor < n.actor => {
+                    delta.removed.push(o.actor);
+                    i += 1;
+                }
+                (Some(_), Some(n)) => {
+                    delta.added.push(n.actor);
+                    j += 1;
+                }
+                (Some(o), None) => {
+                    delta.removed.push(o.actor);
+                    i += 1;
+                }
+                (None, Some(n)) => {
+                    delta.added.push(n.actor);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        let old_servers: Vec<ServerId> = from.servers.iter().map(|s| s.server).collect();
+        let new_servers: Vec<ServerId> = to.servers.iter().map(|s| s.server).collect();
+        for s in &new_servers {
+            if !old_servers.contains(s) {
+                delta.servers_added.push(*s);
+            }
+        }
+        for s in &old_servers {
+            if !new_servers.contains(s) {
+                delta.servers_removed.push(*s);
+            }
+        }
+        delta
+    }
+
+    /// Returns whether nothing changed between the two generations.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty()
+            && self.removed.is_empty()
+            && self.moved.is_empty()
+            && self.stat_changed.is_empty()
+            && self.servers_added.is_empty()
+            && self.servers_removed.is_empty()
+    }
+
+    /// Returns whether the reporting server set changed at all.
+    pub fn scope_changed(&self) -> bool {
+        !self.servers_added.is_empty() || !self.servers_removed.is_empty()
+    }
+
+    /// Folds a later consecutive delta into this one, producing a delta
+    /// spanning `self.from_generation .. later.to_generation`.
+    ///
+    /// Category vectors become unions (sorted, deduplicated); see the type
+    /// docs for why categories may overlap after merging.
+    pub fn merge(&mut self, later: &SnapshotDelta) {
+        debug_assert_eq!(
+            self.to_generation, later.from_generation,
+            "merged deltas must be consecutive"
+        );
+        self.to_generation = later.to_generation;
+        fn union<T: Ord + Copy>(dst: &mut Vec<T>, src: &[T]) {
+            dst.extend_from_slice(src);
+            dst.sort_unstable();
+            dst.dedup();
+        }
+        union(&mut self.added, &later.added);
+        union(&mut self.removed, &later.removed);
+        union(&mut self.moved, &later.moved);
+        union(&mut self.stat_changed, &later.stat_changed);
+        union(&mut self.servers_added, &later.servers_added);
+        union(&mut self.servers_removed, &later.servers_removed);
+    }
+
+    /// Every actor id this delta touches, sorted and deduplicated.
+    pub fn touched_actors(&self) -> Vec<ActorId> {
+        let mut all = Vec::with_capacity(
+            self.added.len() + self.removed.len() + self.moved.len() + self.stat_changed.len(),
+        );
+        all.extend_from_slice(&self.added);
+        all.extend_from_slice(&self.removed);
+        all.extend_from_slice(&self.moved);
+        all.extend_from_slice(&self.stat_changed);
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,5 +417,108 @@ mod tests {
         assert!(snap.server(ServerId(0)).is_some());
         assert!(snap.server(ServerId(9)).is_none());
         assert!(snap.actor(ActorId(2)).unwrap().pinned);
+    }
+
+    /// Minimal snapshot: actors given as `(id, server, cpu_share)` rows
+    /// (already id-ordered), servers as bare ids.
+    fn snap_of(generation: u64, actors: &[(u64, u32, f64)], servers: &[u32]) -> ProfileSnapshot {
+        ProfileSnapshot {
+            generation,
+            at: SimTime::from_secs(generation),
+            window: SimDuration::from_secs(1),
+            actors: actors
+                .iter()
+                .map(|&(id, srv, cpu)| ActorWindowStats {
+                    actor: ActorId(id),
+                    type_id: ActorTypeId(0),
+                    server: ServerId(srv),
+                    state_size: 1,
+                    pinned: false,
+                    cpu_share: cpu,
+                    counters: ActorCounters::default(),
+                    refs: BTreeMap::new(),
+                })
+                .collect(),
+            servers: servers
+                .iter()
+                .map(|&s| ServerWindowStats {
+                    server: ServerId(s),
+                    usage: ResourceUsage::new(0.5, 0.5, 0.5),
+                    actor_count: 0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn delta_between_classifies_every_category() {
+        let a = snap_of(1, &[(1, 0, 0.2), (2, 0, 0.3), (3, 1, 0.4)], &[0, 1]);
+        let b = snap_of(2, &[(2, 1, 0.3), (3, 1, 0.9), (5, 0, 0.1)], &[0, 2]);
+        let d = SnapshotDelta::between(&a, &b);
+        assert_eq!(d.from_generation, 1);
+        assert_eq!(d.to_generation, 2);
+        assert_eq!(d.added, vec![ActorId(5)]);
+        assert_eq!(d.removed, vec![ActorId(1)]);
+        assert_eq!(d.moved, vec![ActorId(2)]);
+        assert_eq!(d.stat_changed, vec![ActorId(3)]);
+        assert_eq!(d.servers_added, vec![ServerId(2)]);
+        assert_eq!(d.servers_removed, vec![ServerId(1)]);
+        assert!(d.scope_changed());
+        assert!(!d.is_empty());
+        assert_eq!(
+            d.touched_actors(),
+            vec![ActorId(1), ActorId(2), ActorId(3), ActorId(5)]
+        );
+    }
+
+    #[test]
+    fn delta_between_identical_snapshots_is_empty() {
+        let a = snap_of(1, &[(1, 0, 0.2), (2, 1, 0.3)], &[0, 1]);
+        let mut b = a.clone();
+        b.generation = 2;
+        let d = SnapshotDelta::between(&a, &b);
+        assert!(d.is_empty());
+        assert!(!d.scope_changed());
+        assert!(d.touched_actors().is_empty());
+    }
+
+    #[test]
+    fn delta_reports_every_bitwise_cpu_change() {
+        // CPU_DELTA_EPSILON must stay 0.0: retained cpu-sorted indexes are
+        // patched from deltas, so even the smallest drift must be listed.
+        let a = snap_of(1, &[(1, 0, 0.2)], &[0]);
+        let b = snap_of(2, &[(1, 0, 0.2 + f64::EPSILON)], &[0]);
+        assert_eq!(
+            SnapshotDelta::between(&a, &b).stat_changed,
+            vec![ActorId(1)]
+        );
+    }
+
+    #[test]
+    fn merge_spans_generations_and_unions_categories() {
+        let a = snap_of(1, &[(1, 0, 0.2), (2, 0, 0.3)], &[0]);
+        // Window 2: actor 3 appears, actor 1's cpu changes.
+        let b = snap_of(2, &[(1, 0, 0.5), (2, 0, 0.3), (3, 0, 0.1)], &[0]);
+        // Window 3: actor 3 disappears again, actor 2 moves.
+        let c = snap_of(3, &[(1, 0, 0.5), (2, 1, 0.3)], &[0, 1]);
+        let mut d = SnapshotDelta::between(&a, &b);
+        d.merge(&SnapshotDelta::between(&b, &c));
+        assert_eq!(d.from_generation, 1);
+        assert_eq!(d.to_generation, 3);
+        // Actor 3 is listed as both added and removed: the merged delta
+        // records categories, consumers classify by endpoint presence.
+        assert_eq!(d.added, vec![ActorId(3)]);
+        assert_eq!(d.removed, vec![ActorId(3)]);
+        assert_eq!(d.moved, vec![ActorId(2)]);
+        assert_eq!(d.stat_changed, vec![ActorId(1)]);
+        assert_eq!(d.servers_added, vec![ServerId(1)]);
+        // touched_actors dedups across categories.
+        assert_eq!(d.touched_actors(), vec![ActorId(1), ActorId(2), ActorId(3)]);
+        // The merged span must classify like a direct endpoint diff for
+        // actors present in exactly one endpoint.
+        let direct = SnapshotDelta::between(&a, &c);
+        assert_eq!(direct.added, Vec::<ActorId>::new());
+        assert_eq!(direct.moved, d.moved);
+        assert_eq!(direct.stat_changed, d.stat_changed);
     }
 }

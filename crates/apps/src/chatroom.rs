@@ -71,6 +71,11 @@ impl ChatConfig {
                 messages_per_user: 50,
                 ..ChatConfig::default()
             },
+            EvalScale::Xl => ChatConfig {
+                users: 128,
+                servers: 8,
+                ..ChatConfig::default()
+            },
         }
     }
 
@@ -99,6 +104,15 @@ impl ChatConfig {
             EvalScale::Smoke => ChatConfig {
                 users: 6,
                 servers: 3,
+                faults,
+                seed: 31,
+                ..ChatConfig::default()
+            },
+            // The chaos plan targets fixed server ids; xl reuses the full
+            // topology rather than scaling past the fault plan's reach.
+            EvalScale::Xl => ChatConfig {
+                users: 16,
+                servers: 4,
                 faults,
                 seed: 31,
                 ..ChatConfig::default()

@@ -14,14 +14,18 @@ pub enum EvalScale {
     Smoke,
     /// Paper-shaped defaults (§5 parameters, possibly trimmed run length).
     Full,
+    /// Beyond-paper stress sizing (≥128 servers / ≥50k actors for the
+    /// eval-engine scenario); exercised on demand, not in CI's hot path.
+    Xl,
 }
 
 impl EvalScale {
-    /// Parses `"smoke"` / `"full"` (case-insensitive).
+    /// Parses `"smoke"` / `"full"` / `"xl"` (case-insensitive).
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().as_str() {
             "smoke" => Some(EvalScale::Smoke),
             "full" => Some(EvalScale::Full),
+            "xl" => Some(EvalScale::Xl),
             _ => None,
         }
     }
@@ -31,6 +35,7 @@ impl EvalScale {
         match self {
             EvalScale::Smoke => "smoke",
             EvalScale::Full => "full",
+            EvalScale::Xl => "xl",
         }
     }
 }
@@ -89,6 +94,14 @@ pub struct ElasticityEval {
     /// EMR rounds whose apply phase saw a newer profiling generation than
     /// the one it planned against.
     pub snapshot_skew_rounds: u64,
+    /// Decision rounds whose evaluation frame was rebuilt from scratch.
+    pub frame_rebuilds: u64,
+    /// Decision rounds whose retained evaluation frame was patched in place
+    /// from snapshot deltas.
+    pub frame_patches: u64,
+    /// Backend-clock nanoseconds spent patching frames (identically 0
+    /// under the sim backend; host-dependent under live).
+    pub frame_patch_ns: u64,
 }
 
 impl ElasticityEval {
@@ -147,6 +160,9 @@ impl ElasticityEval {
             decisions_total: report.decisions.len() as u64,
             decision_digest: report.decision_digest(),
             snapshot_skew_rounds: report.scalar("emr.snapshot_skew_rounds").unwrap_or(0.0) as u64,
+            frame_rebuilds: report.scalar("emr.frame_rebuilds").unwrap_or(0.0) as u64,
+            frame_patches: report.scalar("emr.frame_patches").unwrap_or(0.0) as u64,
+            frame_patch_ns: report.scalar("emr.frame_patch_ns").unwrap_or(0.0) as u64,
         }
     }
 }

@@ -109,6 +109,13 @@ impl EstoreConfig {
                 run_for: SimDuration::from_secs(120),
                 ..EstoreConfig::default()
             },
+            EvalScale::Xl => EstoreConfig {
+                roots: 512,
+                children_per_root: 4,
+                servers: 16,
+                clients: 384,
+                ..EstoreConfig::default()
+            },
         }
     }
 

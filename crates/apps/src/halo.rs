@@ -243,6 +243,13 @@ impl HaloConfig {
                 period: SimDuration::from_secs(30),
                 ..HaloConfig::default()
             },
+            EvalScale::Xl => HaloConfig {
+                routers: 32,
+                sessions: 32,
+                servers: 16,
+                clients: 128,
+                ..HaloConfig::default()
+            },
         }
     }
 

@@ -103,6 +103,11 @@ impl MediaConfig {
                 run_for: SimDuration::from_secs(600),
                 ..MediaConfig::default()
             },
+            EvalScale::Xl => MediaConfig {
+                clients: 1024,
+                max_servers: 129,
+                ..MediaConfig::default()
+            },
         }
     }
 }

@@ -141,6 +141,13 @@ impl PageRankConfig {
                 max_iters: 12,
                 ..PageRankConfig::default()
             },
+            EvalScale::Xl => PageRankConfig {
+                vertices: 200_000,
+                partitions: 128,
+                servers: 16,
+                max_servers: 64,
+                ..PageRankConfig::default()
+            },
         }
     }
 }

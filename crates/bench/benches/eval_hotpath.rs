@@ -40,8 +40,9 @@ where
 fn main() {
     let mut c = Criterion::default();
     let (snap, servers) = synth::synth_world(32, 3000, 0x504C_4153);
+    let snap = std::sync::Arc::new(snap);
     let (types, fns) = synth::name_tables();
-    let frame = EvalFrame::from_parts(&snap, servers.clone(), types, fns);
+    let frame = EvalFrame::from_parts(snap, servers.clone(), types, fns);
     let scope: Vec<ServerId> = servers.iter().map(|s| s.id).collect();
     let ctx = EvalCtx::scoped(&frame, &scope);
     let schema = synth::schema();

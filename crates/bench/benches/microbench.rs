@@ -10,7 +10,7 @@ use plasma_actor::logic::ActorCtx;
 use plasma_actor::stats::ActorCounters;
 use plasma_actor::CallerKind;
 use plasma_emr::eval::solve;
-use plasma_emr::view::EvalCtx;
+use plasma_emr::view::{EvalCtx, EvalFrame};
 use plasma_epl::compile;
 use plasma_sim::rng::Zipf;
 
@@ -84,7 +84,8 @@ fn bench_rule_evaluation(c: &mut Criterion) {
     let scope = rt.cluster().running_ids();
     c.bench_function("emr_solve_metadata_rule_48_actors", |b| {
         b.iter(|| {
-            let ctx = EvalCtx::new(black_box(&rt), black_box(&scope));
+            let frame = EvalFrame::new(black_box(&rt));
+            let ctx = EvalCtx::scoped(&frame, black_box(&scope));
             black_box(solve(&policy.rules[0], &ctx).len())
         })
     });

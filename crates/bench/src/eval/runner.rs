@@ -137,6 +137,23 @@ fn push_common(result: &mut ScenarioResult, eval: &ElasticityEval, rebalance_dir
         eval.snapshot_skew_rounds as f64,
         Direction::Info,
     );
+    // Frame-maintenance counters ride at the end so pre-existing baseline
+    // lines stay byte-identical.
+    result.push(
+        "frame_rebuilds",
+        eval.frame_rebuilds as f64,
+        Direction::Info,
+    );
+    result.push(
+        "frame_patches",
+        eval.frame_patches as f64,
+        Direction::Higher,
+    );
+    result.push(
+        "frame_patch_ns",
+        eval.frame_patch_ns as f64,
+        Direction::Info,
+    );
 }
 
 /// Pushes the recovery metrics of a chaos scenario.
@@ -352,10 +369,12 @@ pub fn run_scenario_on(
             let (n_servers, n_actors) = match scale {
                 EvalScale::Smoke => (8u32, 600u64),
                 EvalScale::Full => (32, 3000),
+                EvalScale::Xl => (128, 50_000),
             };
             let (snap, servers) = super::synth::synth_world(n_servers, n_actors, world_seed);
+            let snap = std::sync::Arc::new(snap);
             let (types, fns) = super::synth::name_tables();
-            let frame = EvalFrame::from_parts(&snap, servers.clone(), types, fns);
+            let frame = EvalFrame::from_parts(snap, servers.clone(), types, fns);
             let scope: Vec<ServerId> = servers.iter().map(|s| s.id).collect();
             let ctx = EvalCtx::scoped(&frame, &scope);
             let schema = super::synth::schema();
@@ -378,10 +397,13 @@ pub fn run_scenario_on(
                 agree as f64 / super::synth::RULES.len() as f64,
                 Direction::Higher,
             );
-            let (builds, reuse, ticks) = super::synth::sharing_probe(4, 120, world_seed);
+            let (builds, reuse, ticks, rebuilds, patches) =
+                super::synth::sharing_probe(4, 120, world_seed);
             result.push("snapshot_builds", builds as f64, Direction::Info);
             result.push("snapshot_reuse", reuse, Direction::Higher);
             result.push("emr_ticks", ticks, Direction::Info);
+            result.push("frame_rebuilds", rebuilds, Direction::Info);
+            result.push("frame_patches", patches, Direction::Higher);
         }
         "chatroom-chaos" => {
             let mut cfg = chatroom::ChatConfig::chaos_preset(scale);
@@ -392,7 +414,7 @@ pub fn run_scenario_on(
             result.seed = cfg.seed;
             let run_for = match scale {
                 EvalScale::Smoke => SimDuration::from_secs(90),
-                EvalScale::Full => SimDuration::from_secs(180),
+                EvalScale::Full | EvalScale::Xl => SimDuration::from_secs(180),
             };
             let report = chatroom::run_chaos(&cfg, run_for);
             push_common(&mut result, &report.eval, Direction::Info);

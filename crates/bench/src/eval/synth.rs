@@ -175,11 +175,79 @@ pub fn synth_world(n_servers: u32, n_actors: u64, seed: u64) -> (ProfileSnapshot
     (snap, servers)
 }
 
+/// Produces the successor of `base` after one steady-state window with
+/// `frac` churn: roughly `frac * len` actors are touched — a quarter
+/// replaced (one death plus one fresh spawn), a quarter migrated, and the
+/// rest re-profiled with a new `cpu_share`. Everything derives from
+/// `seed`, the actor list stays id-sorted, and the generation advances by
+/// one, so `SnapshotDelta::between(base, &churned)` is exactly the delta a
+/// runtime would emit for this window.
+pub fn churn_world(base: &ProfileSnapshot, frac: f64, seed: u64) -> ProfileSnapshot {
+    let mut mix = Mix(seed);
+    let mut actors = base.actors.clone();
+    let n_servers = actors.iter().map(|a| a.server.0).max().unwrap_or(0) + 1;
+    let touches = ((actors.len() as f64 * frac).ceil() as u64).max(1);
+    let mut next_id = actors.last().map(|a| a.actor.0 + 1).unwrap_or(0);
+    for _ in 0..touches {
+        match mix.below(4) {
+            0 if !actors.is_empty() => {
+                // Replacement: one actor dies, a fresh one spawns.
+                let gone = mix.below(actors.len() as u64) as usize;
+                actors.remove(gone);
+                let mut calls = BTreeMap::new();
+                calls.insert(
+                    CallKey {
+                        caller_kind: CallerKind::Client,
+                        caller: None,
+                        fname: FnId(0),
+                    },
+                    CallStat {
+                        count: mix.below(2000),
+                        bytes: mix.below(1 << 16),
+                    },
+                );
+                actors.push(ActorWindowStats {
+                    actor: ActorId(next_id),
+                    type_id: ActorTypeId((next_id % 3) as u32),
+                    server: ServerId(mix.below(n_servers as u64) as u32),
+                    state_size: 1 << 16,
+                    pinned: false,
+                    cpu_share: mix.below(100) as f64 / 100.0,
+                    counters: ActorCounters {
+                        cpu_busy: SimDuration::ZERO,
+                        calls,
+                        bytes_sent: 0,
+                    },
+                    refs: BTreeMap::new(),
+                });
+                next_id += 1;
+            }
+            1 if !actors.is_empty() => {
+                let i = mix.below(actors.len() as u64) as usize;
+                actors[i].server = ServerId(mix.below(n_servers as u64) as u32);
+            }
+            _ if !actors.is_empty() => {
+                let i = mix.below(actors.len() as u64) as usize;
+                actors[i].cpu_share = mix.below(100) as f64 / 100.0;
+            }
+            _ => {}
+        }
+    }
+    ProfileSnapshot {
+        generation: base.generation + 1,
+        at: base.at + base.window,
+        window: base.window,
+        actors,
+        servers: base.servers.clone(),
+    }
+}
+
 /// Runs a small live cluster under a balance policy with `num_gems` GEM
-/// scopes for `secs` simulated seconds and returns
-/// `(snapshot_builds, emr.snapshot_reuse, emr.ticks)` — the deterministic
-/// counters pinning the shared-snapshot behavior.
-pub fn sharing_probe(num_gems: usize, secs: u64, seed: u64) -> (u64, f64, f64) {
+/// scopes for `secs` simulated seconds and returns `(snapshot_builds,
+/// emr.snapshot_reuse, emr.ticks, emr.frame_rebuilds, emr.frame_patches)`
+/// — the deterministic counters pinning the shared-snapshot and
+/// incremental-frame behavior.
+pub fn sharing_probe(num_gems: usize, secs: u64, seed: u64) -> (u64, f64, f64, f64, f64) {
     struct Worker;
     impl ActorLogic for Worker {
         fn on_message(&mut self, ctx: &mut ActorCtx<'_>, _msg: &mut Message) {
@@ -240,5 +308,7 @@ pub fn sharing_probe(num_gems: usize, secs: u64, seed: u64) -> (u64, f64, f64) {
         rt.snapshot_builds(),
         report.scalar("emr.snapshot_reuse").unwrap_or(0.0),
         report.scalar("emr.ticks").unwrap_or(0.0),
+        report.scalar("emr.frame_rebuilds").unwrap_or(0.0),
+        report.scalar("emr.frame_patches").unwrap_or(0.0),
     )
 }

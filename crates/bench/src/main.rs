@@ -197,8 +197,18 @@ fn cmd_parity(args: &[String]) -> ExitCode {
             continue;
         }
         eprintln!("[plasma-eval] parity {name} (scale={})...", scale.name());
-        let sim = run_scenario_on(name, scale, seed, BackendKind::Sim).expect("name vetted");
-        let live = run_scenario_on(name, scale, seed, BackendKind::Live).expect("name vetted");
+        let mut sim = run_scenario_on(name, scale, seed, BackendKind::Sim).expect("name vetted");
+        let mut live = run_scenario_on(name, scale, seed, BackendKind::Live).expect("name vetted");
+        // Backend-clock nanosecond counters (`*_ns`) are identically 0
+        // under sim and host-dependent under live; zero them on both sides
+        // so the byte comparison only sees deterministic metrics.
+        for r in [&mut sim, &mut live] {
+            for (metric, v) in &mut r.metrics {
+                if metric.ends_with("_ns") {
+                    v.value = 0.0;
+                }
+            }
+        }
         let sim_text = sim.to_pretty_string();
         let live_text = live.to_pretty_string();
         let digest = sim

@@ -20,9 +20,18 @@ use plasma_bench::eval::run_scenario_on;
 const DECIDING: &[&str] = &["pagerank", "estore", "media", "estore-chaos"];
 
 fn digest_of(name: &str, backend: BackendKind) -> (f64, f64, String) {
-    let r = run_scenario_on(name, EvalScale::Smoke, None, backend).expect("known scenario");
+    let mut r = run_scenario_on(name, EvalScale::Smoke, None, backend).expect("known scenario");
     let decisions = r.metric("decisions_total").expect("metric present").value;
     let digest = r.metric("decision_digest").expect("metric present").value;
+    // Backend-clock nanosecond counters (`*_ns`) are identically 0 under
+    // sim and host-dependent under live; zero them so the byte comparison
+    // only sees deterministic metrics — the same normalization the
+    // `plasma-eval parity` subcommand applies.
+    for (metric, v) in &mut r.metrics {
+        if metric.ends_with("_ns") {
+            v.value = 0.0;
+        }
+    }
     (decisions, digest, r.to_pretty_string())
 }
 

@@ -147,6 +147,16 @@ pub struct EmrStats {
     /// Evaluation consumers (GEM scopes, the LEM pass, the apply phase)
     /// served by an already-built snapshot/frame instead of rebuilding one.
     pub snapshot_reuse: u64,
+    /// Rounds whose evaluation frame was rebuilt from scratch (first round,
+    /// scope changes, generation gaps past the delta history).
+    pub frame_rebuilds: u64,
+    /// Rounds whose retained evaluation frame was advanced in place by
+    /// applying snapshot deltas instead of rebuilding.
+    pub frame_patches: u64,
+    /// Total nanoseconds on the execution backend's monotonic clock spent
+    /// patching the retained frame (a subset of `eval_ns`, with the same
+    /// backend caveat: identically 0 under sim).
+    pub frame_patch_ns: u64,
 }
 
 /// The PLASMA elasticity management runtime.
@@ -172,6 +182,9 @@ pub struct PlasmaEmr {
     in_vote_streak: u32,
     failed_gems: BTreeSet<usize>,
     placement_counter: usize,
+    /// The retained evaluation frame, advanced across rounds by applying
+    /// snapshot deltas; `None` until the first planning round.
+    frame: Option<EvalFrame>,
     stats: EmrStats,
 }
 
@@ -190,6 +203,7 @@ impl PlasmaEmr {
             in_vote_streak: 0,
             failed_gems: BTreeSet::new(),
             placement_counter: 0,
+            frame: None,
             stats: EmrStats::default(),
         }
     }
@@ -351,9 +365,24 @@ impl PlasmaEmr {
         let round_no = self.stats.ticks;
         let debug = std::env::var_os("PLASMA_EMR_DEBUG").is_some();
         let eval_start = rt.monotonic_ns();
+        // Advance the retained frame to this round's snapshot generation by
+        // applying the runtime's deltas; fall back to a from-scratch build
+        // on the first round, on scope changes, and on generation gaps
+        // beyond the bounded delta history.
+        let mut retained = self.frame.take();
+        let frame = match retained.take_if(|f| f.advance(rt)) {
+            Some(f) => {
+                self.stats.frame_patches += 1;
+                self.stats.frame_patch_ns += rt.monotonic_ns().saturating_sub(eval_start);
+                f
+            }
+            None => {
+                self.stats.frame_rebuilds += 1;
+                EvalFrame::new(rt)
+            }
+        };
         let mut consumers: u32 = 0;
         let (mut lem_plan, planned_generation) = {
-            let frame = EvalFrame::new(rt);
             let bound = BoundPolicy::bind(&self.policy, &frame);
             for (gem_idx, servers) in assignment.iter().enumerate() {
                 // Alg. 2 line 8: wait for more than K reports before
@@ -431,6 +460,7 @@ impl PlasmaEmr {
             );
             (plan, frame.generation())
         };
+        self.frame = Some(frame);
         self.stats.eval_ns += rt.monotonic_ns().saturating_sub(eval_start);
         self.stats.snapshot_reuse += consumers.saturating_sub(1) as u64;
         Self::trace_rule_events(
@@ -746,6 +776,11 @@ impl PlasmaEmr {
                 s.decision_latency_ms_total / s.rounds_applied as f64
             },
         );
+        // Appended after every pre-existing scalar so reports stay
+        // byte-comparable to older baselines apart from these lines.
+        rt.record_scalar("emr.frame_rebuilds", s.frame_rebuilds as f64);
+        rt.record_scalar("emr.frame_patches", s.frame_patches as f64);
+        rt.record_scalar("emr.frame_patch_ns", s.frame_patch_ns as f64);
     }
 
     /// Returns whether the policy wants `type_name` colocated with anything

@@ -77,7 +77,7 @@ pub struct BoundRule<'r> {
 
 impl<'r> BoundRule<'r> {
     /// Resolves `rule`'s plan symbols against `frame`'s name tables.
-    pub fn bind(rule: &'r CompiledRule, frame: &EvalFrame<'_>) -> Self {
+    pub fn bind(rule: &'r CompiledRule, frame: &EvalFrame) -> Self {
         let types = rule
             .plan
             .type_syms
@@ -116,7 +116,7 @@ pub struct BoundPolicy<'r> {
 
 impl<'r> BoundPolicy<'r> {
     /// Binds every rule of `policy` against `frame`'s name tables.
-    pub fn bind(policy: &'r CompiledPolicy, frame: &EvalFrame<'_>) -> Self {
+    pub fn bind(policy: &'r CompiledPolicy, frame: &EvalFrame) -> Self {
         BoundPolicy {
             rules: policy
                 .rules

@@ -10,6 +10,7 @@
 //! just hand-built IR.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use plasma_actor::ids::{ActorId, ActorTypeId, FnId};
 use plasma_actor::message::CallerKind;
@@ -134,6 +135,64 @@ fn gen_rule(mix: &mut Mix) -> String {
     format!("{} => balance({{T0}}, cpu);", parts.join(" and "))
 }
 
+/// One random actor row. `n_actors` is only a hint sizing the caller-id
+/// and dangling-reference pools.
+fn gen_actor(mix: &mut Mix, id: u64, n_actors: u64, n_servers: u32) -> ActorWindowStats {
+    let mut calls = BTreeMap::new();
+    for (f, _) in FNS.iter().enumerate() {
+        if mix.chance(60) {
+            calls.insert(
+                CallKey {
+                    caller_kind: CallerKind::Client,
+                    caller: None,
+                    fname: FnId(f as u32),
+                },
+                CallStat {
+                    count: mix.below(3000),
+                    bytes: mix.below(1 << 20),
+                },
+            );
+        }
+        if mix.chance(40) && n_actors > 1 {
+            let caller = ActorId(mix.below(n_actors));
+            calls.insert(
+                CallKey {
+                    caller_kind: CallerKind::Actor(ActorTypeId(mix.below(3) as u32)),
+                    caller: Some(caller),
+                    fname: FnId(f as u32),
+                },
+                CallStat {
+                    count: mix.below(3000),
+                    bytes: mix.below(1 << 20),
+                },
+            );
+        }
+    }
+    let mut refs = BTreeMap::new();
+    if mix.chance(50) {
+        // Reference ids may dangle past the live actor range.
+        let members: Vec<ActorId> = (0..mix.below(4))
+            .map(|_| ActorId(mix.below(n_actors + 2)))
+            .collect();
+        refs.insert("r0".to_string(), members);
+    }
+    ActorWindowStats {
+        actor: ActorId(id),
+        // Type id 3 exists in the snapshot but not in the schema.
+        type_id: ActorTypeId(mix.below(4) as u32),
+        server: ServerId(mix.below(n_servers as u64) as u32),
+        state_size: mix.below(1 << 24),
+        pinned: mix.chance(10),
+        cpu_share: mix.below(120) as f64 / 100.0,
+        counters: ActorCounters {
+            cpu_busy: SimDuration::ZERO,
+            calls,
+            bytes_sent: mix.below(1 << 20),
+        },
+        refs,
+    }
+}
+
 /// Random cluster + snapshot: a few servers with arbitrary utilization,
 /// up to two dozen actors with random types (including one *unregistered*
 /// type id), call counters from clients and other actors, and dangling
@@ -155,61 +214,7 @@ fn gen_world(mix: &mut Mix) -> (ProfileSnapshot, Vec<ServerMeta>) {
         .collect();
     let n_actors = mix.below(24);
     let actors: Vec<ActorWindowStats> = (0..n_actors)
-        .map(|i| {
-            let mut calls = BTreeMap::new();
-            for (f, _) in FNS.iter().enumerate() {
-                if mix.chance(60) {
-                    calls.insert(
-                        CallKey {
-                            caller_kind: CallerKind::Client,
-                            caller: None,
-                            fname: FnId(f as u32),
-                        },
-                        CallStat {
-                            count: mix.below(3000),
-                            bytes: mix.below(1 << 20),
-                        },
-                    );
-                }
-                if mix.chance(40) && n_actors > 1 {
-                    let caller = ActorId(mix.below(n_actors));
-                    calls.insert(
-                        CallKey {
-                            caller_kind: CallerKind::Actor(ActorTypeId(mix.below(3) as u32)),
-                            caller: Some(caller),
-                            fname: FnId(f as u32),
-                        },
-                        CallStat {
-                            count: mix.below(3000),
-                            bytes: mix.below(1 << 20),
-                        },
-                    );
-                }
-            }
-            let mut refs = BTreeMap::new();
-            if mix.chance(50) {
-                // Reference ids may dangle past the live actor range.
-                let members: Vec<ActorId> = (0..mix.below(4))
-                    .map(|_| ActorId(mix.below(n_actors + 2)))
-                    .collect();
-                refs.insert("r0".to_string(), members);
-            }
-            ActorWindowStats {
-                actor: ActorId(i),
-                // Type id 3 exists in the snapshot but not in the schema.
-                type_id: ActorTypeId(mix.below(4) as u32),
-                server: ServerId(mix.below(n_servers as u64) as u32),
-                state_size: mix.below(1 << 24),
-                pinned: mix.chance(10),
-                cpu_share: mix.below(120) as f64 / 100.0,
-                counters: ActorCounters {
-                    cpu_busy: SimDuration::ZERO,
-                    calls,
-                    bytes_sent: mix.below(1 << 20),
-                },
-                refs,
-            }
-        })
+        .map(|i| gen_actor(mix, i, n_actors, n_servers))
         .collect();
     let snap = ProfileSnapshot {
         generation: 1,
@@ -252,7 +257,7 @@ fn generator_is_not_vacuous() {
         compiled += 1;
         let (snap, servers) = gen_world(&mut mix);
         let (types, fns) = name_tables();
-        let frame = EvalFrame::from_parts(&snap, servers.clone(), types, fns);
+        let frame = EvalFrame::from_parts(Arc::new(snap), servers.clone(), types, fns);
         let scope: Vec<ServerId> = servers.iter().map(|s| s.id).collect();
         let ctx = EvalCtx::scoped(&frame, &scope);
         let bound = BoundRule::bind(&policy.rules[0], &frame);
@@ -286,7 +291,7 @@ proptest! {
         let Ok(policy) = compile(&src, &schema()) else { return };
         let (snap, servers) = gen_world(&mut mix);
         let (types, fns) = name_tables();
-        let frame = EvalFrame::from_parts(&snap, servers.clone(), types, fns);
+        let frame = EvalFrame::from_parts(Arc::new(snap), servers.clone(), types, fns);
         let rule = &policy.rules[0];
         let bound = BoundRule::bind(rule, &frame);
         // Full scope plus a random strict prefix of the server list.
@@ -301,6 +306,133 @@ proptest! {
                 fast, slow,
                 "diverged on rule `{}` scope {:?} seed {}", src, scope, seed
             );
+        }
+    }
+}
+
+/// One random churn step applied to an id-sorted actor list: a handful of
+/// adds (fresh, strictly increasing ids), removals, migrations, and
+/// `cpu_share` changes.
+fn churn_step(
+    mix: &mut Mix,
+    actors: &mut Vec<ActorWindowStats>,
+    n_servers: u32,
+    next_id: &mut u64,
+) {
+    let ops = 1 + mix.below(5);
+    for _ in 0..ops {
+        match mix.below(4) {
+            0 => {
+                let a = gen_actor(mix, *next_id, *next_id + 2, n_servers);
+                *next_id += 1;
+                actors.push(a);
+            }
+            1 if !actors.is_empty() => {
+                let i = mix.below(actors.len() as u64) as usize;
+                actors.remove(i);
+            }
+            2 if !actors.is_empty() => {
+                let i = mix.below(actors.len() as u64) as usize;
+                actors[i].server = ServerId(mix.below(n_servers as u64) as u32);
+            }
+            _ if !actors.is_empty() => {
+                let i = mix.below(actors.len() as u64) as usize;
+                actors[i].cpu_share = mix.below(120) as f64 / 100.0;
+            }
+            _ => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Incremental frame maintenance is equivalent to rebuilding: over a
+    /// random churn sequence, a retained frame advanced delta-by-delta and
+    /// a second frame advanced by one merged delta both end up
+    /// index-for-index identical — contents *and* order — to a frame built
+    /// from scratch off the final snapshot, and candidate enumeration
+    /// through the public context API agrees too.
+    #[test]
+    fn patched_frame_matches_rebuild_over_churn(seed in 0u64..1 << 48) {
+        use plasma_actor::stats::SnapshotDelta;
+        use plasma_epl::ast::{AType, Comp};
+
+        let mut mix = Mix(seed);
+        let (snap0, servers) = gen_world(&mut mix);
+        let (types, fns) = name_tables();
+        let mut stepped =
+            EvalFrame::from_parts(Arc::new(snap0.clone()), servers.clone(), types.clone(), fns.clone());
+        let mut merged_frame =
+            EvalFrame::from_parts(Arc::new(snap0.clone()), servers.clone(), types.clone(), fns.clone());
+
+        let mut actors = snap0.actors.clone();
+        let mut next_id = actors.last().map(|a| a.actor.0 + 1).unwrap_or(0);
+        let mut prev = snap0;
+        let mut merged: Option<SnapshotDelta> = None;
+        let n_steps = 1 + mix.below(8);
+        for step in 0..n_steps {
+            churn_step(&mut mix, &mut actors, servers.len() as u32, &mut next_id);
+            let next = ProfileSnapshot {
+                generation: prev.generation + 1,
+                at: prev.at + SimDuration::from_secs(1),
+                window: prev.window,
+                actors: actors.clone(),
+                servers: Vec::new(),
+            };
+            let delta = SnapshotDelta::between(&prev, &next);
+            prop_assert!(
+                stepped.apply(Arc::new(next.clone()), servers.clone(), &delta),
+                "per-step apply refused at step {}", step
+            );
+            match &mut merged {
+                Some(m) => m.merge(&delta),
+                None => merged = Some(delta),
+            }
+            prev = next;
+        }
+        let final_snap = Arc::new(prev);
+        prop_assert!(
+            merged_frame.apply(Arc::new((*final_snap).clone()), servers.clone(), &merged.unwrap()),
+            "merged apply refused"
+        );
+        let oracle = EvalFrame::from_parts(Arc::clone(&final_snap), servers.clone(), types, fns);
+        stepped.assert_same_indexes(&oracle);
+        merged_frame.assert_same_indexes(&oracle);
+
+        // Enumeration through the public API agrees as well, including the
+        // threshold-pruned path over the cpu-sorted twins.
+        let full: Vec<ServerId> = servers.iter().map(|s| s.id).collect();
+        let patched_ctx = EvalCtx::scoped(&stepped, &full);
+        let oracle_ctx = EvalCtx::scoped(&oracle, &full);
+        for pattern in [AType::Any, AType::Named("T1".into())] {
+            let a: Vec<ActorId> = patched_ctx
+                .actors_matching(&pattern, None)
+                .iter()
+                .map(|a| a.actor)
+                .collect();
+            let b: Vec<ActorId> = oracle_ctx
+                .actors_matching(&pattern, None)
+                .iter()
+                .map(|a| a.actor)
+                .collect();
+            prop_assert_eq!(a, b, "enumeration diverged for {:?}", pattern);
+        }
+        let sel = patched_ctx.type_sel(&AType::Any);
+        for comp in [Comp::Gt, Comp::Le] {
+            let mut a: Vec<ActorId> = patched_ctx
+                .select_cpu_threshold(sel, None, comp, 50.0)
+                .iter()
+                .map(|a| a.actor)
+                .collect();
+            let mut b: Vec<ActorId> = oracle_ctx
+                .select_cpu_threshold(sel, None, comp, 50.0)
+                .iter()
+                .map(|a| a.actor)
+                .collect();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b, "threshold selection diverged for {:?}", comp);
         }
     }
 }

@@ -6,7 +6,7 @@ use plasma_actor::message::Payload;
 use plasma_actor::{ActorId, ActorLogic, ClientLogic, Message, Runtime, RuntimeConfig};
 use plasma_cluster::{InstanceType, ServerId};
 use plasma_emr::eval::{solve, Env};
-use plasma_emr::view::EvalCtx;
+use plasma_emr::view::{EvalCtx, EvalFrame};
 use plasma_epl::{compile, ActorSchema, CompiledPolicy};
 use plasma_sim::{SimDuration, SimTime};
 
@@ -89,7 +89,8 @@ fn setup() -> (Runtime, Vec<ActorId>, ServerId, ServerId) {
 
 fn envs_of(rt: &Runtime, policy: &CompiledPolicy) -> Vec<Env> {
     let scope = rt.cluster().running_ids();
-    let ctx = EvalCtx::new(rt, &scope);
+    let frame = EvalFrame::new(rt);
+    let ctx = EvalCtx::scoped(&frame, &scope);
     solve(&policy.rules[0], &ctx)
 }
 
@@ -218,7 +219,8 @@ fn scoped_view_hides_out_of_scope_servers() {
     let (rt, folders, s0, _) = setup();
     let policy = compiled("server.cpu.perc < 20 => balance({Folder}, cpu);");
     // Restrict the GEM scope to s0 only: the idle s1 is invisible.
-    let ctx = EvalCtx::new(&rt, &[s0]);
+    let frame = EvalFrame::new(&rt);
+    let ctx = EvalCtx::scoped(&frame, &[s0]);
     assert!(solve(&policy.rules[0], &ctx).is_empty());
     let _ = folders;
 }

@@ -102,6 +102,27 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|s| s.at)
     }
 
+    /// Pops the earliest event only if it fires exactly at `at` and `accept`
+    /// approves it; otherwise leaves the queue untouched.
+    ///
+    /// This is the same-tick coalescing primitive: an event-loop handler
+    /// that can batch a run of homogeneous events (e.g. message deliveries
+    /// bound for one server) drains them with repeated `pop_at_if` calls
+    /// and performs the follow-up work once. FIFO tie order is preserved —
+    /// the candidate offered to `accept` is always the exact event `pop`
+    /// would return next.
+    pub fn pop_at_if<F>(&mut self, at: SimTime, accept: F) -> Option<E>
+    where
+        F: FnOnce(&E) -> bool,
+    {
+        let head = self.heap.peek()?;
+        if head.at != at || !accept(&head.event) {
+            return None;
+        }
+        self.popped += 1;
+        Some(self.heap.pop().expect("peeked event present").event)
+    }
+
     /// Returns the number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -157,6 +178,29 @@ mod tests {
         q.push(SimTime::from_secs(3), "c");
         assert_eq!(q.pop().unwrap().1, "c");
         assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn pop_at_if_only_drains_matching_same_tick_events() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.push(t, 1);
+        q.push(t, 2);
+        q.push(t, 9);
+        q.push(SimTime::from_secs(2), 3);
+        // Wrong instant: untouched.
+        assert_eq!(q.pop_at_if(SimTime::from_secs(0), |_| true), None);
+        // Drains the accepted same-tick run in FIFO order, stopping at the
+        // first rejected event.
+        let mut run = Vec::new();
+        while let Some(e) = q.pop_at_if(t, |&e| e < 5) {
+            run.push(e);
+        }
+        assert_eq!(run, vec![1, 2]);
+        // The rejected event is still next, in order.
+        assert_eq!(q.pop(), Some((t, 9)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), 3)));
+        assert_eq!(q.total_popped(), 4);
     }
 
     #[test]
