@@ -1617,11 +1617,13 @@ impl Runtime {
             }
             FaultKind::LemCrash { server } => {
                 // The monitor process restarts: the profiling window in
-                // progress on this server is lost.
-                let ids: Vec<ActorId> = self.actors_by_server[server.0 as usize]
-                    .iter()
-                    .copied()
-                    .collect();
+                // progress on this server is lost. A LEM on a server that
+                // was never provisioned has nothing to lose.
+                let ids: Vec<ActorId> = self
+                    .actors_by_server
+                    .get(server.0 as usize)
+                    .map(|set| set.iter().copied().collect())
+                    .unwrap_or_default();
                 for aid in ids {
                     if let Some(e) = self.try_entry_mut(aid) {
                         e.counters.reset();

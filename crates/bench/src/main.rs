@@ -5,12 +5,13 @@
 //! plasma-eval run <scenario>... [--scale smoke|full] [--seed N] [--out DIR] [--backend sim|live]
 //! plasma-eval parity all|<scenario>... [--scale smoke|full] [--seed N]
 //! plasma-eval compare <baseline-dir-or-file> [current-dir-or-file] [--threshold F]
+//! plasma-eval verify <file.epl>... [--schema FILE] [--json] [--allow-uncompilable]
 //! plasma-eval list
 //! ```
 //!
 //! Exit codes: 0 success / comparison passed, 1 comparison or parity
-//! failed (regression, missing scenario, identity mismatch, or backend
-//! divergence), 2 usage or I/O error.
+//! failed (regression, missing scenario, identity mismatch, backend
+//! divergence, or a gating verifier finding), 2 usage or I/O error.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -22,6 +23,7 @@ use plasma_apps::common::EvalScale;
 use plasma_bench::eval::{
     compare, render_summary, run_scenario_on, CompareOptions, ScenarioResult, SCENARIOS,
 };
+use plasma_epl::verify::{verify, Verdict, VerifyConfig};
 
 const USAGE: &str = "\
 plasma-eval: deterministic PLASMA paper-evaluation harness
@@ -30,6 +32,8 @@ USAGE:
   plasma-eval run all|<scenario>... [--scale smoke|full] [--seed N] [--out DIR] [--backend sim|live]
   plasma-eval parity all|<scenario>... [--scale smoke|full] [--seed N]
   plasma-eval compare <baseline> [current] [--threshold F]
+  plasma-eval verify <file.epl>... [--schema FILE] [--min-servers N] [--max-servers N]
+                    [--quanta N] [--thrash-window K] [--allow-uncompilable] [--json]
   plasma-eval list
 
 `run` writes one BENCH_<scenario>.json per scenario (default: repo root)
@@ -40,7 +44,13 @@ results are byte-identical (the `eval-engine` scenario has no runtime and
 is skipped). `compare` diffs two result sets — each side a directory
 holding BENCH_*.json files or a single file — and exits 1 when a gated
 metric regresses past the threshold (default 0.10); with `current` omitted
-it compares against the repo root. `list` prints the registry.";
+it compares against the repo root. `verify` model-checks each policy
+against an abstract cluster (oscillation, migration thrash, same-round
+conflicts, vacuous rules) and exits 1 when any gating finding appears,
+printing a round-by-round counterexample; without `--schema` the actor
+schema is inferred from the policy text, and `--allow-uncompilable` skips
+files that do not parse or bind instead of failing. `list` prints the
+registry.";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("plasma-eval: {msg}");
@@ -284,6 +294,333 @@ fn cmd_compare(args: &[String]) -> ExitCode {
     }
 }
 
+/// Infers an actor schema from the policy text itself: every named type
+/// the rules mention is declared, `in ref(owner.prop)` declares `prop` on
+/// the owner's type, and `caller.call(callee.fname)` declares `fname` on
+/// the callee's type. Good enough to compile standalone policies that ship
+/// without their application (`--schema` overrides it).
+fn infer_schema(policy: &plasma_epl::ast::Policy) -> plasma_epl::ActorSchema {
+    use plasma_epl::ast::{AType, ActorRef, Caller, Cond, Feature};
+
+    let mut schema = plasma_epl::ActorSchema::new();
+    for rule in &policy.rules {
+        // Variable declarations (`Session(s)`) can appear anywhere in the
+        // rule; collect them first so `s.players` resolves.
+        let mut vars: Vec<(&str, &AType)> = Vec::new();
+        let mut refs: Vec<&ActorRef> = Vec::new();
+        collect_cond_refs(&rule.cond, &mut refs);
+        for b in &rule.behaviors {
+            collect_behavior_refs(b, &mut refs);
+        }
+        for r in &refs {
+            if let ActorRef::Decl(t, name) = r {
+                vars.push((name.as_str(), t));
+            }
+        }
+        let type_of = |r: &ActorRef| -> Option<AType> {
+            match r {
+                ActorRef::Decl(t, _) | ActorRef::Type(t) => Some(t.clone()),
+                ActorRef::Var(v) => vars
+                    .iter()
+                    .find(|(name, _)| name == v)
+                    .map(|(_, t)| (*t).clone()),
+            }
+        };
+        let mut declare = |t: Option<AType>| {
+            if let Some(AType::Named(name)) = t {
+                schema.actor_type(&name);
+            }
+        };
+        for r in &refs {
+            declare(type_of(r));
+        }
+        for b in &rule.behaviors {
+            if let plasma_epl::ast::Behavior::Balance { types, .. } = b {
+                for t in types {
+                    declare(Some(t.clone()));
+                }
+            }
+        }
+        // Second pass: members (props and funcs) hang off resolved types.
+        visit_conds(&rule.cond, &mut |c: &Cond| match c {
+            Cond::InRef { owner, prop, .. } => {
+                if let Some(AType::Named(name)) = type_of(owner) {
+                    schema.actor_type(&name).prop(prop);
+                }
+            }
+            Cond::Compare {
+                feat:
+                    Feature::Call {
+                        caller,
+                        callee,
+                        fname,
+                    },
+                ..
+            } => {
+                if let Some(AType::Named(name)) = type_of(callee) {
+                    schema.actor_type(&name).func(fname);
+                }
+                if let Caller::Actor(a) = caller {
+                    if let Some(AType::Named(name)) = type_of(a) {
+                        schema.actor_type(&name);
+                    }
+                }
+            }
+            _ => {}
+        });
+    }
+    schema
+}
+
+fn visit_conds(cond: &plasma_epl::ast::Cond, f: &mut impl FnMut(&plasma_epl::ast::Cond)) {
+    use plasma_epl::ast::Cond;
+    f(cond);
+    if let Cond::And(a, b) | Cond::Or(a, b) = cond {
+        visit_conds(a, f);
+        visit_conds(b, f);
+    }
+}
+
+fn collect_cond_refs<'a>(
+    cond: &'a plasma_epl::ast::Cond,
+    out: &mut Vec<&'a plasma_epl::ast::ActorRef>,
+) {
+    use plasma_epl::ast::{Caller, Cond, Feature};
+    match cond {
+        Cond::True => {}
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            collect_cond_refs(a, out);
+            collect_cond_refs(b, out);
+        }
+        Cond::Compare { feat, .. } => match feat {
+            Feature::ServerRes(_) => {}
+            Feature::ActorRes(r, _) => out.push(r),
+            Feature::Call { caller, callee, .. } => {
+                out.push(callee);
+                if let Caller::Actor(a) = caller {
+                    out.push(a);
+                }
+            }
+        },
+        Cond::InRef { member, owner, .. } => {
+            out.push(member);
+            out.push(owner);
+        }
+    }
+}
+
+fn collect_behavior_refs<'a>(
+    b: &'a plasma_epl::ast::Behavior,
+    out: &mut Vec<&'a plasma_epl::ast::ActorRef>,
+) {
+    use plasma_epl::ast::Behavior;
+    match b {
+        Behavior::Balance { .. } => {}
+        Behavior::Reserve { actor, .. } | Behavior::Pin(actor) => out.push(actor),
+        Behavior::Colocate(a, b) | Behavior::Separate(a, b) => {
+            out.push(a);
+            out.push(b);
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn cmd_verify(args: &[String]) -> ExitCode {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut schema_path: Option<PathBuf> = None;
+    let mut config = VerifyConfig::default();
+    let mut allow_uncompilable = false;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--schema" => match it.next() {
+                Some(p) => schema_path = Some(PathBuf::from(p)),
+                None => return fail("--schema expects a file"),
+            },
+            "--min-servers" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.min_servers = n,
+                _ => return fail("--min-servers expects a positive integer"),
+            },
+            "--max-servers" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.max_servers = n,
+                _ => return fail("--max-servers expects a positive integer"),
+            },
+            "--quanta" => match it.next().and_then(|s| s.parse::<u32>().ok()) {
+                Some(n) if n >= 2 => config.quanta = n,
+                _ => return fail("--quanta expects an integer ≥ 2"),
+            },
+            "--thrash-window" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.thrash_window = n,
+                _ => return fail("--thrash-window expects a positive integer"),
+            },
+            "--allow-uncompilable" => allow_uncompilable = true,
+            "--json" => json = true,
+            other if other.starts_with("--") => {
+                return fail(&format!("unknown flag `{other}`"));
+            }
+            p => files.push(PathBuf::from(p)),
+        }
+    }
+    if files.is_empty() {
+        return fail("`verify` expects one or more .epl files");
+    }
+    if config.min_servers > config.max_servers {
+        return fail("--min-servers must not exceed --max-servers");
+    }
+    let schema_override = match &schema_path {
+        None => None,
+        Some(p) => match fs::read_to_string(p) {
+            Err(e) => return fail(&format!("cannot read {}: {e}", p.display())),
+            Ok(text) => match plasma_epl::schema_text::parse_schema(&text) {
+                Ok(s) => Some(s),
+                Err(e) => return fail(&format!("{}: {e}", p.display())),
+            },
+        },
+    };
+
+    let mut gating = 0usize;
+    let mut json_entries: Vec<String> = Vec::new();
+    for file in &files {
+        let display = file.display();
+        let src = match fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => return fail(&format!("cannot read {display}: {e}")),
+        };
+        let parsed = plasma_epl::parser::parse_policy(&src);
+        let compiled = parsed
+            .map_err(plasma_epl::CompileError::Parse)
+            .and_then(|ast| {
+                let schema = schema_override
+                    .clone()
+                    .unwrap_or_else(|| infer_schema(&ast));
+                plasma_epl::compile(&src, &schema)
+            });
+        let policy = match compiled {
+            Ok(p) => p,
+            Err(e) => {
+                if allow_uncompilable {
+                    if json {
+                        json_entries.push(format!(
+                            "  {{\"file\": \"{}\", \"compiles\": false, \"error\": \"{}\"}}",
+                            json_escape(&display.to_string()),
+                            json_escape(&e.to_string())
+                        ));
+                    } else {
+                        println!("{display}: skipped (does not compile: {e})");
+                    }
+                    continue;
+                }
+                return fail(&format!("{display}: {e}"));
+            }
+        };
+        let verdict = verify(&policy, &config);
+        if verdict.gating() {
+            gating += 1;
+        }
+        if json {
+            json_entries.push(render_verdict_json(&display.to_string(), &verdict));
+        } else {
+            if verdict.gating() {
+                println!("{display}: FAIL");
+            } else if verdict.findings.is_empty() {
+                println!("{display}: ok ({} states)", verdict.states_explored);
+            } else {
+                println!(
+                    "{display}: ok with notes ({} states)",
+                    verdict.states_explored
+                );
+            }
+            for finding in &verdict.findings {
+                for line in finding.to_string().lines() {
+                    println!("  {line}");
+                }
+            }
+            for note in &verdict.notes {
+                println!("  note: {note}");
+            }
+        }
+    }
+    if json {
+        println!("[");
+        println!("{}", json_entries.join(",\n"));
+        println!("]");
+    } else if gating > 0 {
+        println!(
+            "verify: {gating} of {} file(s) have gating findings",
+            files.len()
+        );
+    } else {
+        println!("verify: all {} file(s) pass", files.len());
+    }
+    if gating > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn render_verdict_json(file: &str, verdict: &Verdict) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "  {{\"file\": \"{}\", \"compiles\": true, \"gating\": {}, \
+         \"states_explored\": {}, \"findings\": [",
+        json_escape(file),
+        verdict.gating(),
+        verdict.states_explored
+    );
+    for (i, f) in verdict.findings.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let severity = match f.severity {
+            plasma_epl::error::Severity::Warning => "warning",
+            plasma_epl::error::Severity::Note => "note",
+        };
+        let rules: Vec<String> = f.rules.iter().map(|r| r.to_string()).collect();
+        let _ = write!(
+            out,
+            "{{\"property\": \"{}\", \"severity\": \"{severity}\", \"gating\": {}, \
+             \"rules\": [{}], \"message\": \"{}\", \"trace\": [",
+            f.property.name(),
+            f.gating(),
+            rules.join(", "),
+            json_escape(&f.message)
+        );
+        for (j, step) in f.trace.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"round\": {}, \"event\": \"{}\", \"detail\": \"{}\"}}",
+                step.round,
+                json_escape(&step.event),
+                json_escape(&step.detail)
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
 fn cmd_list() -> ExitCode {
     println!("scenarios (run order):");
     for s in SCENARIOS {
@@ -298,6 +635,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("parity") => cmd_parity(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("list") => cmd_list(),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");

@@ -188,7 +188,9 @@ impl Cluster {
     /// do not ask permission — and leaves the slot eligible for
     /// [`Cluster::restart`]. Returns `false` if the server is not running.
     pub fn crash(&mut self, id: ServerId, now: SimTime) -> bool {
-        if !self.servers[id.0 as usize].is_running() {
+        // Fault plans may name servers that were never provisioned (or were
+        // decommissioned): crashing nothing is a no-op, not a panic.
+        if id.0 as usize >= self.servers.len() || !self.servers[id.0 as usize].is_running() {
             return false;
         }
         self.servers[id.0 as usize].mark_crashed(now);
@@ -206,7 +208,7 @@ impl Cluster {
     /// Reboots a crashed server; it becomes `Booting` and is usable at the
     /// returned instant. Returns `None` if the server is not crashed.
     pub fn restart(&mut self, id: ServerId, now: SimTime) -> Option<SimTime> {
-        if !self.servers[id.0 as usize].is_crashed() {
+        if id.0 as usize >= self.servers.len() || !self.servers[id.0 as usize].is_crashed() {
             return None;
         }
         let ready_at = self.servers[id.0 as usize].restart(now);

@@ -12,7 +12,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use plasma_actor::ids::ActorId;
 use plasma_cluster::ServerId;
 use plasma_epl::analyze::CompiledRule;
-use plasma_epl::ast::{AType, Behavior, Comp, Cond, Feature, Res, Stat};
+use plasma_epl::ast::{AType, Behavior, Cond, Res};
 
 use crate::action::{Action, ActionKind, RuleStat};
 use crate::eval::{expand_behavior_ref, solve_bound, BoundPolicy};
@@ -39,42 +39,14 @@ impl Bounds {
 ///
 /// `server.cpu.perc > 80 or server.cpu.perc < 60` yields
 /// `upper = 0.8, lower = 0.6`. Missing sides fall back to `defaults`.
+/// The extraction itself (last mention wins) lives in the EPL crate's
+/// verifier metadata so the GEM and the policy verifier read the same
+/// watermarks from the same condition.
 pub fn extract_bounds(cond: &Cond, res: Res, defaults: Bounds) -> Bounds {
-    let mut bounds = Bounds {
-        upper: f64::NAN,
-        lower: f64::NAN,
-    };
-    collect_bounds(cond, res, &mut bounds);
+    let band = plasma_epl::verify::meta::server_band(cond, res);
     Bounds {
-        upper: if bounds.upper.is_nan() {
-            defaults.upper
-        } else {
-            bounds.upper
-        },
-        lower: if bounds.lower.is_nan() {
-            defaults.lower
-        } else {
-            bounds.lower
-        },
-    }
-}
-
-fn collect_bounds(cond: &Cond, res: Res, bounds: &mut Bounds) {
-    match cond {
-        Cond::And(a, b) | Cond::Or(a, b) => {
-            collect_bounds(a, res, bounds);
-            collect_bounds(b, res, bounds);
-        }
-        Cond::Compare {
-            feat: Feature::ServerRes(r),
-            stat: Stat::Perc,
-            comp,
-            val,
-        } if *r == res => match comp {
-            Comp::Gt | Comp::Ge => bounds.upper = val / 100.0,
-            Comp::Lt | Comp::Le => bounds.lower = val / 100.0,
-        },
-        _ => {}
+        upper: band.upper.map_or(defaults.upper, |p| p / 100.0),
+        lower: band.lower.map_or(defaults.lower, |p| p / 100.0),
     }
 }
 

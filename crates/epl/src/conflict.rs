@@ -222,6 +222,55 @@ mod tests {
     }
 
     #[test]
+    fn pin_balance_disjoint_types_ok() {
+        let w = warnings(
+            "true => pin(Router(r));\n\
+             server.cpu.perc > 80 => balance({Worker}, cpu);",
+        );
+        assert!(w.is_empty(), "{w:?}");
+    }
+
+    #[test]
+    fn same_behavior_kinds_never_conflict() {
+        // Two balances, two pins, two separates over the same type: none of
+        // these pairs is contradictory on its own.
+        let w = warnings(
+            "server.cpu.perc > 80 => balance({Worker}, cpu);\n\
+             server.mem.perc > 80 => balance({Worker}, mem);\n\
+             true => pin(Worker(a));\n\
+             true => pin(Worker(b));\n\
+             true => separate(Table(t), Table(t2));\n\
+             true => separate(Table(t3), Table(t4));",
+        );
+        // The pins do collide with the balances (each of those 2×2 pairs
+        // still warns), but no balance/balance, pin/pin, or
+        // separate/separate pair does.
+        for warning in &w {
+            assert_eq!(warning.severity, Severity::Warning);
+            assert!(warning.message.contains("pinned"), "{}", warning.message);
+        }
+        assert_eq!(w.len(), 4, "{w:?}");
+    }
+
+    #[test]
+    fn one_pin_warns_against_each_overlapping_mover() {
+        // A single pinned type crossed with balance and reserve produces one
+        // warning per pair, each with its own severity.
+        let w = warnings(
+            "true => pin(Worker(x));\n\
+             server.cpu.perc > 80 => balance({Worker}, cpu);\n\
+             server.cpu.perc > 80 => reserve(Worker(y), cpu);",
+        );
+        assert_eq!(w.len(), 2, "{w:?}");
+        assert!(w
+            .iter()
+            .any(|w| w.severity == Severity::Warning && w.rules == vec![0, 1]));
+        assert!(w
+            .iter()
+            .any(|w| w.severity == Severity::Note && w.rules == vec![0, 2]));
+    }
+
+    #[test]
     fn estore_policy_yields_reserve_balance_coexistence() {
         // reserve + balance on the same type is allowed without warning
         // (E-Store, §3.3) - only pin interactions warn.

@@ -28,6 +28,9 @@
 //!   and lowering to a [`CompiledPolicy`] the runtime evaluates.
 //! - [`conflict`] — the static conflict detector the paper's compiler runs
 //!   (e.g. `colocate` vs `separate` on the same pair), emitting warnings.
+//! - [`verify`] — a behavioral model checker that explores a small abstract
+//!   cluster and reports oscillation, migration thrash, same-round action
+//!   conflicts, and vacuous rules, with counterexample traces.
 //!
 //! The one-call entry point is [`compile`].
 //!
@@ -57,6 +60,7 @@ pub mod plan;
 pub mod schema;
 pub mod schema_text;
 pub mod token;
+pub mod verify;
 
 pub use analyze::{CompiledBehavior, CompiledPolicy, CompiledRule};
 pub use error::{CompileError, ParseError, SemanticError, Warning};

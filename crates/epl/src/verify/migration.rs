@@ -1,0 +1,794 @@
+//! The abstract migration model: thrash and same-round action conflicts.
+//!
+//! Three servers carry discretized load quanta (a server saturates at
+//! `quanta` units). One *tracked actor* `a` weighs one quantum and is the
+//! subject of every resource behavior (`reserve`, `balance`); a weightless
+//! *partner* `b` exists for interaction behaviors (`colocate`, `separate`,
+//! `pin`). The pair's types are drawn from the types the policy mentions,
+//! and each rule with actor-level predicates gets a boolean *environment
+//! guard* — the nondeterministic workload may make it true or false, but it
+//! stays fixed along an orbit (thrash must reproduce on *unchanged*
+//! abstract load to count).
+//!
+//! A round mirrors the EMR's planning order:
+//!
+//! 1. evaluate rule conditions (server thresholds against the model's
+//!    utilizations, guards from the environment),
+//! 2. collect pins,
+//! 3. resource proposals for `a` in rule order — `reserve` targets the
+//!    least-loaded admissible server, `balance` moves one quantum from the
+//!    most- to the least-loaded server only when the gap is ≥ 2 (the GEM's
+//!    half-gap rule, which is what makes rebalancing oscillation-free) —
+//!    resolved by priority, ties to the earlier rule,
+//! 4. interaction moves — `colocate` anchors on a same-round resource
+//!    destination ("files follow the folder"), then on a pinned partner;
+//!    `separate` moves the partner to the least-loaded admissible server.
+//!
+//! Every state in a small seed set is walked deterministically until the
+//! orbit revisits a state or the horizon runs out. An actor arriving at a
+//! server it departed within `thrash_window` rounds is a
+//! [`Property::Thrash`] finding; a pin blocking a resource move, or two
+//! resource rules proposing different destinations in one round, is a
+//! [`Property::Conflict`] finding.
+
+use crate::analyze::CompiledPolicy;
+use crate::ast::{AType, Behavior, Res};
+use crate::error::Severity;
+
+use super::meta::{eval_cond, has_guard_predicates, server_band};
+use super::scaling::{DEFAULT_LOWER, DEFAULT_UPPER};
+use super::{Finding, Property, TraceStep, Verdict, VerifyConfig};
+
+/// Servers in the migration model.
+const M: usize = 3;
+/// Cap on tracked type pairs (quadratic in mentioned types).
+const MAX_PAIRS: usize = 16;
+/// Cap on environment guard bits (environments are 2^guards).
+const MAX_GUARDS: usize = 6;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct State {
+    /// Server hosting the tracked actor `a` (one load quantum).
+    pos_a: u8,
+    /// Server hosting the weightless partner `b`.
+    pos_b: u8,
+    /// Background load quanta per server (excludes `a`).
+    q: [u8; M],
+    /// Server currently dedicated by a `reserve`, if any.
+    reserved: Option<u8>,
+}
+
+fn overlaps(a: &AType, b: &AType) -> bool {
+    match (a, b) {
+        (AType::Any, _) | (_, AType::Any) => true,
+        (AType::Named(x), AType::Named(y)) => x == y,
+    }
+}
+
+/// Actor types the policy mentions in behaviors (instance candidates).
+fn instance_types(policy: &CompiledPolicy) -> Vec<AType> {
+    let mut types: Vec<AType> = Vec::new();
+    let mut push = |t: AType| {
+        if !types.contains(&t) {
+            types.push(t);
+        }
+    };
+    for rule in &policy.rules {
+        for cb in &rule.behaviors {
+            match &cb.behavior {
+                Behavior::Pin(r) | Behavior::Reserve { actor: r, .. } => {
+                    push(rule.ref_type(r));
+                }
+                Behavior::Balance { types: ts, .. } => {
+                    for t in ts {
+                        push(t.clone());
+                    }
+                }
+                Behavior::Colocate(x, y) | Behavior::Separate(x, y) => {
+                    push(rule.ref_type(x));
+                    push(rule.ref_type(y));
+                }
+            }
+        }
+    }
+    if types.is_empty() {
+        types.push(AType::Any);
+    }
+    types
+}
+
+/// One resource-move proposal for the tracked actor.
+struct Proposal {
+    rule: usize,
+    priority: u32,
+    dst: u8,
+    kind: &'static str,
+}
+
+/// Per-orbit walk bookkeeping for one actor: where and when it departed.
+#[derive(Clone, Copy, Default)]
+struct Departures {
+    from: [Option<(usize, usize)>; M], // server -> (round, rule)
+}
+
+pub(super) fn check(
+    policy: &CompiledPolicy,
+    config: &VerifyConfig,
+    verdict: &mut Verdict,
+    fired: &mut [bool],
+) {
+    if policy.rules.is_empty() {
+        return;
+    }
+    let types = instance_types(policy);
+    let mut pairs: Vec<(AType, AType)> = Vec::new();
+    for ta in &types {
+        for tb in &types {
+            pairs.push((ta.clone(), tb.clone()));
+        }
+    }
+    if pairs.len() > MAX_PAIRS {
+        verdict.notes.push(format!(
+            "migration model: tracking {MAX_PAIRS} of {} type pairs",
+            pairs.len()
+        ));
+        pairs.truncate(MAX_PAIRS);
+    }
+    let mut guards: Vec<usize> = policy
+        .rules
+        .iter()
+        .filter(|r| has_guard_predicates(&r.cond))
+        .map(|r| r.index)
+        .collect();
+    if guards.len() > MAX_GUARDS {
+        verdict.notes.push(format!(
+            "migration model: first {MAX_GUARDS} of {} guard predicates vary; \
+             the rest are held true",
+            guards.len()
+        ));
+        guards.truncate(MAX_GUARDS);
+    }
+
+    let mut walker = Walker {
+        policy,
+        config,
+        guards,
+        conflicts_seen: Vec::new(),
+        thrash_found: false,
+    };
+    for (ta, tb) in &pairs {
+        for env in 0..(1u32 << walker.guards.len()) {
+            for seed in seeds(config.quanta) {
+                walker.walk(ta, tb, env, seed, verdict, fired);
+            }
+        }
+    }
+}
+
+/// Seed states: a handful of load profiles crossed with all pair positions.
+fn seeds(quanta: u32) -> Vec<State> {
+    let full = quanta.min(u8::MAX as u32) as u8;
+    let profiles: [[u8; M]; 6] = [
+        [0, 0, 0],
+        [full, 0, 0],
+        [full, full.saturating_sub(2), 0],
+        [full, full, 0],
+        [full.saturating_sub(2); M],
+        [full, full.saturating_sub(2), full.saturating_sub(4)],
+    ];
+    let mut out = Vec::with_capacity(profiles.len() * M * M);
+    for q in profiles {
+        for pos_a in 0..M as u8 {
+            for pos_b in 0..M as u8 {
+                out.push(State {
+                    pos_a,
+                    pos_b,
+                    q,
+                    reserved: None,
+                });
+            }
+        }
+    }
+    out
+}
+
+struct Walker<'p> {
+    policy: &'p CompiledPolicy,
+    config: &'p VerifyConfig,
+    guards: Vec<usize>,
+    /// Dedup key per reported conflict: (class, rules).
+    conflicts_seen: Vec<(&'static str, Vec<usize>)>,
+    thrash_found: bool,
+}
+
+impl Walker<'_> {
+    fn guard(&self, rule: usize, env: u32) -> bool {
+        match self.guards.iter().position(|&g| g == rule) {
+            Some(bit) => env >> bit & 1 == 1,
+            None => true,
+        }
+    }
+
+    fn util(&self, load: u8) -> f64 {
+        load as f64 * 100.0 / self.config.quanta as f64
+    }
+
+    fn walk(
+        &mut self,
+        ta: &AType,
+        tb: &AType,
+        env: u32,
+        seed: State,
+        verdict: &mut Verdict,
+        fired: &mut [bool],
+    ) {
+        let mut state = seed;
+        let mut visited: Vec<State> = Vec::new();
+        let mut log: Vec<TraceStep> = Vec::new();
+        let mut dep_a = Departures::default();
+        let mut dep_b = Departures::default();
+        for round in 1..=self.config.horizon {
+            if visited.contains(&state) {
+                break;
+            }
+            visited.push(state);
+            verdict.states_explored += 1;
+            self.step(
+                ta, tb, env, round, &mut state, &mut log, &mut dep_a, &mut dep_b, verdict, fired,
+            );
+        }
+    }
+
+    /// One EMR round over the abstract state. Returns nothing; findings are
+    /// appended to `verdict` as they are discovered.
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        &mut self,
+        ta: &AType,
+        tb: &AType,
+        env: u32,
+        round: usize,
+        state: &mut State,
+        log: &mut Vec<TraceStep>,
+        dep_a: &mut Departures,
+        dep_b: &mut Departures,
+        verdict: &mut Verdict,
+        fired: &mut [bool],
+    ) {
+        let load = |state: &State, s: u8| state.q[s as usize] + u8::from(state.pos_a == s);
+        let policy = self.policy;
+        let rules = &policy.rules;
+
+        // 1. Condition satisfaction. Resource rules look at the whole
+        // cluster (any server may trigger them); actor-scoped rules look at
+        // the tracked actor's server.
+        let sat: Vec<bool> = rules
+            .iter()
+            .map(|rule| {
+                let g = self.guard(rule.index, env);
+                let here = self.util(load(state, state.pos_a));
+                if rule.has_resource_behavior() {
+                    let max = (0..M as u8).map(|s| load(state, s)).max().unwrap();
+                    let min = (0..M as u8).map(|s| load(state, s)).min().unwrap();
+                    eval_cond(&rule.cond, self.util(max), g)
+                        || eval_cond(&rule.cond, self.util(min), g)
+                        || eval_cond(&rule.cond, here, g)
+                } else {
+                    eval_cond(&rule.cond, here, g)
+                }
+            })
+            .collect();
+        for rule in rules {
+            if sat[rule.index] {
+                fired[rule.index] = true;
+            }
+        }
+
+        // 2. Pins.
+        let mut pinned_a: Option<usize> = None;
+        let mut pinned_b: Option<usize> = None;
+        for rule in rules {
+            if !sat[rule.index] {
+                continue;
+            }
+            for cb in &rule.behaviors {
+                if let Behavior::Pin(r) = &cb.behavior {
+                    let t = rule.ref_type(r);
+                    if overlaps(&t, ta) {
+                        pinned_a.get_or_insert(rule.index);
+                    }
+                    if overlaps(&t, tb) {
+                        pinned_b.get_or_insert(rule.index);
+                    }
+                }
+            }
+        }
+
+        // 3. Resource proposals for `a`, plus background balance moves.
+        let mut proposals: Vec<Proposal> = Vec::new();
+        for rule in rules {
+            if !sat[rule.index] {
+                continue;
+            }
+            for cb in &rule.behaviors {
+                match &cb.behavior {
+                    Behavior::Reserve { actor, res } => {
+                        if !overlaps(&rule.ref_type(actor), ta)
+                            || state.reserved == Some(state.pos_a)
+                        {
+                            continue;
+                        }
+                        let band = server_band(&rule.cond, *res);
+                        let admit = band.lower_or(DEFAULT_LOWER).max(30.0);
+                        let dst = (0..M as u8)
+                            .filter(|&s| s != state.pos_a)
+                            .filter(|&s| self.util(load(state, s) + 1) < admit)
+                            .min_by_key(|&s| (load(state, s), s));
+                        let Some(dst) = dst else { continue };
+                        if let Some(pin) = pinned_a {
+                            self.conflict(
+                                verdict,
+                                "pin-reserve",
+                                vec![pin, rule.index],
+                                Severity::Note,
+                                format!(
+                                    "rule {} wants to reserve actor a ({ta}) onto \
+                                     server {dst} but rule {} pins it to server {}",
+                                    rule.index + 1,
+                                    pin + 1,
+                                    state.pos_a
+                                ),
+                                round,
+                                log,
+                            );
+                            continue;
+                        }
+                        proposals.push(Proposal {
+                            rule: rule.index,
+                            priority: cb.priority,
+                            dst,
+                            kind: "reserve",
+                        });
+                    }
+                    Behavior::Balance { types, res } => {
+                        let band = server_band(&rule.cond, *res);
+                        let upper = band.upper_or(DEFAULT_UPPER);
+                        let lower = band.lower_or(DEFAULT_LOWER);
+                        let eligible = |s: u8| state.reserved != Some(s);
+                        let Some(src) = (0..M as u8)
+                            .filter(|&s| eligible(s))
+                            .max_by_key(|&s| (load(state, s), std::cmp::Reverse(s)))
+                        else {
+                            continue;
+                        };
+                        let Some(dst) = (0..M as u8)
+                            .filter(|&s| eligible(s) && s != src)
+                            .min_by_key(|&s| (load(state, s), s))
+                        else {
+                            continue;
+                        };
+                        let triggered = self.util(load(state, src)) > upper
+                            || self.util(load(state, dst)) < lower;
+                        // The GEM's half-gap rule: move one quantum only
+                        // while the gap is ≥ 2, so the source stays at or
+                        // above the destination and rebalancing alone can
+                        // never oscillate.
+                        if !triggered || load(state, src) - load(state, dst) < 2 {
+                            continue;
+                        }
+                        let a_movable = state.pos_a == src && types.iter().any(|t| overlaps(t, ta));
+                        if a_movable {
+                            if let Some(pin) = pinned_a {
+                                self.conflict(
+                                    verdict,
+                                    "pin-balance",
+                                    vec![pin, rule.index],
+                                    Severity::Warning,
+                                    format!(
+                                        "rule {} needs to migrate actor a ({ta}) off \
+                                         overloaded server {src} but rule {} pins it",
+                                        rule.index + 1,
+                                        pin + 1
+                                    ),
+                                    round,
+                                    log,
+                                );
+                            } else {
+                                proposals.push(Proposal {
+                                    rule: rule.index,
+                                    priority: cb.priority,
+                                    dst,
+                                    kind: "balance",
+                                });
+                                continue;
+                            }
+                        }
+                        // Background quantum rebalances even when `a` is
+                        // elsewhere, pinned, or not a movable type.
+                        if state.q[src as usize] > 0 {
+                            state.q[src as usize] -= 1;
+                            state.q[dst as usize] += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Resolve competing proposals: highest priority, ties to the
+        // earlier rule (the EMR's resolution order).
+        proposals.sort_by_key(|p| (std::cmp::Reverse(p.priority), p.rule));
+        let mut a_moved: Option<u8> = None;
+        if let Some(winner) = proposals.first() {
+            if let Some(loser) = proposals.iter().find(|p| p.dst != winner.dst) {
+                self.conflict(
+                    verdict,
+                    "competing-destinations",
+                    vec![winner.rule.min(loser.rule), winner.rule.max(loser.rule)],
+                    Severity::Note,
+                    format!(
+                        "rules {} and {} propose different destinations for actor a \
+                         ({ta}) in one round (servers {} vs {}); priority resolves it",
+                        winner.rule + 1,
+                        loser.rule + 1,
+                        winner.dst,
+                        loser.dst
+                    ),
+                    round,
+                    log,
+                );
+            }
+            let dst = winner.dst;
+            if winner.kind == "reserve" {
+                state.reserved = Some(dst);
+            }
+            self.move_a(
+                state,
+                dst,
+                winner.rule,
+                winner.kind,
+                ta,
+                round,
+                log,
+                dep_a,
+                verdict,
+            );
+            a_moved = Some(dst);
+        }
+
+        // 4. Interaction moves, in rule order.
+        for rule in rules {
+            if !sat[rule.index] {
+                continue;
+            }
+            for cb in &rule.behaviors {
+                match &cb.behavior {
+                    Behavior::Colocate(x, y) => {
+                        let (tx, ty) = (rule.ref_type(x), rule.ref_type(y));
+                        let matches = (overlaps(&tx, ta) && overlaps(&ty, tb))
+                            || (overlaps(&tx, tb) && overlaps(&ty, ta));
+                        if !matches || state.pos_a == state.pos_b {
+                            continue;
+                        }
+                        let upper = server_band(&rule.cond, Res::Cpu).upper_or(DEFAULT_UPPER);
+                        if a_moved.is_some() || pinned_a.is_some() {
+                            // `a` anchored (this round's resource move wins,
+                            // or a pin holds it): the partner follows.
+                            if pinned_b.is_some() && a_moved.is_some() {
+                                // Partner pinned, anchor moved away: the
+                                // pair cannot re-form this round.
+                                continue;
+                            }
+                            if pinned_b.is_none() {
+                                let dst = state.pos_a;
+                                self.move_b(state, dst, rule.index, tb, round, log, dep_b, verdict);
+                            }
+                        } else if pinned_b.is_some() {
+                            // Partner is the anchor; `a` (one quantum) joins
+                            // it if the server admits the extra load.
+                            if self.util(load(state, state.pos_b) + 1) <= upper {
+                                let dst = state.pos_b;
+                                self.move_a(
+                                    state, dst, rule.index, "colocate", ta, round, log, dep_a,
+                                    verdict,
+                                );
+                            }
+                        } else {
+                            // Neither anchored: the weightless partner has
+                            // the smaller state and moves.
+                            let dst = state.pos_a;
+                            self.move_b(state, dst, rule.index, tb, round, log, dep_b, verdict);
+                        }
+                    }
+                    Behavior::Separate(x, y) => {
+                        let (tx, ty) = (rule.ref_type(x), rule.ref_type(y));
+                        let matches = (overlaps(&tx, ta) && overlaps(&ty, tb))
+                            || (overlaps(&tx, tb) && overlaps(&ty, ta));
+                        if !matches || state.pos_a != state.pos_b {
+                            continue;
+                        }
+                        let upper = server_band(&rule.cond, Res::Cpu).upper_or(DEFAULT_UPPER);
+                        let here = state.pos_a;
+                        let dst = (0..M as u8)
+                            .filter(|&s| s != here && state.reserved != Some(s))
+                            .filter(|&s| self.util(load(state, s)) < upper)
+                            .min_by_key(|&s| (load(state, s), s));
+                        let Some(dst) = dst else { continue };
+                        if pinned_b.is_none() {
+                            self.move_b(state, dst, rule.index, tb, round, log, dep_b, verdict);
+                        } else if pinned_a.is_none() {
+                            self.move_a(
+                                state, dst, rule.index, "separate", ta, round, log, dep_a, verdict,
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Keep the rolling log bounded; traces only ever need the last
+        // thrash window plus the closing round.
+        let window_start = round.saturating_sub(self.config.thrash_window + 1);
+        log.retain(|s| s.round > window_start);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn move_a(
+        &mut self,
+        state: &mut State,
+        dst: u8,
+        rule: usize,
+        kind: &str,
+        ta: &AType,
+        round: usize,
+        log: &mut Vec<TraceStep>,
+        dep: &mut Departures,
+        verdict: &mut Verdict,
+    ) {
+        let from = state.pos_a;
+        if from == dst {
+            return;
+        }
+        state.pos_a = dst;
+        self.record_move("a", ta, from, dst, rule, kind, round, log, dep, verdict);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn move_b(
+        &mut self,
+        state: &mut State,
+        dst: u8,
+        rule: usize,
+        tb: &AType,
+        round: usize,
+        log: &mut Vec<TraceStep>,
+        dep: &mut Departures,
+        verdict: &mut Verdict,
+    ) {
+        let from = state.pos_b;
+        if from == dst {
+            return;
+        }
+        state.pos_b = dst;
+        self.record_move(
+            "b",
+            tb,
+            from,
+            dst,
+            rule,
+            "colocate/separate",
+            round,
+            log,
+            dep,
+            verdict,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record_move(
+        &mut self,
+        who: &str,
+        t: &AType,
+        from: u8,
+        dst: u8,
+        rule: usize,
+        kind: &str,
+        round: usize,
+        log: &mut Vec<TraceStep>,
+        dep: &mut Departures,
+        verdict: &mut Verdict,
+    ) {
+        log.push(TraceStep {
+            round,
+            event: "RuleFired".to_string(),
+            detail: format!("rule {}: {kind} moves actor {who} ({t})", rule + 1),
+        });
+        log.push(TraceStep {
+            round,
+            event: "MigrationStart".to_string(),
+            detail: format!("actor {who} ({t}): server {from} → server {dst}"),
+        });
+        let returned = dep.from[dst as usize];
+        dep.from[from as usize] = Some((round, rule));
+        if self.thrash_found {
+            return;
+        }
+        if let Some((left_round, left_rule)) = returned {
+            if round - left_round <= self.config.thrash_window {
+                self.thrash_found = true;
+                let mut rules = vec![left_rule, rule];
+                rules.sort_unstable();
+                rules.dedup();
+                let mut trace: Vec<TraceStep> = log
+                    .iter()
+                    .filter(|s| s.round >= left_round)
+                    .cloned()
+                    .collect();
+                trace.push(TraceStep {
+                    round,
+                    event: "MigrationStart".to_string(),
+                    detail: format!(
+                        "actor {who} is back on server {dst} it left in round \
+                         {left_round} — the orbit repeats from here"
+                    ),
+                });
+                verdict.findings.push(Finding {
+                    property: Property::Thrash,
+                    severity: Severity::Warning,
+                    rules,
+                    message: format!(
+                        "actor {who} ({t}) migrated back to server {dst} {} round(s) \
+                         after leaving it (rule {} moved it away, rule {} moved it \
+                         back; window {})",
+                        round - left_round,
+                        left_rule + 1,
+                        rule + 1,
+                        self.config.thrash_window
+                    ),
+                    trace,
+                });
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn conflict(
+        &mut self,
+        verdict: &mut Verdict,
+        class: &'static str,
+        mut rules: Vec<usize>,
+        severity: Severity,
+        message: String,
+        round: usize,
+        log: &[TraceStep],
+    ) {
+        rules.sort_unstable();
+        rules.dedup();
+        let key = (class, rules.clone());
+        if self.conflicts_seen.contains(&key) {
+            return;
+        }
+        self.conflicts_seen.push(key);
+        let mut trace: Vec<TraceStep> = log
+            .iter()
+            .filter(|s| s.round + 2 > round)
+            .cloned()
+            .collect();
+        trace.push(TraceStep {
+            round,
+            event: "RuleEvaluated".to_string(),
+            detail: message.clone(),
+        });
+        verdict.findings.push(Finding {
+            property: Property::Conflict,
+            severity,
+            rules,
+            message,
+            trace,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ActorSchema;
+    use crate::verify::{verify, VerifyConfig};
+
+    fn schema() -> ActorSchema {
+        let mut s = ActorSchema::new();
+        s.actor_type("Worker").func("run");
+        s.actor_type("Table").func("get");
+        s
+    }
+
+    fn verdict(src: &str) -> super::super::Verdict {
+        let policy = crate::compile(src, &schema()).unwrap();
+        verify(&policy, &VerifyConfig::default())
+    }
+
+    #[test]
+    fn colocate_separate_pair_thrashes() {
+        let v = verdict(
+            "true => colocate(Worker(w), Table(t));\n\
+             true => separate(Worker(w2), Table(t2));",
+        );
+        let f = v.of(Property::Thrash).next().expect("thrash");
+        assert_eq!(f.rules, vec![0, 1]);
+        assert!(f.gating());
+        assert!(!f.trace.is_empty());
+    }
+
+    #[test]
+    fn pin_blocks_balance_as_conflict_warning() {
+        let v = verdict(
+            "true => pin(Worker(w));\n\
+             server.cpu.perc > 80 => balance({Worker}, cpu);",
+        );
+        let f = v.of(Property::Conflict).next().expect("conflict");
+        assert_eq!(f.severity, Severity::Warning);
+        assert_eq!(f.rules, vec![0, 1]);
+        assert!(f.gating());
+    }
+
+    #[test]
+    fn pin_blocks_reserve_as_conflict_note() {
+        let v = verdict(
+            "true => pin(Worker(w));\n\
+             server.cpu.perc > 80 => reserve(Worker(w2), cpu);",
+        );
+        let f = v.of(Property::Conflict).next().expect("conflict");
+        assert_eq!(f.severity, Severity::Note);
+        assert!(!f.gating());
+    }
+
+    #[test]
+    fn pinned_partner_balance_colocate_thrashes() {
+        // balance pushes `a` off the hot server, colocate drags it back to
+        // its pinned partner: the compiler's colocate-vs-balance note shows
+        // up here as a real thrash orbit.
+        let v = verdict(
+            "true => pin(Table(t));\n\
+             true => colocate(Worker(w), Table(t2));\n\
+             server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);",
+        );
+        assert!(
+            v.of(Property::Thrash).next().is_some(),
+            "expected thrash: {:?}",
+            v.findings
+        );
+    }
+
+    #[test]
+    fn reserve_then_colocate_is_stable() {
+        // The partner follows the reserved actor (pending-destination
+        // anchoring), so reserve + colocate does not ping-pong.
+        let v = verdict("server.cpu.perc > 80 => reserve(Worker(w), cpu); colocate(w, Table(t));");
+        assert!(v.of(Property::Thrash).next().is_none(), "{:?}", v.findings);
+    }
+
+    #[test]
+    fn stable_pin_colocate_policy_is_clean() {
+        // The halo shape: pin the anchor, colocate partners onto it, and
+        // balance a type disjoint from the pinned one.
+        let mut s = schema();
+        s.actor_type("Router").func("route");
+        let policy = crate::compile(
+            "true => pin(Table(t)); colocate(Worker(w), t);\n\
+             server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Router}, cpu);",
+            &s,
+        )
+        .unwrap();
+        let v = verify(&policy, &VerifyConfig::default());
+        assert!(!v.gating(), "{:?}", v.findings);
+    }
+
+    #[test]
+    fn vacuous_rule_reported() {
+        let v = verdict("server.cpu.perc > 80 and server.cpu.perc < 60 => balance({Worker}, cpu);");
+        let f = v.of(Property::Vacuity).next().expect("vacuous");
+        assert_eq!(f.rules, vec![0]);
+        assert!(!f.gating());
+    }
+}

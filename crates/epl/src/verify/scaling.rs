@@ -1,0 +1,289 @@
+//! The abstract scaling model: oscillation and grow/shrink conflicts.
+//!
+//! State is `(n, W)`: `n` servers between the configured bounds and a
+//! conserved total load `W` in integer percent-of-one-server units, spread
+//! evenly (the GEM's `balance` drives the cluster toward uniform load, so
+//! the steady state every vote is taken in is the uniform one). Scale votes
+//! follow the EMR exactly: each `balance` rule whose condition holds votes
+//! with its own extracted band — out when `util > upper && util >= lower`,
+//! in when `util < lower` (uniform load collapses the any/all quantifiers).
+//!
+//! Oscillation is then a pure reachability question: some `(n, W)` where a
+//! grow vote fires at `n` servers **and** a shrink vote fires at `n + 1`
+//! servers under the *same* total load. Since a grow needs `W/n > U` and
+//! the subsequent shrink needs `W/(n+1) < L`, a band is oscillation-free at
+//! `n` servers iff `U·n ≥ L·(n+1)` — which is why the default
+//! `min_servers` is 3: the GEM's default 80/60 band passes at `n ≥ 3` but
+//! genuinely ping-pongs one- and two-server clusters (real system
+//! included).
+
+use crate::analyze::CompiledPolicy;
+use crate::ast::Behavior;
+use crate::error::Severity;
+
+use super::meta::{eval_cond, server_band};
+use super::{Finding, Property, TraceStep, Verdict, VerifyConfig};
+
+/// Default watermarks, percent; mirrors the GEM's `Bounds::DEFAULT`.
+pub(super) const DEFAULT_UPPER: f64 = 80.0;
+pub(super) const DEFAULT_LOWER: f64 = 60.0;
+
+/// A balance rule's voting band, in percent.
+struct Band {
+    rule: usize,
+    upper: f64,
+    lower: f64,
+}
+
+fn voters(policy: &CompiledPolicy) -> Vec<Band> {
+    let mut out = Vec::new();
+    for rule in &policy.rules {
+        for cb in &rule.behaviors {
+            if let Behavior::Balance { res, .. } = &cb.behavior {
+                let band = server_band(&rule.cond, *res);
+                out.push(Band {
+                    rule: rule.index,
+                    upper: band.upper_or(DEFAULT_UPPER),
+                    lower: band.lower_or(DEFAULT_LOWER),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn cond(policy: &CompiledPolicy, rule: usize) -> &crate::ast::Cond {
+    &policy.rules[rule].cond
+}
+
+/// A grow vote at uniform utilization `u` (percent): the rule's condition
+/// matched and `any(cpu > upper) && all(cpu >= lower)` holds.
+fn grows(policy: &CompiledPolicy, b: &Band, u: f64) -> bool {
+    eval_cond(cond(policy, b.rule), u, true) && u > b.upper && u >= b.lower
+}
+
+/// A shrink vote at uniform utilization `u`: condition matched, all under.
+fn shrinks(policy: &CompiledPolicy, b: &Band, u: f64) -> bool {
+    eval_cond(cond(policy, b.rule), u, true) && u < b.lower
+}
+
+pub(super) fn check(
+    policy: &CompiledPolicy,
+    config: &VerifyConfig,
+    verdict: &mut Verdict,
+    fired: &mut [bool],
+) {
+    let bands = voters(policy);
+    let max_load = config.max_servers * 100;
+    let mut oscillated = false;
+    let mut conflicted: Vec<(usize, usize)> = Vec::new();
+
+    for n in config.min_servers..=config.max_servers {
+        for w in 0..=max_load {
+            verdict.states_explored += 1;
+            let u = w as f64 / n as f64;
+            // Vacuity coverage: any rule whose condition holds at this
+            // uniform utilization is reachable.
+            for rule in &policy.rules {
+                if !fired[rule.index] && eval_cond(&rule.cond, u, true) {
+                    fired[rule.index] = true;
+                }
+            }
+            let grow = bands.iter().find(|b| grows(policy, b, u));
+            let shrink_now = bands.iter().find(|b| shrinks(policy, b, u));
+            if let (Some(g), Some(s)) = (&grow, &shrink_now) {
+                let key = (g.rule.min(s.rule), g.rule.max(s.rule));
+                if !conflicted.contains(&key) {
+                    conflicted.push(key);
+                    verdict.findings.push(conflict_finding(g, s, n, w, u));
+                }
+            }
+            if oscillated || n == config.max_servers {
+                continue;
+            }
+            let u_grown = w as f64 / (n + 1) as f64;
+            let shrink_after = bands.iter().find(|b| shrinks(policy, b, u_grown));
+            if let (Some(g), Some(s)) = (grow, shrink_after) {
+                oscillated = true;
+                verdict
+                    .findings
+                    .push(oscillation_finding(g, s, n, w, u, u_grown));
+            }
+        }
+    }
+}
+
+fn conflict_finding(g: &Band, s: &Band, n: usize, w: usize, u: f64) -> Finding {
+    Finding {
+        property: Property::Conflict,
+        severity: Severity::Warning,
+        rules: sorted(g.rule, s.rule),
+        message: format!(
+            "at {n} servers under total load {w}% (util {u:.1}% each), rule {} \
+             votes to grow (upper {}%) while rule {} votes to shrink (lower \
+             {}%) in the same round",
+            g.rule + 1,
+            g.upper,
+            s.rule + 1,
+            s.lower
+        ),
+        trace: vec![
+            TraceStep {
+                round: 1,
+                event: "RuleFired".to_string(),
+                detail: format!("rule {}: util {u:.1}% > {}%", g.rule + 1, g.upper),
+            },
+            TraceStep {
+                round: 1,
+                event: "ScaleVote".to_string(),
+                detail: format!(
+                    "out (rule {}) and in (rule {}, util {u:.1}% < {}%) together",
+                    g.rule + 1,
+                    s.rule + 1,
+                    s.lower
+                ),
+            },
+        ],
+    }
+}
+
+fn oscillation_finding(g: &Band, s: &Band, n: usize, w: usize, u: f64, u_grown: f64) -> Finding {
+    let n1 = n + 1;
+    Finding {
+        property: Property::Oscillation,
+        severity: Severity::Warning,
+        rules: sorted(g.rule, s.rule),
+        message: format!(
+            "grow→shrink→grow cycle at {n} servers under constant total load \
+             {w}%: util {u:.1}% > {}% grows to {n1} servers, util {u_grown:.1}% \
+             < {}% shrinks back (band must satisfy upper·n ≥ lower·(n+1))",
+            g.upper, s.lower
+        ),
+        trace: vec![
+            TraceStep {
+                round: 1,
+                event: "RuleFired".to_string(),
+                detail: format!(
+                    "rule {}: util {u:.1}% on each of {n} servers > upper {}%",
+                    g.rule + 1,
+                    g.upper
+                ),
+            },
+            TraceStep {
+                round: 1,
+                event: "ScaleVote".to_string(),
+                detail: "out (majority) — booting 1 server".to_string(),
+            },
+            TraceStep {
+                round: 1,
+                event: "ServerBoot".to_string(),
+                detail: format!("{n1} servers; load rebalances to {u_grown:.1}% each"),
+            },
+            TraceStep {
+                round: 2,
+                event: "ScaleVote".to_string(),
+                detail: format!(
+                    "in (rule {}): util {u_grown:.1}% < lower {}%, streak 1/2",
+                    s.rule + 1,
+                    s.lower
+                ),
+            },
+            TraceStep {
+                round: 3,
+                event: "ScaleVote".to_string(),
+                detail: "in, streak 2/2 — draining 1 server".to_string(),
+            },
+            TraceStep {
+                round: 3,
+                event: "ServerDrain".to_string(),
+                detail: format!("back to {n} servers; load rebalances to {u:.1}% each"),
+            },
+            TraceStep {
+                round: 4,
+                event: "RuleFired".to_string(),
+                detail: format!(
+                    "rule {}: util {u:.1}% > upper {}% again — cycle closed",
+                    g.rule + 1,
+                    g.upper
+                ),
+            },
+        ],
+    }
+}
+
+fn sorted(a: usize, b: usize) -> Vec<usize> {
+    let mut v = vec![a, b];
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ActorSchema;
+
+    fn compiled(src: &str) -> CompiledPolicy {
+        let mut schema = ActorSchema::new();
+        schema.actor_type("Worker").func("run");
+        crate::compile(src, &schema).unwrap()
+    }
+
+    fn run(src: &str, config: &VerifyConfig) -> Verdict {
+        let policy = compiled(src);
+        let mut verdict = Verdict::default();
+        let mut fired = vec![false; policy.rules.len()];
+        check(&policy, config, &mut verdict, &mut fired);
+        verdict
+    }
+
+    #[test]
+    fn default_band_safe_from_three_servers() {
+        let v = run(
+            "server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);",
+            &VerifyConfig::default(),
+        );
+        assert!(v.findings.is_empty(), "{:?}", v.findings);
+    }
+
+    #[test]
+    fn default_band_oscillates_below_three_servers() {
+        // 80·2 < 60·3: a two-server cluster ping-pongs under W in (160, 180).
+        let config = VerifyConfig {
+            min_servers: 1,
+            ..VerifyConfig::default()
+        };
+        let v = run(
+            "server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);",
+            &config,
+        );
+        let f = v.of(Property::Oscillation).next().expect("oscillates");
+        assert_eq!(f.rules, vec![0]);
+        assert!(f.gating());
+        assert_eq!(f.trace.len(), 7, "{f}");
+    }
+
+    #[test]
+    fn tight_band_oscillates_at_default_floor() {
+        // 70·n < 65·(n+1) for every n ≤ 12.
+        let v = run(
+            "server.cpu.perc > 70 or server.cpu.perc < 65 => balance({Worker}, cpu);",
+            &VerifyConfig::default(),
+        );
+        assert!(v.of(Property::Oscillation).next().is_some());
+    }
+
+    #[test]
+    fn cross_rule_grow_shrink_conflict() {
+        // Rule 1 grows above 70, rule 2 shrinks below 80: at util in
+        // (70, 80) both vote in the same round.
+        let v = run(
+            "server.cpu.perc > 70 => balance({Worker}, cpu);\n\
+             server.cpu.perc < 80 => balance({Worker}, cpu);",
+            &VerifyConfig::default(),
+        );
+        let f = v.of(Property::Conflict).next().expect("conflicts");
+        assert_eq!(f.rules, vec![0, 1]);
+        assert_eq!(f.severity, Severity::Warning);
+    }
+}

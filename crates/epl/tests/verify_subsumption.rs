@@ -1,0 +1,170 @@
+//! The model checker subsumes the static conflict detector: every class of
+//! compiler warning reappears as a behavioral verifier finding, usually a
+//! stronger one (the colocate/separate warning, for example, shows up as a
+//! concrete thrash orbit rather than a syntactic overlap).
+
+use plasma_epl::error::Severity;
+use plasma_epl::schema::ActorSchema;
+use plasma_epl::verify::{verify, Property, VerifyConfig};
+use plasma_epl::{compile, CompiledPolicy};
+
+fn schema() -> ActorSchema {
+    let mut s = ActorSchema::new();
+    s.actor_type("Worker").func("run");
+    s.actor_type("Table").func("get");
+    s.actor_type("Router").func("route");
+    s.actor_type("Session").prop("players").func("join");
+    s.actor_type("Player").func("ping");
+    s
+}
+
+fn compiled(src: &str) -> CompiledPolicy {
+    compile(src, &schema()).unwrap()
+}
+
+/// Asserts every compiler warning's rule set is covered by some verifier
+/// finding (the finding's rules contain the warning's rules).
+fn assert_findings_cover_warnings(policy: &CompiledPolicy) {
+    let verdict = verify(policy, &VerifyConfig::default());
+    for warning in &policy.warnings {
+        let covered = verdict
+            .findings
+            .iter()
+            .any(|f| warning.rules.iter().all(|r| f.rules.contains(r)));
+        assert!(
+            covered,
+            "compiler warning {warning} has no verifier finding covering \
+             rules {:?}; findings: {:#?}",
+            warning.rules, verdict.findings
+        );
+    }
+}
+
+#[test]
+fn colocate_separate_warning_becomes_thrash() {
+    let policy = compiled(
+        "true => colocate(Worker(w), Table(t));\n\
+         true => separate(Worker(w2), Table(t2));",
+    );
+    assert_eq!(policy.warnings.len(), 1);
+    assert_eq!(policy.warnings[0].severity, Severity::Warning);
+    let verdict = verify(&policy, &VerifyConfig::default());
+    let f = verdict.of(Property::Thrash).next().expect("thrash orbit");
+    assert_eq!(f.rules, policy.warnings[0].rules);
+    assert!(f.gating(), "colocate/separate must gate");
+    assert_findings_cover_warnings(&policy);
+}
+
+#[test]
+fn pin_balance_warning_becomes_conflict_warning() {
+    let policy = compiled(
+        "true => pin(Router(r));\n\
+         server.cpu.perc > 80 => balance({Router}, cpu);",
+    );
+    assert_eq!(policy.warnings.len(), 1);
+    let verdict = verify(&policy, &VerifyConfig::default());
+    let f = verdict
+        .of(Property::Conflict)
+        .find(|f| f.severity == Severity::Warning)
+        .expect("pin blocks balance");
+    assert_eq!(f.rules, policy.warnings[0].rules);
+    assert!(f.gating());
+    assert_findings_cover_warnings(&policy);
+}
+
+#[test]
+fn pin_reserve_note_becomes_conflict_note() {
+    let policy = compiled(
+        "true => pin(Worker(x));\n\
+         server.cpu.perc > 80 => reserve(Worker(y), cpu);",
+    );
+    assert_eq!(policy.warnings.len(), 1);
+    assert_eq!(policy.warnings[0].severity, Severity::Note);
+    let verdict = verify(&policy, &VerifyConfig::default());
+    let f = verdict
+        .of(Property::Conflict)
+        .find(|f| f.severity == Severity::Note)
+        .expect("pin blocks reserve");
+    assert_eq!(f.rules, policy.warnings[0].rules);
+    assert!(!f.gating(), "ordering dependency must not gate");
+    assert_findings_cover_warnings(&policy);
+}
+
+#[test]
+fn colocate_balance_note_becomes_thrash_with_pinned_partner() {
+    // The compiler's colocate-vs-balance note is resolved by priority at
+    // runtime *unless* the colocate partner is pinned: then balance pushes
+    // the actor off the hot server and colocate drags it straight back.
+    let policy = compiled(
+        "true => pin(Table(t));\n\
+         true => colocate(Worker(w), Table(t2));\n\
+         server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);",
+    );
+    assert!(
+        policy
+            .warnings
+            .iter()
+            .any(|w| w.severity == Severity::Note && w.rules == vec![1, 2]),
+        "{:?}",
+        policy.warnings
+    );
+    let verdict = verify(&policy, &VerifyConfig::default());
+    let f = verdict.of(Property::Thrash).next().expect("thrash orbit");
+    assert!(f.rules.contains(&1) || f.rules.contains(&2), "{f}");
+    assert!(f.gating());
+}
+
+#[test]
+fn vacuous_rule_is_reported_beyond_any_warning() {
+    // The conflict detector has nothing to say here, but the verifier
+    // knows the condition can never hold.
+    let policy =
+        compiled("server.cpu.perc > 80 and server.cpu.perc < 60 => balance({Worker}, cpu);");
+    assert!(policy.warnings.is_empty());
+    let verdict = verify(&policy, &VerifyConfig::default());
+    let f = verdict.of(Property::Vacuity).next().expect("vacuous rule");
+    assert_eq!(f.rules, vec![0]);
+    assert!(!verdict.gating(), "vacuity reports but does not gate");
+}
+
+#[test]
+fn oscillating_band_is_found_without_any_warning() {
+    // Another behavioral bug invisible to the pairwise detector.
+    let policy =
+        compiled("server.cpu.perc > 70 or server.cpu.perc < 65 => balance({Worker}, cpu);");
+    assert!(policy.warnings.is_empty());
+    let verdict = verify(&policy, &VerifyConfig::default());
+    let f = verdict
+        .of(Property::Oscillation)
+        .next()
+        .expect("oscillates");
+    assert!(f.gating());
+    assert!(
+        f.trace.iter().any(|s| s.event == "ServerBoot")
+            && f.trace.iter().any(|s| s.event == "ServerDrain"),
+        "trace must show the boot/drain cycle: {f}"
+    );
+}
+
+#[test]
+fn halo_policy_is_clean() {
+    let src = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../halo.epl"))
+        .expect("halo.epl at repo root");
+    let policy = compiled(&src);
+    assert!(policy.warnings.is_empty(), "{:?}", policy.warnings);
+    let verdict = verify(&policy, &VerifyConfig::default());
+    assert!(!verdict.gating(), "{:#?}", verdict.findings);
+}
+
+#[test]
+fn estore_reserve_balance_coexistence_stays_clean() {
+    // The E-Store shape the conflict detector deliberately allows must not
+    // gain a gating finding from the model checker either.
+    let policy = compiled(
+        "server.cpu.perc > 80 => reserve(Worker(p), cpu);\n\
+         server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);",
+    );
+    assert!(policy.warnings.is_empty());
+    let verdict = verify(&policy, &VerifyConfig::default());
+    assert!(!verdict.gating(), "{:#?}", verdict.findings);
+}

@@ -1,0 +1,306 @@
+//! Fuzz target: no fault schedule may panic the runtime.
+//!
+//! Decodes arbitrary bytes into a [`FaultPlan`] — every `FaultKind`
+//! variant, arbitrary injection times, overlapping windows, out-of-range
+//! subjects — plus a byte-derived [`RecoveryPolicy`], installs it into a
+//! small auto-scaling world, and runs the simulation to completion. Crashes
+//! during boot, partitions that never heal, aborts with zero windows,
+//! GEM indices past the fleet: all must degrade gracefully. The property
+//! under test is that no schedule can make the kernel panic, deadlock the
+//! event loop, or corrupt the report.
+//!
+//! Same self-contained driver shape as `epl_compile`: a splitmix64-seeded
+//! mutator over a checked-in seed corpus, reproducible from the printed
+//! seed. Usage:
+//!
+//! ```text
+//! fault_plan [iterations] [seed]
+//! ```
+//!
+//! Defaults: 500 iterations (each one a full ~120 sim-second run), seed
+//! 0x464C54 (ASCII "FLT"). A panic anywhere aborts the process with a
+//! non-zero exit, which is the failure signal CI keys on.
+
+use std::path::PathBuf;
+
+use plasma::prelude::*;
+
+/// Bytes per decoded fault record.
+const RECORD: usize = 6;
+/// Cap on decoded faults, so giant inputs can't stall a run.
+const MAX_FAULTS: usize = 48;
+/// Simulated horizon; fault times wrap into `0..HORIZON_SECS`.
+const HORIZON_SECS: u64 = 120;
+/// Servers in the fuzz world (faults may reference a few beyond this).
+const SERVERS: u32 = 3;
+
+/// Decodes one 6-byte record into a scheduled fault.
+///
+/// Layout: `[kind, time, a, b, c, d]`. `kind % 10` selects the variant;
+/// the rest parameterize it. Subjects deliberately range a little past the
+/// world's servers and GEMs so the out-of-range handling is exercised too.
+fn decode_fault(rec: &[u8]) -> (SimTime, FaultKind) {
+    let at = SimTime::from_secs(rec[1] as u64 % HORIZON_SECS);
+    let (a, b, c, d) = (rec[2], rec[3], rec[4], rec[5]);
+    let server = ServerId(a as u32 % (SERVERS + 2));
+    let kind = match rec[0] % 10 {
+        0 => FaultKind::ServerCrash {
+            server,
+            restart_after: (b % 2 == 0).then(|| SimDuration::from_secs(c as u64 % 40)),
+        },
+        1 => FaultKind::Partition {
+            // One bit per server: which side of the partition it lands on.
+            group: (0..SERVERS + 2)
+                .filter(|s| c & (1 << (s % 8)) != 0)
+                .map(ServerId)
+                .collect(),
+            heal_after: (b % 2 == 0).then(|| SimDuration::from_secs(d as u64 % 60)),
+        },
+        2 => FaultKind::HealPartitions,
+        3 => FaultKind::LinkDegrade {
+            degradation: LinkDegradation {
+                extra_latency: SimDuration::from_millis(b as u64 % 50),
+                bandwidth_factor: (c % 100 + 1) as f64 / 100.0,
+                drop_per_mille: d as u32 % 250,
+            },
+            heal_after: (a % 2 == 0).then(|| SimDuration::from_secs(b as u64 % 60)),
+        },
+        4 => FaultKind::HealLinks,
+        5 => FaultKind::MigrationAbort {
+            window: SimDuration::from_secs(b as u64 % 45),
+            max: c as u32 % 12,
+        },
+        6 => FaultKind::GemCrash {
+            gem: a as usize % 4,
+        },
+        7 => FaultKind::LemCrash { server },
+        8 => FaultKind::ProvisionerStall {
+            duration: SimDuration::from_secs(b as u64 % 70),
+        },
+        _ => FaultKind::SnapshotSkew,
+    };
+    (at, kind)
+}
+
+/// Decodes the whole input: first record doubles as the recovery policy,
+/// the rest become the schedule.
+fn decode(bytes: &[u8]) -> (FaultPlan, RecoveryPolicy) {
+    let mut plan = FaultPlan::new();
+    let mut policy = RecoveryPolicy::default();
+    let mut chunks = bytes.chunks_exact(RECORD);
+    if let Some(head) = chunks.next() {
+        policy = RecoveryPolicy {
+            heartbeat_period: SimDuration::from_secs(1 + head[0] as u64 % 10),
+            heartbeat_timeout: SimDuration::from_secs(1 + head[1] as u64 % 30),
+            respawn: head[2] % 2 == 0,
+            migration_retry_limit: head[3] as u32 % 6,
+            migration_retry_backoff: SimDuration::from_secs(head[4] as u64 % 8),
+        };
+    }
+    for rec in chunks.take(MAX_FAULTS) {
+        let (at, kind) = decode_fault(rec);
+        plan.push(at, kind);
+    }
+    (plan, policy)
+}
+
+/// Burns a fixed CPU share per request and replies.
+struct Burner {
+    work: f64,
+}
+
+impl ActorLogic for Burner {
+    fn on_message(&mut self, ctx: &mut ActorCtx<'_>, _msg: &mut Message) {
+        ctx.work(self.work);
+        ctx.reply(32);
+    }
+}
+
+/// Open-loop client: one request every `period`.
+struct Pulse {
+    target: ActorId,
+    period: SimDuration,
+}
+
+impl ClientLogic for Pulse {
+    fn on_start(&mut self, ctx: &mut ClientCtx<'_>) {
+        ctx.set_timer(SimDuration::ZERO, 0);
+    }
+    fn on_reply(
+        &mut self,
+        _ctx: &mut ClientCtx<'_>,
+        _request: u64,
+        _latency: SimDuration,
+        _payload: Option<Payload>,
+    ) {
+    }
+    fn on_timer(&mut self, ctx: &mut ClientCtx<'_>, _token: u64) {
+        ctx.request(self.target, "run", 64);
+        ctx.set_timer(self.period, 0);
+    }
+}
+
+/// One fuzz execution: a small elastic world (balance + auto-scale, two
+/// GEMs so GEM crashes have a survivor to shuffle onto) runs the decoded
+/// schedule to the horizon. Returning at all is the pass condition.
+fn run_one(bytes: &[u8]) {
+    let (plan, policy) = decode(bytes);
+
+    let mut schema = ActorSchema::new();
+    schema.actor_type("Worker").func("run");
+    let compiled = compile(
+        "server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);",
+        &schema,
+    )
+    .expect("fuzz policy compiles");
+    let emr = PlasmaEmr::new(
+        compiled,
+        EmrConfig {
+            auto_scale: true,
+            scale_instance: InstanceType::m1_small(),
+            num_gems: 2,
+            ..EmrConfig::default()
+        },
+    );
+
+    let mut rt = Runtime::new(RuntimeConfig {
+        seed: 0xFA171,
+        limits: ClusterLimits {
+            max_servers: 5,
+            min_servers: 1,
+        },
+        elasticity_period: SimDuration::from_secs(10),
+        min_residency: SimDuration::from_secs(10),
+        ..RuntimeConfig::default()
+    });
+    rt.set_controller(Box::new(emr));
+    let mut servers = Vec::new();
+    for _ in 0..SERVERS {
+        servers.push(rt.add_server(InstanceType::m1_small()));
+    }
+    for i in 0..6 {
+        let home = servers[i % servers.len()];
+        let a = rt.spawn_actor("Worker", Box::new(Burner { work: 0.02 }), 1 << 10, home);
+        rt.add_client(Box::new(Pulse {
+            target: a,
+            period: SimDuration::from_millis(100),
+        }));
+    }
+    rt.install_fault_plan(&plan, policy);
+    rt.run_until(SimTime::from_secs(HORIZON_SECS));
+    // The report must stay internally consistent even after arbitrary
+    // chaos: recovered actors can never exceed lost ones.
+    let report = rt.report();
+    let lost = report.scalar("chaos.actors_lost").unwrap_or(0.0);
+    let recovered = report.scalar("chaos.actors_recovered").unwrap_or(0.0);
+    assert!(
+        recovered <= lost,
+        "recovered {recovered} > lost {lost} under plan {plan:?}"
+    );
+}
+
+/// Deterministic splitmix64 step.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform value in `0..n` (`n > 0`).
+fn below(state: &mut u64, n: usize) -> usize {
+    (mix(state) % n as u64) as usize
+}
+
+/// Applies 1–4 random mutations to `base`. Binary records rather than
+/// text, so instead of a token dictionary the insert mutation splices a
+/// whole synthesized record (keeping most inputs schedule-shaped).
+fn mutate(base: &[u8], seeds: &[Vec<u8>], state: &mut u64) -> Vec<u8> {
+    let mut out = base.to_vec();
+    for _ in 0..1 + below(state, 4) {
+        match below(state, 6) {
+            // Flip one bit.
+            0 if !out.is_empty() => {
+                let i = below(state, out.len());
+                out[i] ^= 1 << below(state, 8);
+            }
+            // Overwrite one byte.
+            1 if !out.is_empty() => {
+                let i = below(state, out.len());
+                out[i] = below(state, 256) as u8;
+            }
+            // Truncate at a random point (mid-record cuts included).
+            2 if !out.is_empty() => out.truncate(below(state, out.len())),
+            // Duplicate a random slice in place.
+            3 if !out.is_empty() => {
+                let a = below(state, out.len());
+                let b = a + below(state, out.len() - a);
+                let dup: Vec<u8> = out[a..b].to_vec();
+                let at = below(state, out.len() + 1);
+                out.splice(at..at, dup);
+            }
+            // Insert a fresh random record at a record boundary.
+            4 => {
+                let rec: Vec<u8> = (0..RECORD).map(|_| below(state, 256) as u8).collect();
+                let at = (below(state, out.len() / RECORD + 1)) * RECORD;
+                out.splice(at..at, rec);
+            }
+            // Splice a random tail of another seed onto a random prefix.
+            _ => {
+                let other = &seeds[below(state, seeds.len())];
+                let cut = below(state, out.len() + 1);
+                let from = below(state, other.len() + 1);
+                out.truncate(cut);
+                out.extend_from_slice(&other[from..]);
+            }
+        }
+        // MAX_FAULTS bounds the decoded plan; this bounds raw memory.
+        if out.len() > 1 << 12 {
+            out.truncate(1 << 12);
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let iterations: u64 = argv
+        .next()
+        .map(|a| a.parse().expect("iterations must be a number"))
+        .unwrap_or(500);
+    let mut state: u64 = argv
+        .next()
+        .map(|a| a.parse().expect("seed must be a number"))
+        .unwrap_or(0x0046_4C54);
+    println!("fault_plan: {iterations} iterations, seed {state:#x}");
+
+    let corpus = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus/fault_plan");
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&corpus)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", corpus.display()))
+        .map(|e| e.expect("readable corpus entry").path())
+        .collect();
+    entries.sort();
+    let seeds: Vec<Vec<u8>> = entries
+        .iter()
+        .map(|p| std::fs::read(p).expect("readable corpus file"))
+        .collect();
+    assert!(!seeds.is_empty(), "seed corpus is empty");
+
+    for (path, seed) in entries.iter().zip(&seeds) {
+        run_one(seed);
+        println!("  seed ok: {}", path.file_name().unwrap().to_string_lossy());
+    }
+    for i in 0..iterations {
+        let base = &seeds[below(&mut state, seeds.len())];
+        let input = mutate(base, &seeds, &mut state);
+        run_one(&input);
+        if (i + 1) % 100 == 0 {
+            println!("  {} iterations...", i + 1);
+        }
+    }
+    println!(
+        "fault_plan: ok ({} seeds, {iterations} mutations)",
+        seeds.len()
+    );
+}
