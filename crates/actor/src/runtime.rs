@@ -217,7 +217,15 @@ impl Runtime {
         events.push(SimTime::ZERO + cfg.elasticity_period, Event::ElasticityTick);
         let rng = DetRng::new(cfg.seed);
         let report = RunReport::new(cfg.latency_bucket);
-        let backend = plasma_backend::make(cfg.backend);
+        // The net backend spawns worker processes, so it lives above the
+        // backend crate and is routed here rather than through `make`.
+        let backend: Box<dyn ExecutionBackend> = match cfg.backend {
+            BackendKind::Net => Box::new(
+                plasma_net::NetBackend::launch(plasma_net::NetConfig::default())
+                    .unwrap_or_else(|e| panic!("launching net backend workers: {e}")),
+            ),
+            kind => plasma_backend::make(kind),
+        };
         // Enough per-window deltas to span two elasticity rounds (plus
         // slack for skew-injected extra generations); if a configuration
         // outruns this, `delta_since` reports a gap and consumers rebuild.
@@ -935,6 +943,7 @@ impl Runtime {
             }
             Event::LinkHeal => {
                 let was_active = self.cluster.net_faults_mut().clear_degradation();
+                self.backend.link_delay(0);
                 self.tracer.emit(self.now, Component::Chaos, None, || {
                     TraceEventKind::LinksHealed { was_active }
                 });
@@ -1587,6 +1596,8 @@ impl Runtime {
                             drop_per_mille: degradation.drop_per_mille,
                         }
                     });
+                self.backend
+                    .link_delay(degradation.extra_latency.as_micros() * 1_000);
                 self.cluster.net_faults_mut().set_degradation(degradation);
                 if let Some(d) = heal_after {
                     self.events.push(self.now + d, Event::LinkHeal);
@@ -1594,6 +1605,7 @@ impl Runtime {
             }
             FaultKind::HealLinks => {
                 let was_active = self.cluster.net_faults_mut().clear_degradation();
+                self.backend.link_delay(0);
                 self.tracer
                     .emit(self.now, Component::Chaos, fault_trace, || {
                         TraceEventKind::LinksHealed { was_active }
@@ -2033,11 +2045,11 @@ impl Runtime {
                 put("first_crash_at_s", t);
             }
         }
-        // Backend scalars exist only for live runs, so sim reports stay
-        // byte-identical to builds predating the backend layer. All
+        // Backend scalars exist only for live/net runs, so sim reports
+        // stay byte-identical to builds predating the backend layer. All
         // wall-clock values here are measurement side-channels (excluded
         // from decision digests and benchmark baselines).
-        if self.backend.kind() == BackendKind::Live {
+        if self.backend.kind() != BackendKind::Sim {
             let s = self.backend.stats();
             let scalars = &mut self.report.scalars;
             let mut put = |k: &str, v: f64| {
@@ -2053,6 +2065,13 @@ impl Runtime {
             put("worker_busy_ms", s.worker_busy_ns as f64 / 1e6);
             put("channel_latency_us_mean", s.channel_latency_us_mean());
             put("channel_latency_us_max", s.channel_ns_max as f64 / 1e3);
+            if self.backend.kind() == BackendKind::Net {
+                put("frames_sent", s.frames_sent as f64);
+                put("frames_received", s.frames_received as f64);
+                put("wire_bytes_sent", s.wire_bytes_sent as f64);
+                put("wire_bytes_received", s.wire_bytes_received as f64);
+                put("max_inflight_frames", s.max_inflight_frames as f64);
+            }
         }
     }
 

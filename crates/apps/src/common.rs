@@ -102,12 +102,29 @@ pub struct ElasticityEval {
     /// Backend-clock nanoseconds spent patching frames (identically 0
     /// under the sim backend; host-dependent under live).
     pub frame_patch_ns: u64,
+    /// Mean carrier transport latency per sampled delivery, ns: wall-clock
+    /// channel latency under live, deterministic injected chaos delay
+    /// under net, identically 0 under sim.
+    pub backend_channel_mean_ns: f64,
+    /// Worst sampled carrier transport latency, ns.
+    pub backend_channel_max_ns: u64,
+    /// Wire frames the coordinator wrote (net backend only; 0 otherwise).
+    pub backend_frames_sent: u64,
+    /// Wire frames the coordinator read back (net backend only).
+    pub backend_frames_received: u64,
+    /// Wire bytes the coordinator wrote (net backend only).
+    pub backend_wire_bytes_sent: u64,
+    /// Wire bytes the coordinator read back (net backend only).
+    pub backend_wire_bytes_received: u64,
+    /// Most frames ever outstanding between carrier barriers (net only).
+    pub backend_max_inflight: u64,
 }
 
 impl ElasticityEval {
     /// Collects the stats from a finished runtime.
     pub fn collect(rt: &Runtime) -> Self {
         let report = rt.report();
+        let backend = rt.backend_stats();
         let run_secs = rt.now().as_secs_f64();
         let per_sec = |n: u64| {
             if run_secs > 0.0 {
@@ -163,6 +180,13 @@ impl ElasticityEval {
             frame_rebuilds: report.scalar("emr.frame_rebuilds").unwrap_or(0.0) as u64,
             frame_patches: report.scalar("emr.frame_patches").unwrap_or(0.0) as u64,
             frame_patch_ns: report.scalar("emr.frame_patch_ns").unwrap_or(0.0) as u64,
+            backend_channel_mean_ns: backend.channel_latency_us_mean() * 1e3,
+            backend_channel_max_ns: backend.channel_ns_max,
+            backend_frames_sent: backend.frames_sent,
+            backend_frames_received: backend.frames_received,
+            backend_wire_bytes_sent: backend.wire_bytes_sent,
+            backend_wire_bytes_received: backend.wire_bytes_received,
+            backend_max_inflight: backend.max_inflight_frames,
         }
     }
 }

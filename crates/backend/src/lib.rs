@@ -30,9 +30,16 @@
 //! carried to per-server worker threads over real channels and re-counted
 //! at window barriers). Decision-relevant ordering is therefore identical
 //! by construction — the parity the `backend-parity` CI job gates.
+//!
+//! A third implementation lives one crate up: `plasma-net`'s `NetBackend`
+//! carries the same surface across real process boundaries — worker
+//! processes over localhost TCP speaking the length-prefixed wire format
+//! whose field codec is this crate's [`wire`] module. The `net-parity` CI
+//! job extends the gate three ways (sim/live/net).
 
 pub mod live;
 pub mod sim;
+pub mod wire;
 
 pub use live::LiveBackend;
 pub use sim::SimBackend;
@@ -45,14 +52,18 @@ pub enum BackendKind {
     Sim,
     /// OS threads and real channels carry deliveries and services.
     Live,
+    /// Worker processes over localhost TCP carry deliveries and services
+    /// on the `plasma-net` wire format (one process per server group).
+    Net,
 }
 
 impl BackendKind {
-    /// Parses `"sim"` / `"live"` (case-insensitive).
+    /// Parses `"sim"` / `"live"` / `"net"` (case-insensitive).
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().as_str() {
             "sim" => Some(BackendKind::Sim),
             "live" => Some(BackendKind::Live),
+            "net" => Some(BackendKind::Net),
             _ => None,
         }
     }
@@ -62,6 +73,7 @@ impl BackendKind {
         match self {
             BackendKind::Sim => "sim",
             BackendKind::Live => "live",
+            BackendKind::Net => "net",
         }
     }
 }
@@ -70,7 +82,7 @@ impl BackendKind {
 ///
 /// Identifies the hosting server and target actor by raw id so the backend
 /// stays below the actor crate in the dependency order.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Delivery {
     /// The server the target actor resides on.
     pub server: u32,
@@ -83,7 +95,7 @@ pub struct Delivery {
 }
 
 /// One message service handed to the carrier.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Execution {
     /// The server whose CPU lane runs the service.
     pub server: u32,
@@ -133,12 +145,25 @@ pub struct BackendStats {
     pub wall_ns: u64,
     /// Simulated service time carried by workers, in nanoseconds.
     pub worker_busy_ns: u64,
-    /// Total wall-clock transport latency over sampled deliveries, ns.
+    /// Total transport latency over sampled deliveries, ns. Wall-clock
+    /// under live; deterministic *injected* (chaos link-degradation) delay
+    /// under net.
     pub channel_ns_total: u64,
-    /// Worst wall-clock transport latency over sampled deliveries, ns.
+    /// Worst transport latency over sampled deliveries, ns.
     pub channel_ns_max: u64,
     /// Deliveries with a transport-latency sample.
     pub channel_samples: u64,
+    /// Wire frames written by the coordinator (net backend only).
+    pub frames_sent: u64,
+    /// Wire frames read back by the coordinator (net backend only).
+    pub frames_received: u64,
+    /// Wire bytes written by the coordinator (net backend only).
+    pub wire_bytes_sent: u64,
+    /// Wire bytes read back by the coordinator (net backend only).
+    pub wire_bytes_received: u64,
+    /// Most frames ever outstanding between two carrier barriers (net
+    /// backend only): frames written since the last fully-acked barrier.
+    pub max_inflight_frames: u64,
 }
 
 impl BackendStats {
@@ -200,6 +225,16 @@ pub trait ExecutionBackend {
     /// Barriers all carriers at an elasticity-round boundary.
     fn round_barrier(&mut self, round: u64);
 
+    /// Announces the currently injected cross-server transport delay in
+    /// nanoseconds (`0` clears it). The chaos layer calls this when a
+    /// link-degradation fault is applied or healed, so transport-level
+    /// carriers can map the fault onto their own medium — the net backend
+    /// stamps subsequent remote deliveries with the delay and accounts it
+    /// as deterministic transport latency. Purely a measurement
+    /// side-channel: it must never alter carriage or logical scheduling.
+    /// Default: ignored (sim and live model the delay in the event queue).
+    fn link_delay(&mut self, _extra_ns: u64) {}
+
     /// Snapshot of the cumulative counters.
     fn stats(&self) -> BackendStats;
 
@@ -207,11 +242,22 @@ pub trait ExecutionBackend {
     fn shutdown(&mut self);
 }
 
-/// Constructs the backend for `kind`.
+/// Constructs the in-process backend for `kind`.
+///
+/// # Panics
+///
+/// [`BackendKind::Net`] cannot be constructed here: it spawns worker
+/// *processes* and lives in the `plasma-net` crate (above this one in the
+/// dependency order). The actor runtime routes `Net` to
+/// `plasma_net::NetBackend::launch` itself; calling `make(Net)` directly
+/// panics with a pointer there.
 pub fn make(kind: BackendKind) -> Box<dyn ExecutionBackend> {
     match kind {
         BackendKind::Sim => Box::new(SimBackend::new()),
         BackendKind::Live => Box::new(LiveBackend::new()),
+        BackendKind::Net => {
+            panic!("BackendKind::Net is constructed by plasma_net::NetBackend::launch")
+        }
     }
 }
 
@@ -223,9 +269,11 @@ mod tests {
     fn kind_parses_and_names() {
         assert_eq!(BackendKind::parse("sim"), Some(BackendKind::Sim));
         assert_eq!(BackendKind::parse("LIVE"), Some(BackendKind::Live));
+        assert_eq!(BackendKind::parse("net"), Some(BackendKind::Net));
         assert_eq!(BackendKind::parse("tcp"), None);
         assert_eq!(BackendKind::Sim.name(), "sim");
         assert_eq!(BackendKind::Live.name(), "live");
+        assert_eq!(BackendKind::Net.name(), "net");
         assert_eq!(BackendKind::default(), BackendKind::Sim);
     }
 

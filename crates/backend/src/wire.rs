@@ -1,0 +1,263 @@
+//! Wire encoding for the carriage types.
+//!
+//! The multi-process TCP backend (`plasma-net`) serializes every
+//! [`Delivery`] and [`Execution`] onto a hand-rolled binary wire format.
+//! The codec lives here, next to the types themselves, so the carriage
+//! structs and their byte layout cannot drift apart; the frame layer on
+//! top (length prefix, version byte, message kinds) lives in `plasma-net`.
+//!
+//! Layout rules, chosen once and applied everywhere:
+//!
+//! - **Endianness is explicit**: every multi-byte integer is big-endian
+//!   (network byte order). No host-order field ever touches the wire.
+//! - **Fixed width**: `u8`/`u32`/`u64` only — no varints, no padding.
+//! - **Canonical booleans**: exactly `0` or `1`; any other byte is a
+//!   [`DecodeError::BadBool`]. This is what makes re-encoding a decoded
+//!   value reproduce the input bytes exactly (the fuzz round-trip
+//!   property).
+//! - **No wire-level `serde`**: the format is hand-rolled for the same
+//!   reason the BENCH JSON writer is — the byte layout is part of the
+//!   protocol contract and must not change under us when a dependency
+//!   changes its derive output.
+
+use crate::{Delivery, Execution};
+
+/// Why a buffer failed to decode.
+///
+/// Every variant is a *clean* failure: decoders return these instead of
+/// panicking or reading past the input, which is the property the
+/// `net_frame` fuzz target drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value did.
+    Truncated,
+    /// A boolean byte was neither `0` nor `1`.
+    BadBool(u8),
+    /// A frame announced an unsupported protocol version.
+    BadVersion(u8),
+    /// A frame announced an unknown message kind.
+    BadKind(u8),
+    /// A frame announced a body longer than the protocol allows.
+    Oversize(u64),
+    /// A frame body had bytes left over after its payload decoded.
+    Trailing {
+        /// Bytes the payload consumed.
+        consumed: usize,
+        /// Bytes the frame header announced.
+        announced: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "input truncated mid-value"),
+            DecodeError::BadBool(b) => write!(f, "non-canonical boolean byte {b:#04x}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            DecodeError::BadKind(k) => write!(f, "unknown message kind {k:#04x}"),
+            DecodeError::Oversize(n) => write!(f, "frame body of {n} bytes exceeds the cap"),
+            DecodeError::Trailing {
+                consumed,
+                announced,
+            } => write!(
+                f,
+                "frame body decoded {consumed} of {announced} announced bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A bounds-checked reader over a wire buffer.
+///
+/// Reads advance a cursor and return [`DecodeError::Truncated`] instead of
+/// slicing past the end — torn TCP reads and fuzzed garbage both land here.
+#[derive(Debug)]
+pub struct WireCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireCursor<'a> {
+    /// Wraps a buffer with the cursor at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireCursor { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a canonical boolean (`0` / `1` only).
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(DecodeError::BadBool(b)),
+        }
+    }
+}
+
+/// Appends a big-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Appends a big-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Appends a canonical boolean byte.
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+impl Delivery {
+    /// Wire size of an encoded delivery, in bytes.
+    pub const WIRE_LEN: usize = 4 + 8 + 8 + 1;
+
+    /// Appends the wire encoding: `server:u32 actor:u64 bytes:u64 remote:bool`.
+    pub fn wire_encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.server);
+        put_u64(out, self.actor);
+        put_u64(out, self.bytes);
+        put_bool(out, self.remote);
+    }
+
+    /// Decodes a delivery from the cursor.
+    pub fn wire_decode(c: &mut WireCursor<'_>) -> Result<Self, DecodeError> {
+        Ok(Delivery {
+            server: c.u32()?,
+            actor: c.u64()?,
+            bytes: c.u64()?,
+            remote: c.bool()?,
+        })
+    }
+}
+
+impl Execution {
+    /// Wire size of an encoded execution, in bytes.
+    pub const WIRE_LEN: usize = 4 + 8 + 8;
+
+    /// Appends the wire encoding: `server:u32 actor:u64 service_ns:u64`.
+    pub fn wire_encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.server);
+        put_u64(out, self.actor);
+        put_u64(out, self.service_ns);
+    }
+
+    /// Decodes an execution from the cursor.
+    pub fn wire_decode(c: &mut WireCursor<'_>) -> Result<Self, DecodeError> {
+        Ok(Execution {
+            server: c.u32()?,
+            actor: c.u64()?,
+            service_ns: c.u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_round_trips_and_is_canonical() {
+        let d = Delivery {
+            server: 7,
+            actor: 0xDEAD_BEEF_0BAD_F00D,
+            bytes: 4096,
+            remote: true,
+        };
+        let mut buf = Vec::new();
+        d.wire_encode(&mut buf);
+        assert_eq!(buf.len(), Delivery::WIRE_LEN);
+        let mut c = WireCursor::new(&buf);
+        let back = Delivery::wire_decode(&mut c).unwrap();
+        assert_eq!(c.consumed(), buf.len());
+        let mut again = Vec::new();
+        back.wire_encode(&mut again);
+        assert_eq!(buf, again, "re-encoding must reproduce the bytes");
+    }
+
+    #[test]
+    fn execution_round_trips() {
+        let e = Execution {
+            server: 3,
+            actor: 42,
+            service_ns: 1_000_000,
+        };
+        let mut buf = Vec::new();
+        e.wire_encode(&mut buf);
+        assert_eq!(buf.len(), Execution::WIRE_LEN);
+        let back = Execution::wire_decode(&mut WireCursor::new(&buf)).unwrap();
+        assert_eq!(
+            (back.server, back.actor, back.service_ns),
+            (3, 42, 1_000_000)
+        );
+    }
+
+    #[test]
+    fn truncation_is_a_clean_error_at_every_split() {
+        let d = Delivery {
+            server: 1,
+            actor: 2,
+            bytes: 3,
+            remote: false,
+        };
+        let mut buf = Vec::new();
+        d.wire_encode(&mut buf);
+        for cut in 0..buf.len() {
+            let err = Delivery::wire_decode(&mut WireCursor::new(&buf[..cut]));
+            assert_eq!(err.unwrap_err(), DecodeError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn non_canonical_bool_is_rejected() {
+        let d = Delivery {
+            server: 1,
+            actor: 2,
+            bytes: 3,
+            remote: true,
+        };
+        let mut buf = Vec::new();
+        d.wire_encode(&mut buf);
+        *buf.last_mut().unwrap() = 2;
+        assert_eq!(
+            Delivery::wire_decode(&mut WireCursor::new(&buf)).unwrap_err(),
+            DecodeError::BadBool(2)
+        );
+    }
+}

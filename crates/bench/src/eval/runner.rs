@@ -154,6 +154,44 @@ fn push_common(result: &mut ScenarioResult, eval: &ElasticityEval, rebalance_dir
         eval.frame_patch_ns as f64,
         Direction::Info,
     );
+    // Carrier transport counters: identically 0 under sim and zeroed by
+    // the parity normalizer (the `backend_` prefix) under live/net, so
+    // every backend still serializes to byte-identical normalized JSON.
+    result.push(
+        "backend_channel_mean_ns",
+        eval.backend_channel_mean_ns,
+        Direction::Info,
+    );
+    result.push(
+        "backend_channel_max_ns",
+        eval.backend_channel_max_ns as f64,
+        Direction::Info,
+    );
+    result.push(
+        "backend_frames_sent",
+        eval.backend_frames_sent as f64,
+        Direction::Info,
+    );
+    result.push(
+        "backend_frames_received",
+        eval.backend_frames_received as f64,
+        Direction::Info,
+    );
+    result.push(
+        "backend_wire_bytes_sent",
+        eval.backend_wire_bytes_sent as f64,
+        Direction::Info,
+    );
+    result.push(
+        "backend_wire_bytes_received",
+        eval.backend_wire_bytes_received as f64,
+        Direction::Info,
+    );
+    result.push(
+        "backend_max_inflight",
+        eval.backend_max_inflight as f64,
+        Direction::Info,
+    );
 }
 
 /// Pushes the recovery metrics of a chaos scenario.

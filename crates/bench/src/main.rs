@@ -1,9 +1,9 @@
 //! `plasma-eval`: CLI over the deterministic paper-evaluation harness.
 //!
 //! ```text
-//! plasma-eval run all [--scale smoke|full] [--seed N] [--out DIR] [--backend sim|live]
-//! plasma-eval run <scenario>... [--scale smoke|full] [--seed N] [--out DIR] [--backend sim|live]
-//! plasma-eval parity all|<scenario>... [--scale smoke|full] [--seed N]
+//! plasma-eval run all [--scale smoke|full] [--seed N] [--out DIR] [--backend sim|live|net]
+//! plasma-eval run <scenario>... [--scale smoke|full] [--seed N] [--out DIR] [--backend sim|live|net]
+//! plasma-eval parity all|<scenario>... [--scale smoke|full] [--seed N] [--backends sim,live,net]
 //! plasma-eval compare <baseline-dir-or-file> [current-dir-or-file] [--threshold F]
 //! plasma-eval verify <file.epl>... [--schema FILE] [--json] [--allow-uncompilable]
 //! plasma-eval list
@@ -29,8 +29,8 @@ const USAGE: &str = "\
 plasma-eval: deterministic PLASMA paper-evaluation harness
 
 USAGE:
-  plasma-eval run all|<scenario>... [--scale smoke|full] [--seed N] [--out DIR] [--backend sim|live]
-  plasma-eval parity all|<scenario>... [--scale smoke|full] [--seed N]
+  plasma-eval run all|<scenario>... [--scale smoke|full] [--seed N] [--out DIR] [--backend sim|live|net]
+  plasma-eval parity all|<scenario>... [--scale smoke|full] [--seed N] [--backends sim,live,net]
   plasma-eval compare <baseline> [current] [--threshold F]
   plasma-eval verify <file.epl>... [--schema FILE] [--min-servers N] [--max-servers N]
                     [--quanta N] [--thrash-window K] [--allow-uncompilable] [--json]
@@ -38,10 +38,12 @@ USAGE:
 
 `run` writes one BENCH_<scenario>.json per scenario (default: repo root)
 and prints a human summary; `--backend live` carries the run on OS threads
-instead of the simulated event loop (results must not change). `parity`
-runs each scenario under both backends and exits 1 unless the serialized
-results are byte-identical (the `eval-engine` scenario has no runtime and
-is skipped). `compare` diffs two result sets — each side a directory
+instead of the simulated event loop, `--backend net` on plasma-server
+worker processes over localhost TCP (results must not change either way).
+`parity` runs each scenario under every backend listed in `--backends`
+(default sim,live,net — the first is the reference) and exits 1 unless the
+normalized serialized results are byte-identical (the `eval-engine`
+scenario has no runtime and is skipped). `compare` diffs two result sets — each side a directory
 holding BENCH_*.json files or a single file — and exits 1 when a gated
 metric regresses past the threshold (default 0.10); with `current` omitted
 it compares against the repo root. `verify` model-checks each policy
@@ -131,7 +133,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             },
             "--backend" => match it.next().map(|s| BackendKind::parse(s)) {
                 Some(Some(b)) => backend = b,
-                _ => return fail("--backend expects `sim` or `live`"),
+                _ => return fail("--backend expects `sim`, `live`, or `net`"),
             },
             "--out" => match it.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
@@ -171,10 +173,24 @@ fn cmd_run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Zeroes carrier-dependent metrics so the byte comparison only sees
+/// deterministic values: `*_ns` backend-clock counters are identically 0
+/// under sim and host-dependent under live, and `backend_*` transport
+/// counters describe the carrier itself (frames, wire bytes, injected
+/// delay), which legitimately differs per medium.
+fn normalize_for_parity(r: &mut ScenarioResult) {
+    for (metric, v) in &mut r.metrics {
+        if metric.ends_with("_ns") || metric.starts_with("backend_") {
+            v.value = 0.0;
+        }
+    }
+}
+
 fn cmd_parity(args: &[String]) -> ExitCode {
     let mut names: Vec<String> = Vec::new();
     let mut scale = EvalScale::Smoke;
     let mut seed: Option<u64> = None;
+    let mut backends = vec![BackendKind::Sim, BackendKind::Live, BackendKind::Net];
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -186,6 +202,21 @@ fn cmd_parity(args: &[String]) -> ExitCode {
                 Some(s) => seed = Some(s),
                 None => return fail("--seed expects an integer"),
             },
+            "--backends" => {
+                match it.next() {
+                    Some(list) => {
+                        let parsed: Option<Vec<BackendKind>> =
+                            list.split(',').map(BackendKind::parse).collect();
+                        match parsed {
+                            Some(b) if b.len() >= 2 => backends = b,
+                            _ => return fail(
+                                "--backends expects two or more of sim,live,net (comma-separated)",
+                            ),
+                        }
+                    }
+                    None => return fail("--backends expects a comma-separated list"),
+                }
+            }
             other if other.starts_with("--") => {
                 return fail(&format!("unknown flag `{other}`"));
             }
@@ -200,51 +231,65 @@ fn cmd_parity(args: &[String]) -> ExitCode {
         Err(e) => return fail(&e),
     };
     let mut divergences = 0usize;
+    // First backend listed is the reference the others are diffed against.
+    let reference = backends[0];
     for name in &names {
         if name == "eval-engine" {
             // No runtime, no carrier: nothing to compare.
             println!("  - {name:<16} skipped (no runtime)");
             continue;
         }
-        eprintln!("[plasma-eval] parity {name} (scale={})...", scale.name());
-        let mut sim = run_scenario_on(name, scale, seed, BackendKind::Sim).expect("name vetted");
-        let mut live = run_scenario_on(name, scale, seed, BackendKind::Live).expect("name vetted");
-        // Backend-clock nanosecond counters (`*_ns`) are identically 0
-        // under sim and host-dependent under live; zero them on both sides
-        // so the byte comparison only sees deterministic metrics.
-        for r in [&mut sim, &mut live] {
-            for (metric, v) in &mut r.metrics {
-                if metric.ends_with("_ns") {
-                    v.value = 0.0;
-                }
-            }
+        let backend_names: Vec<&str> = backends.iter().map(|b| b.name()).collect();
+        eprintln!(
+            "[plasma-eval] parity {name} (scale={}, backends={})...",
+            scale.name(),
+            backend_names.join(",")
+        );
+        let mut results = Vec::with_capacity(backends.len());
+        for &b in &backends {
+            let mut r = run_scenario_on(name, scale, seed, b).expect("name vetted");
+            normalize_for_parity(&mut r);
+            results.push(r);
         }
-        let sim_text = sim.to_pretty_string();
-        let live_text = live.to_pretty_string();
-        let digest = sim
+        let ref_text = results[0].to_pretty_string();
+        let digest = results[0]
             .metric("decision_digest")
             .map(|m| m.value as u64)
             .unwrap_or(0);
-        if sim_text == live_text {
+        let mut diverged = false;
+        for (i, r) in results.iter().enumerate().skip(1) {
+            if r.to_pretty_string() != ref_text {
+                diverged = true;
+                println!(
+                    "  ! {name:<16} DIVERGED ({} vs {})",
+                    reference.name(),
+                    backends[i].name()
+                );
+                for (metric, s) in &results[0].metrics {
+                    let other = r.metric(metric).map(|m| m.value);
+                    if other != Some(s.value) {
+                        println!(
+                            "      {metric}: {} {} vs {} {}",
+                            reference.name(),
+                            s.value,
+                            backends[i].name(),
+                            other.map(|v| v.to_string()).unwrap_or_else(|| "-".into())
+                        );
+                    }
+                }
+            }
+        }
+        if diverged {
+            divergences += 1;
+        } else {
             println!(
-                "  = {name:<16} parity ok ({} decisions, digest {digest:08x})",
-                sim.metric("decisions_total")
+                "  = {name:<16} parity ok across {} ({} decisions, digest {digest:08x})",
+                backend_names.join("/"),
+                results[0]
+                    .metric("decisions_total")
                     .map(|m| m.value)
                     .unwrap_or(0.0)
             );
-        } else {
-            divergences += 1;
-            println!("  ! {name:<16} DIVERGED");
-            for (metric, s) in &sim.metrics {
-                let l = live.metric(metric).map(|m| m.value);
-                if l != Some(s.value) {
-                    println!(
-                        "      {metric}: sim {} vs live {}",
-                        s.value,
-                        l.map(|v| v.to_string()).unwrap_or_else(|| "-".into())
-                    );
-                }
-            }
         }
     }
     if divergences == 0 {

@@ -24,11 +24,12 @@ fn digest_of(name: &str, backend: BackendKind) -> (f64, f64, String) {
     let decisions = r.metric("decisions_total").expect("metric present").value;
     let digest = r.metric("decision_digest").expect("metric present").value;
     // Backend-clock nanosecond counters (`*_ns`) are identically 0 under
-    // sim and host-dependent under live; zero them so the byte comparison
-    // only sees deterministic metrics — the same normalization the
-    // `plasma-eval parity` subcommand applies.
+    // sim and host-dependent under live, and `backend_*` transport counters
+    // describe the carrier itself; zero both so the byte comparison only
+    // sees deterministic metrics — the same normalization the `plasma-eval
+    // parity` subcommand applies.
     for (metric, v) in &mut r.metrics {
-        if metric.ends_with("_ns") {
+        if metric.ends_with("_ns") || metric.starts_with("backend_") {
             v.value = 0.0;
         }
     }

@@ -1,0 +1,168 @@
+//! The `plasma-server` worker loop: one process, one server group.
+//!
+//! A worker is the process-level analogue of `LiveBackend`'s per-server
+//! thread: it connects back to the coordinator, announces its group with a
+//! [`Frame::Hello`], then services the coordinator's frame stream — opening
+//! per-server accounting buckets on `ServerUp`, tallying `Deliver`/
+//! `Execute` carriage, and answering window/round barriers over the same
+//! TCP connection. Because TCP is FIFO, a barrier ack proves every frame
+//! written before the mark was received before it — the same exactly-once
+//! argument the thread backend makes with channel markers.
+//!
+//! A worker owns no policy and no clock authority: it counts what it is
+//! handed and echoes barriers. When the coordinator's connection closes
+//! (clean `Shutdown` or coordinator death), the worker exits; an orphaned
+//! `plasma-server` process would mean this invariant broke, which the
+//! `net-parity` CI job checks for explicitly.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use crate::frame::{Frame, FrameBuffer, WindowCounters};
+
+/// How the worker loop ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// The coordinator sent a clean [`Frame::Shutdown`].
+    Shutdown,
+    /// The coordinator's connection closed without a shutdown frame (its
+    /// process died); the worker exits rather than linger as an orphan.
+    Disconnected,
+}
+
+/// Runs the worker loop to completion: connect, hello, serve frames.
+///
+/// Returns how the loop ended, or an `io::Error` on connect/protocol
+/// failures (malformed frames surface as `InvalidData`).
+pub fn run(addr: &str, group: u32) -> std::io::Result<WorkerExit> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let hello = Frame::Hello { group }.encode_vec();
+    stream.write_all(&hello)?;
+
+    let mut fb = FrameBuffer::new();
+    let mut chunk = [0u8; 16 * 1024];
+    // Per-server window buckets. BTreeMap so sums fold in a deterministic
+    // order (the sums are commutative anyway, but determinism is the house
+    // style).
+    let mut servers: BTreeMap<u32, WindowCounters> = BTreeMap::new();
+    let mut reply = Vec::with_capacity(64);
+
+    loop {
+        while let Some(frame) = fb
+            .next()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
+        {
+            reply.clear();
+            match frame {
+                Frame::ServerUp { server, vcpus } => {
+                    let _ = vcpus;
+                    servers.entry(server).or_default();
+                }
+                Frame::ServerDown { server } => {
+                    let counters = servers.remove(&server).unwrap_or_default();
+                    Frame::ServerRetired { server, counters }.encode(&mut reply);
+                }
+                Frame::Deliver { delivery, delay_ns } => {
+                    let w = servers.entry(delivery.server).or_default();
+                    w.deliveries += 1;
+                    if delay_ns > 0 {
+                        w.delayed += 1;
+                        w.delay_ns_total += delay_ns;
+                        w.delay_ns_max = w.delay_ns_max.max(delay_ns);
+                    }
+                }
+                Frame::Execute { execution } => {
+                    let w = servers.entry(execution.server).or_default();
+                    w.executions += 1;
+                    w.busy_ns += execution.service_ns;
+                }
+                Frame::WindowMark { generation } => {
+                    let mut sum = WindowCounters::default();
+                    for w in servers.values_mut() {
+                        sum.fold(w);
+                        *w = WindowCounters::default();
+                    }
+                    Frame::WindowAck {
+                        generation,
+                        counters: sum,
+                    }
+                    .encode(&mut reply);
+                }
+                Frame::RoundMark { round } => {
+                    Frame::RoundAck { round }.encode(&mut reply);
+                }
+                Frame::Shutdown => return Ok(WorkerExit::Shutdown),
+                // Coordinator never sends worker->coordinator kinds or a
+                // second Hello; receiving one means the peer is confused.
+                Frame::Hello { .. }
+                | Frame::ServerRetired { .. }
+                | Frame::WindowAck { .. }
+                | Frame::RoundAck { .. } => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unexpected frame from coordinator: {frame:?}"),
+                    ));
+                }
+            }
+            if !reply.is_empty() {
+                stream.write_all(&reply)?;
+            }
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(WorkerExit::Disconnected);
+        }
+        fb.extend(&chunk[..n]);
+    }
+}
+
+/// Parses `plasma-server` CLI arguments: `--connect ADDR --group N`.
+///
+/// Returns `(addr, group)` or a usage error string.
+pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<(String, u32), String> {
+    let mut addr: Option<String> = None;
+    let mut group: Option<u32> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => match args.next() {
+                Some(a) => addr = Some(a),
+                None => return Err("--connect expects HOST:PORT".into()),
+            },
+            "--group" => match args.next().and_then(|g| g.parse().ok()) {
+                Some(g) => group = Some(g),
+                None => return Err("--group expects an integer".into()),
+            },
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    match (addr, group) {
+        (Some(a), Some(g)) => Ok((a, g)),
+        _ => Err("both --connect HOST:PORT and --group N are required".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> std::vec::IntoIter<String> {
+        s.iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn args_parse_and_reject() {
+        assert_eq!(
+            parse_args(argv(&["--connect", "127.0.0.1:9", "--group", "3"])).unwrap(),
+            ("127.0.0.1:9".to_string(), 3)
+        );
+        assert!(parse_args(argv(&["--connect", "x"])).is_err());
+        assert!(parse_args(argv(&["--group", "1"])).is_err());
+        assert!(parse_args(argv(&["--bogus"])).is_err());
+        assert!(parse_args(argv(&["--group", "zebra", "--connect", "x"])).is_err());
+    }
+}

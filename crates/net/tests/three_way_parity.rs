@@ -1,0 +1,104 @@
+//! Three-way parity: a same-seed scenario must serialize to byte-identical
+//! normalized BENCH JSON — and an identical decision digest — under sim,
+//! live, and net. This is the crate-level twin of the `net-parity` CI job
+//! (which runs the same gate through `plasma-eval parity`).
+
+use plasma_actor::BackendKind;
+use plasma_apps::common::EvalScale;
+use plasma_bench::eval::{run_scenario_on, ScenarioResult};
+use std::sync::Once;
+
+/// Points worker discovery at the binary cargo built for this test run,
+/// so the runtime's `NetConfig::default()` resolves it regardless of which
+/// target directory layout the test executes from.
+fn ensure_worker_bin() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        std::env::set_var("PLASMA_SERVER_BIN", env!("CARGO_BIN_EXE_plasma-server"));
+    });
+}
+
+/// The `plasma-eval parity` normalization: backend-clock `*_ns` counters
+/// and `backend_*` transport counters are carrier-dependent by design.
+fn normalized(mut r: ScenarioResult) -> String {
+    for (metric, v) in &mut r.metrics {
+        if metric.ends_with("_ns") || metric.starts_with("backend_") {
+            v.value = 0.0;
+        }
+    }
+    r.to_pretty_string()
+}
+
+fn run(name: &str, backend: BackendKind) -> ScenarioResult {
+    run_scenario_on(name, EvalScale::Smoke, None, backend).expect("known scenario")
+}
+
+/// Deciding scenarios (nonzero decision sequences) plus a chaos scenario
+/// that exercises the link-degradation → injected-delay path.
+const SCENARIOS: &[&str] = &["pagerank", "estore", "estore-chaos"];
+
+#[test]
+fn net_replays_sim_and_live_byte_for_byte() {
+    ensure_worker_bin();
+    for name in SCENARIOS {
+        let sim = run(name, BackendKind::Sim);
+        let digest = sim.metric("decision_digest").expect("present").value;
+        let decisions = sim.metric("decisions_total").expect("present").value;
+        assert!(decisions > 0.0, "`{name}` smoke preset must decide");
+
+        let net = run(name, BackendKind::Net);
+        assert_eq!(
+            net.metric("decision_digest").expect("present").value,
+            digest,
+            "`{name}`: net decision sequence diverged from sim"
+        );
+        let live = run(name, BackendKind::Live);
+
+        let sim_text = normalized(sim);
+        assert_eq!(
+            normalized(net),
+            sim_text,
+            "`{name}`: normalized BENCH diverged sim vs net"
+        );
+        assert_eq!(
+            normalized(live),
+            sim_text,
+            "`{name}`: normalized BENCH diverged sim vs live"
+        );
+    }
+}
+
+#[test]
+fn net_runs_are_deterministic_across_repeats() {
+    ensure_worker_bin();
+    let a = run("estore", BackendKind::Net);
+    let b = run("estore", BackendKind::Net);
+    assert_eq!(
+        a.metric("decision_digest").unwrap().value,
+        b.metric("decision_digest").unwrap().value
+    );
+    assert_eq!(
+        normalized(a),
+        normalized(b),
+        "net BENCH bytes not stable across repeats"
+    );
+}
+
+/// A net-backed run reports the transport counters (and actually spawned
+/// multiple worker processes) — checked at the runtime level through the
+/// same path `plasma-eval run --backend net` takes.
+#[test]
+fn net_run_reports_transport_scalars() {
+    ensure_worker_bin();
+    let r = run("estore", BackendKind::Net);
+    let frames = r.metric("backend_frames_sent").expect("present").value;
+    let bytes = r.metric("backend_wire_bytes_sent").expect("present").value;
+    assert!(frames > 0.0, "net run must ship frames");
+    assert!(bytes > frames, "frames are multi-byte");
+    assert!(r.metric("backend_frames_received").unwrap().value > 0.0);
+    assert!(r.metric("backend_max_inflight").unwrap().value > 0.0);
+    // Under sim the same metrics exist and are identically zero.
+    let s = run("estore", BackendKind::Sim);
+    assert_eq!(s.metric("backend_frames_sent").unwrap().value, 0.0);
+    assert_eq!(s.metric("backend_wire_bytes_sent").unwrap().value, 0.0);
+}
