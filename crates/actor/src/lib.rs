@@ -38,6 +38,9 @@ pub use controller::{ControlFault, ElasticityController, NullController};
 pub use ids::{ActorId, ActorTypeId, ClientId, FnId};
 pub use logic::{ActorCtx, ActorLogic, ClientCtx, ClientLogic};
 pub use message::{CallerKind, Message};
-pub use plasma_backend::{BackendKind, BackendStats};
+pub use plasma_backend::{
+    report_scale_votes, BackendKind, BackendStats, ControlDecision, ControlMsg, ControlQuery,
+    ControlReply, MigrationOrder, ServerReport,
+};
 pub use report::{DecisionKind, DecisionRecord, RunReport};
 pub use runtime::{DecommissionError, Runtime, RuntimeConfig};

@@ -21,7 +21,10 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
-use plasma_backend::{BackendKind, BackendStats, Delivery, Execution, ExecutionBackend};
+use plasma_backend::{
+    BackendKind, BackendStats, ControlDecision, ControlMsg, ControlQuery, ControlReply, Delivery,
+    Execution, ExecutionBackend, ServerReport,
+};
 use plasma_chaos::fault::FaultKind;
 use plasma_chaos::{FaultPlan, RecoveryPolicy};
 use plasma_cluster::topology::ClusterLimits;
@@ -221,7 +224,8 @@ impl Runtime {
         // backend crate and is routed here rather than through `make`.
         let backend: Box<dyn ExecutionBackend> = match cfg.backend {
             BackendKind::Net => Box::new(
-                plasma_net::NetBackend::launch(plasma_net::NetConfig::default())
+                plasma_net::NetConfig::from_env()
+                    .and_then(plasma_net::NetBackend::launch)
                     .unwrap_or_else(|e| panic!("launching net backend workers: {e}")),
             ),
             kind => plasma_backend::make(kind),
@@ -1517,6 +1521,16 @@ impl Runtime {
         self.deltas
             .push_back(SnapshotDelta::between(&self.snapshot, &next));
         self.snapshot = next;
+        // Publish every running server's LEM report row to the carrier
+        // before the barrier closes the window: worker-held rows become
+        // byte-exact copies of what the EMR's `EvalFrame` computes from
+        // this same snapshot generation, which is what lets QREPLY
+        // candidates reproduce the shared-snapshot decision bit-for-bit.
+        for sid in self.cluster.running_ids() {
+            let report = self.server_report(sid);
+            self.backend
+                .publish_report(self.snapshot.generation, &report);
+        }
         // Barrier the carrier on the freshly built generation; under live
         // this verifies exactly-once carriage of the window's events.
         self.backend.window_close(self.snapshot.generation);
@@ -1997,10 +2011,55 @@ impl Runtime {
         for ev in self.cluster.drain_lifecycle() {
             if ev.up {
                 self.backend.server_up(ev.server.0, ev.vcpus);
+                // A server booted mid-window has no usage row in the
+                // current snapshot; publish the zero-usage row EvalFrame
+                // computes for it so a query between boot and the next
+                // window roll sees the same candidates either way.
+                let report = self.server_report(ev.server);
+                self.backend
+                    .publish_report(self.snapshot.generation, &report);
             } else {
                 self.backend.server_down(ev.server.0);
             }
         }
+    }
+
+    /// Builds the LEM report row for `sid` against the current snapshot —
+    /// the byte-exact mirror of the EMR's `ServerMeta` derivation (usage
+    /// from the snapshot row, zeros for servers booted after it; capacity
+    /// from the instance type). f64 fields travel as raw bit patterns so
+    /// the wire cannot perturb them.
+    fn server_report(&self, sid: ServerId) -> ServerReport {
+        let (cpu, mem, net, actor_count) = match self.snapshot.server(sid) {
+            Some(s) => (s.usage.cpu(), s.usage.mem(), s.usage.net(), s.actor_count),
+            None => (0.0, 0.0, 0.0, 0),
+        };
+        let inst = self.cluster.server(sid).instance();
+        ServerReport {
+            server: sid.0,
+            vcpus: inst.vcpus,
+            actor_count: actor_count as u64,
+            mem_bytes: inst.mem_bytes,
+            total_speed_bits: inst.total_speed().to_bits(),
+            net_bps_bits: inst.net_bps.to_bits(),
+            cpu_bits: cpu.to_bits(),
+            mem_bits: mem.to_bits(),
+            net_bits: net.to_bits(),
+        }
+    }
+
+    /// Sends a GEM policy query over the control carriage and returns the
+    /// per-carrier replies. Lifecycle events are synced first so the
+    /// carrier and the logical cluster agree on which servers are up.
+    pub fn control_query(&mut self, query: ControlQuery) -> Vec<ControlReply> {
+        self.sync_backend_lifecycle();
+        self.backend.control(&ControlMsg::Query(query))
+    }
+
+    /// Broadcasts a GEM decision over the control carriage (audit/metrics
+    /// traffic: workers count it, nothing feeds back).
+    pub fn control_decision(&mut self, decision: ControlDecision) {
+        self.backend.control(&ControlMsg::Decision(decision));
     }
 
     fn ensure_server_slots(&mut self, id: ServerId) {
@@ -2065,6 +2124,11 @@ impl Runtime {
             put("worker_busy_ms", s.worker_busy_ns as f64 / 1e6);
             put("channel_latency_us_mean", s.channel_latency_us_mean());
             put("channel_latency_us_max", s.channel_ns_max as f64 / 1e3);
+            put("control_reports", s.control_reports as f64);
+            put("control_queries", s.control_queries as f64);
+            put("control_replies", s.control_replies as f64);
+            put("control_decisions", s.control_decisions as f64);
+            put("control_wire_bytes", s.control_wire_bytes as f64);
             if self.backend.kind() == BackendKind::Net {
                 put("frames_sent", s.frames_sent as f64);
                 put("frames_received", s.frames_received as f64);

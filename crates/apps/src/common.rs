@@ -118,6 +118,14 @@ pub struct ElasticityEval {
     pub backend_wire_bytes_received: u64,
     /// Most frames ever outstanding between carrier barriers (net only).
     pub backend_max_inflight: u64,
+    /// GEM control queries sent over the carrier (one per GEM per round).
+    pub control_queries: u64,
+    /// QREPLY candidate batches carried back (one per carrier partition
+    /// holding in-scope servers: 1 under sim, per-server under live,
+    /// per-group under net).
+    pub control_replies: u64,
+    /// Wire bytes of QUERY/QREPLY/DECISION control frames (net only).
+    pub control_wire_bytes: u64,
 }
 
 impl ElasticityEval {
@@ -187,6 +195,9 @@ impl ElasticityEval {
             backend_wire_bytes_sent: backend.wire_bytes_sent,
             backend_wire_bytes_received: backend.wire_bytes_received,
             backend_max_inflight: backend.max_inflight_frames,
+            control_queries: backend.control_queries,
+            control_replies: backend.control_replies,
+            control_wire_bytes: backend.control_wire_bytes,
         }
     }
 }

@@ -37,10 +37,15 @@
 //! whose field codec is this crate's [`wire`] module. The `net-parity` CI
 //! job extends the gate three ways (sim/live/net).
 
+pub mod control;
 pub mod live;
 pub mod sim;
 pub mod wire;
 
+pub use control::{
+    answer_query, report_scale_votes, ControlDecision, ControlMsg, ControlQuery, ControlReply,
+    MigrationOrder, ServerReport,
+};
 pub use live::LiveBackend;
 pub use sim::SimBackend;
 
@@ -164,6 +169,18 @@ pub struct BackendStats {
     /// Most frames ever outstanding between two carrier barriers (net
     /// backend only): frames written since the last fully-acked barrier.
     pub max_inflight_frames: u64,
+    /// LEM report rows published to the carrier.
+    pub control_reports: u64,
+    /// GEM control queries carried.
+    pub control_queries: u64,
+    /// Query replies carried back. Carrier-dependent fan-out: one merged
+    /// reply under sim, one per in-scope worker under live/net.
+    pub control_replies: u64,
+    /// Round decisions broadcast.
+    pub control_decisions: u64,
+    /// Wire bytes of control-plane traffic, both directions (net backend
+    /// only; 0 under sim/live where control rides channels, not bytes).
+    pub control_wire_bytes: u64,
 }
 
 impl BackendStats {
@@ -224,6 +241,31 @@ pub trait ExecutionBackend {
 
     /// Barriers all carriers at an elasticity-round boundary.
     fn round_barrier(&mut self, round: u64);
+
+    /// Publishes one server's LEM report row to the carrier — the REPORT
+    /// step of the control plane. Called once per running server when a
+    /// profiling window closes (and once, with a zero-utilization row, when
+    /// a server boots mid-window), before any query against `generation`.
+    /// The row must be a byte-exact copy of the coordinator's snapshot
+    /// data: carriers hold it verbatim and echo it back in query replies.
+    fn publish_report(&mut self, generation: u64, report: &ServerReport);
+
+    /// Carries one control-plane message.
+    ///
+    /// For [`ControlMsg::Query`] the call is synchronous: the carrier
+    /// routes the query to every LEM holding in-scope reports and returns
+    /// their replies in a deterministic order (scope-group order under
+    /// net, server order under live, one merged reply under sim). For
+    /// [`ControlMsg::Decision`] the message is broadcast and the return is
+    /// empty. [`ControlMsg::Reply`] never originates at the coordinator.
+    ///
+    /// This is the one deliberate relaxation of the "nothing the backend
+    /// returns may alter logical scheduling" rule: replies *do* feed the
+    /// GEM's decision — but every candidate row is a bit-exact copy of
+    /// snapshot state the coordinator itself published, so the decision
+    /// sequence remains a pure function of logical state (the N-way parity
+    /// gate holds the carriages to that).
+    fn control(&mut self, msg: &ControlMsg) -> Vec<ControlReply>;
 
     /// Announces the currently injected cross-server transport delay in
     /// nanoseconds (`0` clears it). The chaos layer calls this when a
@@ -308,5 +350,73 @@ mod tests {
             counts.push((s.deliveries, s.executions, s.windows_closed, s.rounds));
         }
         assert_eq!(counts[0], counts[1]);
+    }
+
+    /// Both in-process carriers hand back the same merged candidate rows
+    /// for a query — the control-plane half of the parity property.
+    #[test]
+    fn backends_agree_on_control_candidates() {
+        let query = ControlQuery {
+            gem: 0,
+            round: 1,
+            generation: 1,
+            upper_bits: 0.8_f64.to_bits(),
+            lower_bits: 0.2_f64.to_bits(),
+            scope: vec![1, 0],
+        };
+        let mut merged = Vec::new();
+        for kind in [BackendKind::Sim, BackendKind::Live] {
+            let mut b = make(kind);
+            b.server_up(0, 2);
+            b.server_up(1, 2);
+            for s in 0..2u32 {
+                b.publish_report(
+                    1,
+                    &ServerReport {
+                        server: s,
+                        vcpus: 2,
+                        actor_count: u64::from(s),
+                        mem_bytes: 1 << 30,
+                        total_speed_bits: 1000.0_f64.to_bits(),
+                        net_bps_bits: 1e9_f64.to_bits(),
+                        cpu_bits: (0.3 + f64::from(s) * 0.2).to_bits(),
+                        mem_bits: 0.1_f64.to_bits(),
+                        net_bits: 0.0_f64.to_bits(),
+                    },
+                );
+            }
+            let replies = b.control(&ControlMsg::Query(query.clone()));
+            assert!(!replies.is_empty(), "{kind:?} must answer a query");
+            // Reassemble candidates in scope order, as the GEM does.
+            let mut rows = Vec::new();
+            for &s in &query.scope {
+                for r in &replies {
+                    if let Some(c) = r.candidates.iter().find(|c| c.server == s) {
+                        rows.push(*c);
+                    }
+                }
+            }
+            assert!(
+                b.control(&ControlMsg::Decision(ControlDecision {
+                    round: 1,
+                    grow: 0,
+                    shrink: 0,
+                    migrations: vec![MigrationOrder {
+                        actor: 7,
+                        src: 0,
+                        dst: 1
+                    }],
+                }))
+                .is_empty(),
+                "decisions return no replies"
+            );
+            let s = b.stats();
+            assert_eq!((s.control_reports, s.control_queries), (2, 1));
+            assert_eq!(s.control_decisions, 1);
+            b.shutdown();
+            merged.push(rows);
+        }
+        assert_eq!(merged[0].len(), 2);
+        assert_eq!(merged[0], merged[1]);
     }
 }

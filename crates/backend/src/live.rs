@@ -27,7 +27,10 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use crate::{BackendKind, BackendStats, Delivery, Execution, ExecutionBackend, WindowReport};
+use crate::control::{answer_query, ControlDecision, ControlMsg, ControlQuery, ControlReply};
+use crate::{
+    BackendKind, BackendStats, Delivery, Execution, ExecutionBackend, ServerReport, WindowReport,
+};
 
 /// How long a barrier waits for one worker ack before declaring the window
 /// broken. Generous: a worker only does counter arithmetic per message.
@@ -53,6 +56,20 @@ enum WorkerMsg {
     RoundMark {
         ack: Sender<u32>,
     },
+    /// LEM report row for the worker's own server.
+    Report {
+        generation: u64,
+        report: ServerReport,
+    },
+    /// GEM query; the worker answers from the report rows it holds.
+    Query {
+        query: ControlQuery,
+        ack: Sender<ControlReply>,
+    },
+    /// Round decision broadcast (accounting only on this carrier).
+    Decision {
+        decision: ControlDecision,
+    },
     Shutdown,
 }
 
@@ -65,6 +82,13 @@ struct WorkerWindow {
     channel_ns_total: u64,
     channel_ns_max: u64,
     channel_samples: u64,
+    /// Control-plane carriage counts, verified at the barrier like the
+    /// data-plane ones: report rows received, queries answered, replies
+    /// returned, decisions seen.
+    reports: u64,
+    queries: u64,
+    replies: u64,
+    decisions: u64,
 }
 
 struct WorkerHandle {
@@ -81,6 +105,10 @@ pub struct LiveBackend {
     /// workers' counts at the barrier.
     sent_deliveries: u64,
     sent_executions: u64,
+    sent_reports: u64,
+    sent_queries: u64,
+    recv_replies: u64,
+    sent_decisions: u64,
     /// Partial-window accounting drained from workers that went down
     /// mid-window (crashes, decommissions); folded into the next barrier.
     retired: WorkerWindow,
@@ -102,6 +130,10 @@ impl LiveBackend {
             stats: BackendStats::default(),
             sent_deliveries: 0,
             sent_executions: 0,
+            sent_reports: 0,
+            sent_queries: 0,
+            recv_replies: 0,
+            sent_decisions: 0,
             retired: WorkerWindow::default(),
             shut: false,
         }
@@ -118,6 +150,10 @@ impl LiveBackend {
         acc.channel_ns_total += w.channel_ns_total;
         acc.channel_ns_max = acc.channel_ns_max.max(w.channel_ns_max);
         acc.channel_samples += w.channel_samples;
+        acc.reports += w.reports;
+        acc.queries += w.queries;
+        acc.replies += w.replies;
+        acc.decisions += w.decisions;
     }
 
     /// Barriers every live worker, returning the summed window accounting
@@ -242,7 +278,11 @@ impl ExecutionBackend for LiveBackend {
         self.retired = WorkerWindow::default();
         let matched = complete
             && sum.deliveries == self.sent_deliveries
-            && sum.executions == self.sent_executions;
+            && sum.executions == self.sent_executions
+            && sum.reports == self.sent_reports
+            && sum.queries == self.sent_queries
+            && sum.replies == self.recv_replies
+            && sum.decisions == self.sent_decisions;
         let report = WindowReport {
             generation,
             deliveries: sum.deliveries,
@@ -259,6 +299,10 @@ impl ExecutionBackend for LiveBackend {
         self.stats.channel_samples += sum.channel_samples;
         self.sent_deliveries = 0;
         self.sent_executions = 0;
+        self.sent_reports = 0;
+        self.sent_queries = 0;
+        self.recv_replies = 0;
+        self.sent_decisions = 0;
         report
     }
 
@@ -286,6 +330,77 @@ impl ExecutionBackend for LiveBackend {
         self.stats.rounds += 1;
     }
 
+    fn publish_report(&mut self, generation: u64, report: &ServerReport) {
+        if let Some(handle) = self.workers.get(&report.server) {
+            if handle
+                .tx
+                .send(WorkerMsg::Report {
+                    generation,
+                    report: *report,
+                })
+                .is_ok()
+            {
+                self.sent_reports += 1;
+            }
+        }
+        self.stats.control_reports += 1;
+    }
+
+    fn control(&mut self, msg: &ControlMsg) -> Vec<ControlReply> {
+        match msg {
+            ControlMsg::Query(q) => {
+                self.stats.control_queries += 1;
+                // Route the query to each in-scope worker with its own ack
+                // channel and collect in scope order, so the reply sequence
+                // is deterministic regardless of thread interleaving.
+                let mut pending = Vec::new();
+                for &server in &q.scope {
+                    let Some(handle) = self.workers.get(&server) else {
+                        continue;
+                    };
+                    let (ack_tx, ack_rx): (Sender<ControlReply>, Receiver<ControlReply>) =
+                        unbounded();
+                    if handle
+                        .tx
+                        .send(WorkerMsg::Query {
+                            query: q.clone(),
+                            ack: ack_tx,
+                        })
+                        .is_ok()
+                    {
+                        self.sent_queries += 1;
+                        pending.push(ack_rx);
+                    }
+                }
+                let mut replies = Vec::with_capacity(pending.len());
+                for rx in pending {
+                    if let Ok(reply) = rx.recv_timeout(ACK_TIMEOUT) {
+                        self.recv_replies += 1;
+                        replies.push(reply);
+                    }
+                }
+                self.stats.control_replies += replies.len() as u64;
+                replies
+            }
+            ControlMsg::Decision(d) => {
+                self.stats.control_decisions += 1;
+                for handle in self.workers.values() {
+                    if handle
+                        .tx
+                        .send(WorkerMsg::Decision {
+                            decision: d.clone(),
+                        })
+                        .is_ok()
+                    {
+                        self.sent_decisions += 1;
+                    }
+                }
+                Vec::new()
+            }
+            ControlMsg::Reply(_) => Vec::new(),
+        }
+    }
+
     fn stats(&self) -> BackendStats {
         let mut s = self.stats;
         s.wall_ns = self.now_ns();
@@ -310,9 +425,12 @@ impl Drop for LiveBackend {
     }
 }
 
-/// The per-server worker: receive, account, ack barriers.
+/// The per-server worker: receive, account, ack barriers, answer queries
+/// from the report rows it holds (its own server's only, on this carrier).
 fn worker_loop(epoch: Instant, rx: Receiver<WorkerMsg>) {
     let mut window = WorkerWindow::default();
+    let mut held: BTreeMap<u32, ServerReport> = BTreeMap::new();
+    let mut held_generation = 0u64;
     while let Ok(msg) = rx.recv() {
         match msg {
             WorkerMsg::Deliver {
@@ -338,6 +456,23 @@ fn worker_loop(epoch: Instant, rx: Receiver<WorkerMsg>) {
             }
             WorkerMsg::RoundMark { ack } => {
                 let _ = ack.send(0);
+            }
+            WorkerMsg::Report { generation, report } => {
+                if generation != held_generation {
+                    held.clear();
+                    held_generation = generation;
+                }
+                held.insert(report.server, report);
+                window.reports += 1;
+            }
+            WorkerMsg::Query { query, ack } => {
+                window.queries += 1;
+                window.replies += 1;
+                let _ = ack.send(answer_query(held_generation, &held, &query));
+            }
+            WorkerMsg::Decision { decision } => {
+                let _ = decision;
+                window.decisions += 1;
             }
             WorkerMsg::Shutdown => break,
         }

@@ -20,6 +20,7 @@
 //!   protocol contract and must not change under us when a dependency
 //!   changes its derive output.
 
+use crate::control::{ControlDecision, ControlQuery, ControlReply, MigrationOrder, ServerReport};
 use crate::{Delivery, Execution};
 
 /// Why a buffer failed to decode.
@@ -188,6 +189,181 @@ impl Execution {
     }
 }
 
+/// Reads a `u32` element count and verifies the buffer can possibly hold
+/// that many `item_len`-byte elements, so a corrupt count fails as a clean
+/// [`DecodeError::Truncated`] instead of a giant allocation.
+fn counted(c: &mut WireCursor<'_>, item_len: usize) -> Result<usize, DecodeError> {
+    let n = c.u32()? as usize;
+    if n.saturating_mul(item_len) > c.remaining() {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(n)
+}
+
+impl ServerReport {
+    /// Wire size of an encoded report, in bytes.
+    pub const WIRE_LEN: usize = 4 + 4 + 8 * 7;
+
+    /// Appends the wire encoding: `server:u32 vcpus:u32 actor_count:u64
+    /// mem_bytes:u64 total_speed:u64 net_bps:u64 cpu:u64 mem:u64 net:u64`
+    /// (the trailing five are `f64` bit patterns).
+    pub fn wire_encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.server);
+        put_u32(out, self.vcpus);
+        put_u64(out, self.actor_count);
+        put_u64(out, self.mem_bytes);
+        put_u64(out, self.total_speed_bits);
+        put_u64(out, self.net_bps_bits);
+        put_u64(out, self.cpu_bits);
+        put_u64(out, self.mem_bits);
+        put_u64(out, self.net_bits);
+    }
+
+    /// Decodes a report from the cursor.
+    pub fn wire_decode(c: &mut WireCursor<'_>) -> Result<Self, DecodeError> {
+        Ok(ServerReport {
+            server: c.u32()?,
+            vcpus: c.u32()?,
+            actor_count: c.u64()?,
+            mem_bytes: c.u64()?,
+            total_speed_bits: c.u64()?,
+            net_bps_bits: c.u64()?,
+            cpu_bits: c.u64()?,
+            mem_bits: c.u64()?,
+            net_bits: c.u64()?,
+        })
+    }
+}
+
+impl ControlQuery {
+    /// Appends the wire encoding: `gem:u32 round:u64 generation:u64
+    /// upper:u64 lower:u64 n:u32 scope:[u32; n]`.
+    pub fn wire_encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.gem);
+        put_u64(out, self.round);
+        put_u64(out, self.generation);
+        put_u64(out, self.upper_bits);
+        put_u64(out, self.lower_bits);
+        put_u32(out, self.scope.len() as u32);
+        for &s in &self.scope {
+            put_u32(out, s);
+        }
+    }
+
+    /// Decodes a query from the cursor.
+    pub fn wire_decode(c: &mut WireCursor<'_>) -> Result<Self, DecodeError> {
+        let gem = c.u32()?;
+        let round = c.u64()?;
+        let generation = c.u64()?;
+        let upper_bits = c.u64()?;
+        let lower_bits = c.u64()?;
+        let n = counted(c, 4)?;
+        let mut scope = Vec::with_capacity(n);
+        for _ in 0..n {
+            scope.push(c.u32()?);
+        }
+        Ok(ControlQuery {
+            gem,
+            round,
+            generation,
+            upper_bits,
+            lower_bits,
+            scope,
+        })
+    }
+}
+
+impl ControlReply {
+    /// Appends the wire encoding: `gem:u32 round:u64 generation:u64
+    /// vote_out:bool vote_in:bool n:u32 candidates:[ServerReport; n]`.
+    pub fn wire_encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.gem);
+        put_u64(out, self.round);
+        put_u64(out, self.generation);
+        put_bool(out, self.vote_out);
+        put_bool(out, self.vote_in);
+        put_u32(out, self.candidates.len() as u32);
+        for cand in &self.candidates {
+            cand.wire_encode(out);
+        }
+    }
+
+    /// Decodes a reply from the cursor.
+    pub fn wire_decode(c: &mut WireCursor<'_>) -> Result<Self, DecodeError> {
+        let gem = c.u32()?;
+        let round = c.u64()?;
+        let generation = c.u64()?;
+        let vote_out = c.bool()?;
+        let vote_in = c.bool()?;
+        let n = counted(c, ServerReport::WIRE_LEN)?;
+        let mut candidates = Vec::with_capacity(n);
+        for _ in 0..n {
+            candidates.push(ServerReport::wire_decode(c)?);
+        }
+        Ok(ControlReply {
+            gem,
+            round,
+            generation,
+            vote_out,
+            vote_in,
+            candidates,
+        })
+    }
+}
+
+impl MigrationOrder {
+    /// Wire size of an encoded migration order, in bytes.
+    pub const WIRE_LEN: usize = 8 + 4 + 4;
+
+    /// Appends the wire encoding: `actor:u64 src:u32 dst:u32`.
+    pub fn wire_encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.actor);
+        put_u32(out, self.src);
+        put_u32(out, self.dst);
+    }
+
+    /// Decodes a migration order from the cursor.
+    pub fn wire_decode(c: &mut WireCursor<'_>) -> Result<Self, DecodeError> {
+        Ok(MigrationOrder {
+            actor: c.u64()?,
+            src: c.u32()?,
+            dst: c.u32()?,
+        })
+    }
+}
+
+impl ControlDecision {
+    /// Appends the wire encoding: `round:u64 grow:u32 shrink:u32 n:u32
+    /// migrations:[MigrationOrder; n]`.
+    pub fn wire_encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.round);
+        put_u32(out, self.grow);
+        put_u32(out, self.shrink);
+        put_u32(out, self.migrations.len() as u32);
+        for m in &self.migrations {
+            m.wire_encode(out);
+        }
+    }
+
+    /// Decodes a decision from the cursor.
+    pub fn wire_decode(c: &mut WireCursor<'_>) -> Result<Self, DecodeError> {
+        let round = c.u64()?;
+        let grow = c.u32()?;
+        let shrink = c.u32()?;
+        let n = counted(c, MigrationOrder::WIRE_LEN)?;
+        let mut migrations = Vec::with_capacity(n);
+        for _ in 0..n {
+            migrations.push(MigrationOrder::wire_decode(c)?);
+        }
+        Ok(ControlDecision {
+            round,
+            grow,
+            shrink,
+            migrations,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,5 +435,178 @@ mod tests {
             Delivery::wire_decode(&mut WireCursor::new(&buf)).unwrap_err(),
             DecodeError::BadBool(2)
         );
+    }
+
+    #[test]
+    fn server_report_wire_len_is_exact() {
+        let r = ServerReport {
+            server: 9,
+            vcpus: 4,
+            actor_count: 17,
+            mem_bytes: 1 << 34,
+            total_speed_bits: 2000.0_f64.to_bits(),
+            net_bps_bits: 1e10_f64.to_bits(),
+            cpu_bits: 0.75_f64.to_bits(),
+            mem_bits: 0.5_f64.to_bits(),
+            net_bits: 0.25_f64.to_bits(),
+        };
+        let mut buf = Vec::new();
+        r.wire_encode(&mut buf);
+        assert_eq!(buf.len(), ServerReport::WIRE_LEN);
+        assert_eq!(ServerReport::wire_decode(&mut WireCursor::new(&buf)), Ok(r));
+    }
+
+    #[test]
+    fn corrupt_counts_fail_cleanly() {
+        let q = ControlQuery {
+            gem: 0,
+            round: 1,
+            generation: 2,
+            upper_bits: 0,
+            lower_bits: 0,
+            scope: vec![1, 2, 3],
+        };
+        let mut buf = Vec::new();
+        q.wire_encode(&mut buf);
+        // Inflate the element count far past the buffer: the decoder must
+        // reject it without attempting the allocation.
+        let at = 4 + 8 * 4;
+        buf[at..at + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(
+            ControlQuery::wire_decode(&mut WireCursor::new(&buf)).unwrap_err(),
+            DecodeError::Truncated
+        );
+    }
+
+    mod control_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Full-width integer strategies (the offline proptest stand-in has
+        /// range strategies only; `..MAX` loses one value, which is fine).
+        fn u64s() -> std::ops::Range<u64> {
+            0..u64::MAX
+        }
+
+        fn u32s() -> std::ops::Range<u32> {
+            0..u32::MAX
+        }
+
+        fn bools() -> impl Strategy<Value = bool> {
+            (0u8..2).prop_map(|b| b == 1)
+        }
+
+        fn arb_report() -> impl Strategy<Value = ServerReport> {
+            (
+                u32s(),
+                u32s(),
+                u64s(),
+                u64s(),
+                (u64s(), u64s()),
+                (u64s(), u64s(), u64s()),
+            )
+                .prop_map(
+                    |(server, vcpus, actor_count, mem_bytes, (speed, bps), (cpu, mem, net))| {
+                        ServerReport {
+                            server,
+                            vcpus,
+                            actor_count,
+                            mem_bytes,
+                            total_speed_bits: speed,
+                            net_bps_bits: bps,
+                            cpu_bits: cpu,
+                            mem_bits: mem,
+                            net_bits: net,
+                        }
+                    },
+                )
+        }
+
+        proptest! {
+            /// Decode∘encode is the identity and re-encoding reproduces the
+            /// bytes — for arbitrary queries, including raw-bit NaN floats.
+            #[test]
+            fn query_round_trips(
+                gem in u32s(),
+                round in u64s(),
+                generation in u64s(),
+                upper_bits in u64s(),
+                lower_bits in u64s(),
+                scope in proptest::collection::vec(u32s(), 0..64),
+            ) {
+                let q = ControlQuery { gem, round, generation, upper_bits, lower_bits, scope };
+                let mut buf = Vec::new();
+                q.wire_encode(&mut buf);
+                let mut c = WireCursor::new(&buf);
+                let back = ControlQuery::wire_decode(&mut c).unwrap();
+                prop_assert_eq!(c.consumed(), buf.len());
+                prop_assert_eq!(&back, &q);
+                let mut again = Vec::new();
+                back.wire_encode(&mut again);
+                prop_assert_eq!(again, buf);
+            }
+
+            #[test]
+            fn reply_round_trips(
+                gem in u32s(),
+                round in u64s(),
+                generation in u64s(),
+                vote_out in bools(),
+                vote_in in bools(),
+                candidates in proptest::collection::vec(arb_report(), 0..32),
+            ) {
+                let r = ControlReply { gem, round, generation, vote_out, vote_in, candidates };
+                let mut buf = Vec::new();
+                r.wire_encode(&mut buf);
+                let mut c = WireCursor::new(&buf);
+                let back = ControlReply::wire_decode(&mut c).unwrap();
+                prop_assert_eq!(c.consumed(), buf.len());
+                prop_assert_eq!(&back, &r);
+                let mut again = Vec::new();
+                back.wire_encode(&mut again);
+                prop_assert_eq!(again, buf);
+            }
+
+            #[test]
+            fn decision_round_trips(
+                round in u64s(),
+                grow in u32s(),
+                shrink in u32s(),
+                migrations in proptest::collection::vec(
+                    (u64s(), u32s(), u32s())
+                        .prop_map(|(actor, src, dst)| MigrationOrder { actor, src, dst }),
+                    0..64,
+                ),
+            ) {
+                let d = ControlDecision { round, grow, shrink, migrations };
+                let mut buf = Vec::new();
+                d.wire_encode(&mut buf);
+                let mut c = WireCursor::new(&buf);
+                let back = ControlDecision::wire_decode(&mut c).unwrap();
+                prop_assert_eq!(c.consumed(), buf.len());
+                prop_assert_eq!(&back, &d);
+                let mut again = Vec::new();
+                back.wire_encode(&mut again);
+                prop_assert_eq!(again, buf);
+            }
+
+            /// Truncating an encoded reply at any byte fails cleanly.
+            #[test]
+            fn reply_truncation_is_clean(
+                candidates in proptest::collection::vec(arb_report(), 0..8),
+                frac in 0.0f64..1.0,
+            ) {
+                let r = ControlReply {
+                    gem: 1, round: 2, generation: 3,
+                    vote_out: false, vote_in: true, candidates,
+                };
+                let mut buf = Vec::new();
+                r.wire_encode(&mut buf);
+                let cut = (buf.len() as f64 * frac) as usize;
+                prop_assert!(cut < buf.len());
+                let err = ControlReply::wire_decode(&mut WireCursor::new(&buf[..cut]));
+                prop_assert_eq!(err.unwrap_err(), DecodeError::Truncated);
+            }
+        }
     }
 }

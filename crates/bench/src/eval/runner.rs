@@ -192,6 +192,24 @@ fn push_common(result: &mut ScenarioResult, eval: &ElasticityEval, rebalance_dir
         eval.backend_max_inflight as f64,
         Direction::Info,
     );
+    // Control-plane carriage counters: reply/byte counts depend on the
+    // carrier's partitioning, so the parity normalizer zeroes the
+    // `control_` prefix the same way it zeroes `backend_`.
+    result.push(
+        "control_queries",
+        eval.control_queries as f64,
+        Direction::Info,
+    );
+    result.push(
+        "control_replies",
+        eval.control_replies as f64,
+        Direction::Info,
+    );
+    result.push(
+        "control_wire_bytes",
+        eval.control_wire_bytes as f64,
+        Direction::Info,
+    );
 }
 
 /// Pushes the recovery metrics of a chaos scenario.

@@ -175,12 +175,17 @@ fn cmd_run(args: &[String]) -> ExitCode {
 
 /// Zeroes carrier-dependent metrics so the byte comparison only sees
 /// deterministic values: `*_ns` backend-clock counters are identically 0
-/// under sim and host-dependent under live, and `backend_*` transport
+/// under sim and host-dependent under live, `backend_*` transport
 /// counters describe the carrier itself (frames, wire bytes, injected
-/// delay), which legitimately differs per medium.
+/// delay), and `control_*` counters depend on how the carrier partitions
+/// the control plane (reply counts per query, wire footprint) — all of
+/// which legitimately differ per medium.
 fn normalize_for_parity(r: &mut ScenarioResult) {
     for (metric, v) in &mut r.metrics {
-        if metric.ends_with("_ns") || metric.starts_with("backend_") {
+        if metric.ends_with("_ns")
+            || metric.starts_with("backend_")
+            || metric.starts_with("control_")
+        {
             v.value = 0.0;
         }
     }

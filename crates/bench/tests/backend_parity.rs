@@ -25,11 +25,16 @@ fn digest_of(name: &str, backend: BackendKind) -> (f64, f64, String) {
     let digest = r.metric("decision_digest").expect("metric present").value;
     // Backend-clock nanosecond counters (`*_ns`) are identically 0 under
     // sim and host-dependent under live, and `backend_*` transport counters
-    // describe the carrier itself; zero both so the byte comparison only
-    // sees deterministic metrics — the same normalization the `plasma-eval
+    // describe the carrier itself; `control_*` reply/byte tallies are
+    // carrier-shaped too (one reply per query under sim, one per worker
+    // under live). Zero all three so the byte comparison only sees
+    // deterministic metrics — the same normalization the `plasma-eval
     // parity` subcommand applies.
     for (metric, v) in &mut r.metrics {
-        if metric.ends_with("_ns") || metric.starts_with("backend_") {
+        if metric.ends_with("_ns")
+            || metric.starts_with("backend_")
+            || metric.starts_with("control_")
+        {
             v.value = 0.0;
         }
     }

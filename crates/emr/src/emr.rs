@@ -21,7 +21,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use plasma_actor::ids::{ActorId, ActorTypeId};
-use plasma_actor::{ElasticityController, Runtime};
+use plasma_actor::{
+    ControlDecision, ControlQuery, ElasticityController, MigrationOrder, Runtime, ServerReport,
+};
 use plasma_cluster::{InstanceType, ServerId};
 use plasma_epl::analyze::CompiledPolicy;
 use plasma_epl::ast::{ActorRef, Behavior, Cond, Feature};
@@ -109,6 +111,10 @@ struct Round {
     /// window (or an injected snapshot-skew fault) rolls a new generation
     /// before the apply instant, the apply phase detects the skew.
     planned_generation: u64,
+    /// Servers requested this round (for the decision broadcast).
+    grow: u32,
+    /// Servers put into draining this round (for the decision broadcast).
+    shrink: u32,
     actions: Vec<Action>,
 }
 
@@ -382,6 +388,7 @@ impl PlasmaEmr {
             }
         };
         let mut consumers: u32 = 0;
+        let bounds = self.policy_bounds();
         let (mut lem_plan, planned_generation) = {
             let bound = BoundPolicy::bind(&self.policy, &frame);
             for (gem_idx, servers) in assignment.iter().enumerate() {
@@ -390,7 +397,62 @@ impl PlasmaEmr {
                 if servers.len() <= self.cfg.k_reports {
                     continue;
                 }
-                let ctx = EvalCtx::scoped(&frame, servers);
+                // Alg. 2's QUERY, carried as first-class control traffic:
+                // the GEM asks the execution backend for its managed
+                // servers' report rows rather than reading the shared
+                // snapshot directly. Replies carry bit-exact copies of
+                // the rows the runtime published at window roll, so the
+                // context built from them is interchangeable with the
+                // shared-snapshot path — debug-asserted below, and
+                // enforced release-mode by the N-way parity suite.
+                let query = ControlQuery {
+                    gem: gem_idx as u32,
+                    round: round_no,
+                    generation: frame.generation(),
+                    upper_bits: bounds.upper.to_bits(),
+                    lower_bits: bounds.lower.to_bits(),
+                    scope: servers.iter().map(|s| s.0).collect(),
+                };
+                let query_ev = tracer.emit(trace_now, Component::Gem, None, || {
+                    TraceEventKind::ControlQuerySent {
+                        round: round_no,
+                        gem: gem_idx as u32,
+                        generation: frame.generation(),
+                        servers: servers.len() as u32,
+                    }
+                });
+                let replies = rt.control_query(query);
+                // Merge the per-carrier replies back into scope order —
+                // the order `EvalCtx::scoped` materializes servers in —
+                // so the carrier's topology (one reply under sim, one per
+                // group under net) cannot influence evaluation order.
+                let mut merged: Vec<ServerReport> = Vec::with_capacity(servers.len());
+                for sid in servers {
+                    if let Some(c) = replies
+                        .iter()
+                        .flat_map(|r| r.candidates.iter())
+                        .find(|c| c.server == sid.0)
+                    {
+                        merged.push(*c);
+                    }
+                }
+                let ctx = EvalCtx::for_reports(&frame, &merged);
+                debug_assert_eq!(
+                    ctx.servers,
+                    EvalCtx::scoped(&frame, servers).servers,
+                    "wire-carried candidates must reproduce the shared-snapshot \
+                     rows (round {round_no}, gem {gem_idx})"
+                );
+                let (adv_out, adv_in) = gem::scale_votes(&ctx, bounds);
+                tracer.emit(trace_now, Component::Gem, query_ev, || {
+                    TraceEventKind::ControlQueryReply {
+                        round: round_no,
+                        gem: gem_idx as u32,
+                        candidates: merged.len() as u32,
+                        scale_out: adv_out,
+                        scale_in: adv_in,
+                    }
+                });
                 consumers += 1;
                 if debug {
                     for s in &ctx.servers {
@@ -441,7 +503,6 @@ impl PlasmaEmr {
             // LEM phase: interaction rules, chasing the GEM round's targets.
             let pending_dst: BTreeMap<ActorId, ServerId> =
                 all_actions.iter().map(|a| (a.actor, a.dst)).collect();
-            let bounds = self.policy_bounds();
             let ctx = EvalCtx::scoped(&frame, &scope);
             consumers += 1;
             tracer.emit(trace_now, Component::Gem, None, || {
@@ -489,6 +550,8 @@ impl PlasmaEmr {
         // the *configured* GEM count, not just the live ones: crashed or
         // unreachable GEMs count as abstentions (§4.3), so a minority
         // island of GEMs can never scale the cluster on its own.
+        let mut grow = 0u32;
+        let mut shrink = 0u32;
         if self.cfg.auto_scale && gem_count > 0 {
             let majority = self.cfg.num_gems.max(gem_count) / 2 + 1;
             if out_votes >= majority {
@@ -501,12 +564,15 @@ impl PlasmaEmr {
                     if rt.request_server(self.cfg.scale_instance.clone()).is_some() {
                         self.booting += 1;
                         self.stats.scale_outs += 1;
+                        grow += 1;
                     }
                 }
             } else if in_votes >= majority && self.booting == 0 {
                 self.in_vote_streak += 1;
                 if self.in_vote_streak >= 2 {
+                    let draining_before = self.draining.len();
                     all_actions.extend(self.plan_scale_in(rt));
+                    shrink = (self.draining.len() - draining_before) as u32;
                 }
             } else {
                 self.in_vote_streak = 0;
@@ -538,6 +604,8 @@ impl PlasmaEmr {
             number: round_no,
             planned_at: trace_now,
             planned_generation,
+            grow,
+            shrink,
             actions,
         });
         // Model the LEM -> GEM -> LEM control round-trip before applying.
@@ -626,6 +694,8 @@ impl PlasmaEmr {
                 (sid, u)
             })
             .collect();
+        let (grow, shrink) = (round.grow, round.shrink);
+        let mut admitted_orders: Vec<MigrationOrder> = Vec::new();
         let mut actions = round.actions;
         actions.sort_by(|a, b| b.priority.cmp(&a.priority).then(a.rule.cmp(&b.rule)));
         for action in actions {
@@ -715,6 +785,11 @@ impl PlasmaEmr {
             match rt.migrate_traced(action.actor, dst, reply_id) {
                 Ok(()) => {
                     self.stats.admitted += 1;
+                    admitted_orders.push(MigrationOrder {
+                        actor: action.actor.0,
+                        src: action.src.0,
+                        dst: dst.0,
+                    });
                     if action.kind == ActionKind::Reserve {
                         self.reserved_homes.insert(action.actor, dst);
                     }
@@ -743,6 +818,24 @@ impl PlasmaEmr {
                 }
             }
         }
+        // Broadcast the applied round's outcome over the control carriage
+        // (audit traffic: workers tally it, nothing feeds back) and mirror
+        // it into the trace.
+        let migrations = admitted_orders.len() as u32;
+        rt.control_decision(ControlDecision {
+            round: round_no,
+            grow,
+            shrink,
+            migrations: admitted_orders,
+        });
+        tracer.emit(trace_now, Component::Gem, None, || {
+            TraceEventKind::ControlDecisionIssued {
+                round: round_no,
+                grow,
+                shrink,
+                migrations,
+            }
+        });
         let decision_ms = trace_now.saturating_since(round.planned_at).as_secs_f64() * 1e3;
         self.stats.rounds_applied += 1;
         self.stats.decision_latency_ms_total += decision_ms;

@@ -38,7 +38,7 @@ use std::sync::Arc;
 
 use plasma_actor::ids::{ActorId, ActorTypeId, FnId};
 use plasma_actor::stats::{ActorWindowStats, ProfileSnapshot, SnapshotDelta};
-use plasma_actor::Runtime;
+use plasma_actor::{Runtime, ServerReport};
 use plasma_cluster::ServerId;
 use plasma_epl::ast::{AType, Comp, Res};
 
@@ -80,6 +80,40 @@ impl ServerMeta {
             Res::Cpu => self.cpu,
             Res::Mem => self.mem,
             Res::Net => self.net,
+        }
+    }
+
+    /// Decodes a wire-carried LEM report row. The report carries every
+    /// f64 as raw bits, so this conversion is exact: a row published from
+    /// the coordinator's snapshot comes back as the identical `ServerMeta`
+    /// the shared-snapshot path computes.
+    pub fn from_report(r: &ServerReport) -> ServerMeta {
+        ServerMeta {
+            id: ServerId(r.server),
+            total_speed: f64::from_bits(r.total_speed_bits),
+            vcpus: r.vcpus,
+            mem_bytes: r.mem_bytes,
+            net_bps: f64::from_bits(r.net_bps_bits),
+            cpu: f64::from_bits(r.cpu_bits),
+            mem: f64::from_bits(r.mem_bits),
+            net: f64::from_bits(r.net_bits),
+            actor_count: r.actor_count as usize,
+        }
+    }
+
+    /// Encodes this row for the control carriage (the inverse of
+    /// [`ServerMeta::from_report`]; the round trip is bit-identity).
+    pub fn to_report(&self) -> ServerReport {
+        ServerReport {
+            server: self.id.0,
+            vcpus: self.vcpus,
+            actor_count: self.actor_count as u64,
+            mem_bytes: self.mem_bytes,
+            total_speed_bits: self.total_speed.to_bits(),
+            net_bps_bits: self.net_bps.to_bits(),
+            cpu_bits: self.cpu.to_bits(),
+            mem_bits: self.mem.to_bits(),
+            net_bits: self.net.to_bits(),
         }
     }
 }
@@ -977,6 +1011,41 @@ impl<'a> EvalCtx<'a> {
             .filter_map(|&sid| frame.server(sid))
             .copied()
             .collect();
+        let full = servers.len() == frame.servers.len();
+        let scope_set: Option<BTreeMap<ServerId, ()>> = if full {
+            None
+        } else {
+            Some(servers.iter().map(|s| (s.id, ())).collect())
+        };
+        let actors: Vec<&'a ActorWindowStats> = frame
+            .snap
+            .actors
+            .iter()
+            .filter(|a| match &scope_set {
+                Some(set) => set.contains_key(&a.server),
+                None => frame.scope_has(a.server),
+            })
+            .collect();
+        EvalCtx {
+            frame,
+            servers,
+            scope: scope_set,
+            actors,
+        }
+    }
+
+    /// Builds a context from wire-carried LEM report rows — the QREPLY
+    /// candidates of one GEM query, already merged into scope order.
+    ///
+    /// Each row decodes bit-for-bit into the `ServerMeta` the
+    /// shared-snapshot path computes, so a context built this way is
+    /// interchangeable with [`EvalCtx::scoped`] over the same scope: same
+    /// servers in the same order, same in-scope actor rows. The EMR
+    /// debug-asserts that equivalence every round; it is what keeps
+    /// decision digests byte-identical with the control plane on the
+    /// wire.
+    pub fn for_reports(frame: &'a EvalFrame, reports: &[ServerReport]) -> Self {
+        let servers: Vec<ServerMeta> = reports.iter().map(ServerMeta::from_report).collect();
         let full = servers.len() == frame.servers.len();
         let scope_set: Option<BTreeMap<ServerId, ()>> = if full {
             None

@@ -32,10 +32,11 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use plasma_backend::{
-    BackendKind, BackendStats, Delivery, Execution, ExecutionBackend, WindowReport,
+    BackendKind, BackendStats, ControlMsg, ControlReply, Delivery, Execution, ExecutionBackend,
+    ServerReport, WindowReport,
 };
 
-use crate::frame::{Frame, FrameBuffer, WindowCounters};
+use crate::frame::{Frame, FrameBuffer, WindowCounters, WIRE_VERSION};
 
 /// How long launch waits for all workers to connect and hello.
 const LAUNCH_TIMEOUT: Duration = Duration::from_secs(20);
@@ -60,18 +61,42 @@ pub struct NetConfig {
 impl Default for NetConfig {
     /// Two groups — the smallest topology that actually crosses process
     /// boundaries between servers — with the worker binary auto-located.
-    /// `PLASMA_NET_GROUPS` overrides the group count (carriage topology
-    /// only; it cannot affect logical results).
+    /// Environment-free; use [`NetConfig::from_env`] to honor
+    /// `PLASMA_NET_GROUPS`.
     fn default() -> Self {
-        let groups = std::env::var("PLASMA_NET_GROUPS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|&g| g >= 1)
-            .unwrap_or(2);
         NetConfig {
-            groups,
+            groups: 2,
             worker_bin: None,
         }
+    }
+}
+
+impl NetConfig {
+    /// The default configuration with the group count taken from the
+    /// `PLASMA_NET_GROUPS` environment variable (carriage topology only;
+    /// it cannot affect logical results).
+    ///
+    /// An unset variable keeps the default of 2. A set-but-invalid value —
+    /// not an integer, or below 1 — is rejected *here*, at parse time,
+    /// with an error naming the variable and the offending value, instead
+    /// of surfacing as a downstream launch assertion.
+    pub fn from_env() -> std::io::Result<Self> {
+        let mut cfg = NetConfig::default();
+        if let Ok(v) = std::env::var("PLASMA_NET_GROUPS") {
+            cfg.groups = match v.parse::<u32>() {
+                Ok(g) if g >= 1 => g,
+                _ => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        format!(
+                            "PLASMA_NET_GROUPS={v:?} is invalid: expected an integer >= 1 \
+                             (number of worker processes)"
+                        ),
+                    ));
+                }
+            };
+        }
+        Ok(cfg)
     }
 }
 
@@ -115,6 +140,50 @@ pub fn locate_worker() -> std::io::Result<PathBuf> {
             exe.display()
         ),
     ))
+}
+
+/// Reads and validates a worker's `Hello` from `r`, returning the
+/// announced group.
+///
+/// The negotiation half of the version handshake: a worker speaking a
+/// different wire version fails here with a clean error naming both
+/// versions — whether the mismatch surfaces as a `BadVersion` on the
+/// frame header (older workers) or as a mismatched version field inside
+/// the Hello payload itself. Leftover bytes stay in `fb` for the caller.
+pub(crate) fn read_hello(r: &mut dyn Read, fb: &mut FrameBuffer) -> std::io::Result<u32> {
+    let mut chunk = [0u8; 256];
+    loop {
+        match fb.next() {
+            Ok(Some(Frame::Hello {
+                group,
+                wire_version,
+            })) => {
+                if wire_version != WIRE_VERSION {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "wire version mismatch in handshake: worker speaks \
+                             v{wire_version}, coordinator speaks v{WIRE_VERSION}"
+                        ),
+                    ));
+                }
+                return Ok(group);
+            }
+            Ok(Some(other)) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("expected Hello, got {other:?}"),
+                ));
+            }
+            Ok(None) => {}
+            Err(e) => return Err(crate::worker::decode_failure(e)),
+        }
+        let n = r.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        fb.extend(&chunk[..n]);
+    }
 }
 
 /// One worker connection: the child process plus its FIFO TCP stream.
@@ -170,6 +239,10 @@ pub struct NetBackend {
     stats: BackendStats,
     sent_deliveries: u64,
     sent_executions: u64,
+    sent_reports: u64,
+    sent_queries: u64,
+    recv_qreplies: u64,
+    sent_decisions: u64,
     /// Partial windows drained from servers retired mid-window; folded
     /// into the next window barrier so it still balances.
     retired: WindowCounters,
@@ -182,9 +255,18 @@ pub struct NetBackend {
 }
 
 impl NetBackend {
-    /// Spawns the worker processes and waits for all of them to connect.
+    /// Spawns the worker processes and waits for all of them to connect
+    /// and complete the Hello version handshake.
     pub fn launch(cfg: NetConfig) -> std::io::Result<NetBackend> {
-        assert!(cfg.groups >= 1, "NetConfig.groups must be at least 1");
+        if cfg.groups < 1 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "NetConfig.groups = {} is invalid: at least 1 worker group is required",
+                    cfg.groups
+                ),
+            ));
+        }
         let bin = match &cfg.worker_bin {
             Some(p) => p.clone(),
             None => locate_worker()?,
@@ -224,27 +306,9 @@ impl NetBackend {
                     stream.set_nodelay(true)?;
                     stream.set_read_timeout(Some(ACK_TIMEOUT))?;
                     let mut fb = FrameBuffer::new();
-                    let mut chunk = [0u8; 256];
-                    let group = loop {
-                        if let Some(frame) = fb.next().map_err(|e| {
-                            std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
-                        })? {
-                            match frame {
-                                Frame::Hello { group } => break group,
-                                other => {
-                                    return Err(std::io::Error::new(
-                                        std::io::ErrorKind::InvalidData,
-                                        format!("expected Hello, got {other:?}"),
-                                    ))
-                                }
-                            }
-                        }
-                        let mut s = &stream;
-                        let n = s.read(&mut chunk)?;
-                        if n == 0 {
-                            return Err(std::io::ErrorKind::UnexpectedEof.into());
-                        }
-                        fb.extend(&chunk[..n]);
+                    let group = {
+                        let mut rd = &stream;
+                        read_hello(&mut rd, &mut fb)?
                     };
                     let slot = slots.get_mut(group as usize).ok_or_else(|| {
                         std::io::Error::new(
@@ -312,6 +376,10 @@ impl NetBackend {
             stats,
             sent_deliveries: 0,
             sent_executions: 0,
+            sent_reports: 0,
+            sent_queries: 0,
+            recv_qreplies: 0,
+            sent_decisions: 0,
             retired: WindowCounters::default(),
             link_delay_ns: 0,
             inflight: 0,
@@ -353,6 +421,12 @@ impl NetBackend {
         }
         self.stats.frames_sent += 1;
         self.stats.wire_bytes_sent += self.scratch.len() as u64;
+        if matches!(
+            frame,
+            Frame::Report { .. } | Frame::Query { .. } | Frame::Decision { .. }
+        ) {
+            self.stats.control_wire_bytes += self.scratch.len() as u64;
+        }
         self.inflight += 1;
         self.stats.max_inflight_frames = self.stats.max_inflight_frames.max(self.inflight);
         true
@@ -490,7 +564,11 @@ impl ExecutionBackend for NetBackend {
         self.retired = WindowCounters::default();
         let matched = complete
             && sum.deliveries == self.sent_deliveries
-            && sum.executions == self.sent_executions;
+            && sum.executions == self.sent_executions
+            && sum.reports == self.sent_reports
+            && sum.queries == self.sent_queries
+            && sum.replies == self.recv_qreplies
+            && sum.decisions == self.sent_decisions;
         let report = WindowReport {
             generation,
             deliveries: sum.deliveries,
@@ -510,6 +588,10 @@ impl ExecutionBackend for NetBackend {
         self.stats.channel_samples += sum.delayed;
         self.sent_deliveries = 0;
         self.sent_executions = 0;
+        self.sent_reports = 0;
+        self.sent_queries = 0;
+        self.recv_qreplies = 0;
+        self.sent_decisions = 0;
         if matched {
             self.inflight = 0;
         }
@@ -542,6 +624,78 @@ impl ExecutionBackend for NetBackend {
 
     fn link_delay(&mut self, extra_ns: u64) {
         self.link_delay_ns = extra_ns;
+    }
+
+    fn publish_report(&mut self, generation: u64, report: &ServerReport) {
+        if self.up.contains(&report.server) {
+            let group = self.group_of(report.server);
+            if self.send(
+                group,
+                &Frame::Report {
+                    generation,
+                    report: *report,
+                },
+            ) {
+                self.sent_reports += 1;
+            }
+        }
+        self.stats.control_reports += 1;
+    }
+
+    fn control(&mut self, msg: &ControlMsg) -> Vec<ControlReply> {
+        match msg {
+            ControlMsg::Query(q) => {
+                self.stats.control_queries += 1;
+                // One copy of the query per group owning an in-scope live
+                // server, in ascending group order; QReplies are read back
+                // synchronously in the same order. TCP FIFO plus
+                // one-reply-per-query makes the pairing deterministic, so
+                // reply order never depends on worker scheduling.
+                let mut groups: BTreeSet<usize> = BTreeSet::new();
+                for s in &q.scope {
+                    if self.up.contains(s) {
+                        groups.insert(self.group_of(*s));
+                    }
+                }
+                let mut sent: Vec<usize> = Vec::with_capacity(groups.len());
+                for &g in &groups {
+                    if self.send(g, &Frame::Query { query: q.clone() }) {
+                        self.sent_queries += 1;
+                        sent.push(g);
+                    }
+                }
+                self.flush_all();
+                let mut replies = Vec::with_capacity(sent.len());
+                for g in sent {
+                    if let Some(Frame::QReply { reply }) = self.recv(g) {
+                        // Count the reply's exact wire footprint (recv's
+                        // byte tally is per-read, not per-frame).
+                        self.scratch.clear();
+                        Frame::QReply {
+                            reply: reply.clone(),
+                        }
+                        .encode(&mut self.scratch);
+                        self.stats.control_wire_bytes += self.scratch.len() as u64;
+                        self.recv_qreplies += 1;
+                        self.stats.control_replies += 1;
+                        replies.push(reply);
+                    }
+                }
+                replies
+            }
+            ControlMsg::Decision(d) => {
+                self.stats.control_decisions += 1;
+                // Decisions are broadcast: every group learns the round's
+                // outcome even if none of its servers moved.
+                for g in 0..self.conns.len() {
+                    if self.send(g, &Frame::Decision { decision: d.clone() }) {
+                        self.sent_decisions += 1;
+                    }
+                }
+                Vec::new()
+            }
+            ControlMsg::Reply(_) => Vec::new(),
+        }
     }
 
     fn stats(&self) -> BackendStats {
@@ -584,5 +738,104 @@ impl ExecutionBackend for NetBackend {
 impl Drop for NetBackend {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn read_hello_accepts_matching_version() {
+        let bytes = Frame::Hello {
+            group: 3,
+            wire_version: WIRE_VERSION,
+        }
+        .encode_vec();
+        let mut r = Cursor::new(bytes);
+        let mut fb = FrameBuffer::new();
+        assert_eq!(read_hello(&mut r, &mut fb).unwrap(), 3);
+    }
+
+    #[test]
+    fn read_hello_rejects_old_header_version() {
+        // A v1 worker's Hello: header version 1, payload just the group
+        // (v1 had no version field). Must fail as a named version
+        // mismatch before any payload parsing.
+        let mut bytes = vec![0, 0, 0, 6, 1, 0x01];
+        bytes.extend(9u32.to_be_bytes());
+        let mut r = Cursor::new(bytes);
+        let mut fb = FrameBuffer::new();
+        let err = read_hello(&mut r, &mut fb).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("wire version mismatch") && msg.contains("v1"),
+            "got: {msg}"
+        );
+    }
+
+    #[test]
+    fn read_hello_rejects_mismatched_hello_field() {
+        // Header version matches but the Hello's announced version does
+        // not — the negotiation field, not the codec, catches this one.
+        let bytes = Frame::Hello {
+            group: 0,
+            wire_version: WIRE_VERSION + 1,
+        }
+        .encode_vec();
+        let mut r = Cursor::new(bytes);
+        let mut fb = FrameBuffer::new();
+        let err = read_hello(&mut r, &mut fb).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("wire version mismatch in handshake"));
+    }
+
+    #[test]
+    fn read_hello_rejects_non_hello_frame() {
+        let bytes = Frame::Shutdown.encode_vec();
+        let mut r = Cursor::new(bytes);
+        let mut fb = FrameBuffer::new();
+        let err = read_hello(&mut r, &mut fb).unwrap_err();
+        assert!(err.to_string().contains("expected Hello"));
+    }
+
+    /// All `PLASMA_NET_GROUPS` cases in one test: the variable is process
+    /// global, so splitting these across tests would race under the
+    /// parallel test runner.
+    #[test]
+    fn net_groups_env_is_validated_at_parse_time() {
+        std::env::remove_var("PLASMA_NET_GROUPS");
+        assert_eq!(NetConfig::from_env().unwrap().groups, 2);
+
+        std::env::set_var("PLASMA_NET_GROUPS", "3");
+        assert_eq!(NetConfig::from_env().unwrap().groups, 3);
+
+        for bad in ["0", "-1", "two", ""] {
+            std::env::set_var("PLASMA_NET_GROUPS", bad);
+            let err = NetConfig::from_env().unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+            let msg = err.to_string();
+            assert!(
+                msg.contains("PLASMA_NET_GROUPS") && msg.contains(bad),
+                "error must name the variable and value: {msg}"
+            );
+        }
+        std::env::remove_var("PLASMA_NET_GROUPS");
+    }
+
+    #[test]
+    fn zero_groups_is_rejected_at_launch() {
+        let cfg = NetConfig {
+            groups: 0,
+            worker_bin: None,
+        };
+        let err = match NetBackend::launch(cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("groups = 0 must be rejected"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("at least 1 worker group"));
     }
 }

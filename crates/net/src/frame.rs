@@ -22,14 +22,22 @@
 //! checks — any byte string that decodes re-encodes to itself.
 
 use plasma_backend::wire::{put_u32, put_u64, DecodeError, WireCursor};
-use plasma_backend::{Delivery, Execution};
+use plasma_backend::{ControlDecision, ControlQuery, ControlReply, Delivery, Execution};
+use plasma_backend::ServerReport;
 
-/// Protocol version stamped into (and required of) every frame.
-pub const WIRE_VERSION: u8 = 1;
+/// Protocol version stamped into (and required of) every frame, and
+/// carried explicitly in the [`Frame::Hello`] handshake so a version
+/// mismatch fails the handshake cleanly instead of surfacing as a
+/// mid-stream decode error. Version 2 added the control-plane frames
+/// (REPORT/QUERY/QREPLY/DECISION), the control counters in
+/// [`WindowCounters`], and the Hello version field itself.
+pub const WIRE_VERSION: u8 = 2;
 
-/// Upper bound on a frame body. The largest real frame (a window ack) is
-/// under 64 bytes; the cap only exists to bound allocation on garbage.
-pub const MAX_FRAME_LEN: usize = 4096;
+/// Upper bound on a frame body. Control-plane frames scale with cluster
+/// size (a query reply carries one 64-byte candidate row per in-scope
+/// server), so the cap is sized for hundreds of servers; it exists to
+/// bound allocation on garbage, not to constrain real traffic.
+pub const MAX_FRAME_LEN: usize = 64 * 1024;
 
 /// One worker-side accounting bucket: what a worker carried for one server
 /// within the current profiling window.
@@ -47,6 +55,14 @@ pub struct WindowCounters {
     pub delay_ns_max: u64,
     /// Deliveries that carried a nonzero injected delay.
     pub delayed: u64,
+    /// LEM report rows carried.
+    pub reports: u64,
+    /// Control queries answered.
+    pub queries: u64,
+    /// Query replies returned.
+    pub replies: u64,
+    /// Round decisions received.
+    pub decisions: u64,
 }
 
 impl WindowCounters {
@@ -58,6 +74,10 @@ impl WindowCounters {
         self.delay_ns_total += w.delay_ns_total;
         self.delay_ns_max = self.delay_ns_max.max(w.delay_ns_max);
         self.delayed += w.delayed;
+        self.reports += w.reports;
+        self.queries += w.queries;
+        self.replies += w.replies;
+        self.decisions += w.decisions;
     }
 
     fn encode(&self, out: &mut Vec<u8>) {
@@ -67,6 +87,10 @@ impl WindowCounters {
         put_u64(out, self.delay_ns_total);
         put_u64(out, self.delay_ns_max);
         put_u64(out, self.delayed);
+        put_u64(out, self.reports);
+        put_u64(out, self.queries);
+        put_u64(out, self.replies);
+        put_u64(out, self.decisions);
     }
 
     fn decode(c: &mut WireCursor<'_>) -> Result<Self, DecodeError> {
@@ -77,6 +101,10 @@ impl WindowCounters {
             delay_ns_total: c.u64()?,
             delay_ns_max: c.u64()?,
             delayed: c.u64()?,
+            reports: c.u64()?,
+            queries: c.u64()?,
+            replies: c.u64()?,
+            decisions: c.u64()?,
         })
     }
 }
@@ -93,19 +121,27 @@ mod kind {
     pub const WINDOW_MARK: u8 = 0x06;
     pub const ROUND_MARK: u8 = 0x07;
     pub const SHUTDOWN: u8 = 0x08;
+    pub const REPORT: u8 = 0x09;
+    pub const QUERY: u8 = 0x0A;
+    pub const DECISION: u8 = 0x0B;
     pub const SERVER_RETIRED: u8 = 0x83;
     pub const WINDOW_ACK: u8 = 0x86;
     pub const ROUND_ACK: u8 = 0x87;
+    pub const QREPLY: u8 = 0x8A;
 }
 
 /// One wire message. See the [module docs](self) for the byte layout.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
     /// Worker → coordinator, first frame on a fresh connection: which
-    /// server group this worker process hosts.
+    /// server group this worker process hosts and which protocol version
+    /// it speaks. The coordinator validates `wire_version` before any
+    /// other traffic — the negotiation half of the version handshake.
     Hello {
         /// The worker's group index.
         group: u32,
+        /// The worker's [`WIRE_VERSION`].
+        wire_version: u8,
     },
     /// Coordinator → worker: open (or re-open) a server's carrier.
     ServerUp {
@@ -148,6 +184,26 @@ pub enum Frame {
     },
     /// Coordinator → worker: drain and exit cleanly.
     Shutdown,
+    /// Coordinator → worker: one server's LEM report row for a snapshot
+    /// generation. The worker holds it verbatim and echoes it back in
+    /// query replies.
+    Report {
+        /// Snapshot generation the row was published for.
+        generation: u64,
+        /// The report row (byte-exact snapshot copy).
+        report: ServerReport,
+    },
+    /// Coordinator → worker: a GEM's control query; the worker replies
+    /// [`Frame::QReply`] evaluated against the report rows it holds.
+    Query {
+        /// The query.
+        query: ControlQuery,
+    },
+    /// Coordinator → worker: a round's published decision (broadcast).
+    Decision {
+        /// The decision.
+        decision: ControlDecision,
+    },
     /// Worker → coordinator: a retired server's partial-window counters.
     ServerRetired {
         /// Server id.
@@ -168,6 +224,11 @@ pub enum Frame {
         /// Echoed round number.
         round: u64,
     },
+    /// Worker → coordinator: the answer to a [`Frame::Query`].
+    QReply {
+        /// The reply.
+        reply: ControlReply,
+    },
 }
 
 impl Frame {
@@ -177,9 +238,13 @@ impl Frame {
         put_u32(out, 0); // length backpatched below
         out.push(WIRE_VERSION);
         match self {
-            Frame::Hello { group } => {
+            Frame::Hello {
+                group,
+                wire_version,
+            } => {
                 out.push(kind::HELLO);
                 put_u32(out, *group);
+                out.push(*wire_version);
             }
             Frame::ServerUp { server, vcpus } => {
                 out.push(kind::SERVER_UP);
@@ -208,6 +273,19 @@ impl Frame {
                 put_u64(out, *round);
             }
             Frame::Shutdown => out.push(kind::SHUTDOWN),
+            Frame::Report { generation, report } => {
+                out.push(kind::REPORT);
+                put_u64(out, *generation);
+                report.wire_encode(out);
+            }
+            Frame::Query { query } => {
+                out.push(kind::QUERY);
+                query.wire_encode(out);
+            }
+            Frame::Decision { decision } => {
+                out.push(kind::DECISION);
+                decision.wire_encode(out);
+            }
             Frame::ServerRetired { server, counters } => {
                 out.push(kind::SERVER_RETIRED);
                 put_u32(out, *server);
@@ -224,6 +302,10 @@ impl Frame {
             Frame::RoundAck { round } => {
                 out.push(kind::ROUND_ACK);
                 put_u64(out, *round);
+            }
+            Frame::QReply { reply } => {
+                out.push(kind::QREPLY);
+                reply.wire_encode(out);
             }
         }
         let body = (out.len() - at - 4) as u32;
@@ -266,7 +348,10 @@ impl Frame {
         }
         let k = c.u8()?;
         let frame = match k {
-            kind::HELLO => Frame::Hello { group: c.u32()? },
+            kind::HELLO => Frame::Hello {
+                group: c.u32()?,
+                wire_version: c.u8()?,
+            },
             kind::SERVER_UP => Frame::ServerUp {
                 server: c.u32()?,
                 vcpus: c.u32()?,
@@ -284,6 +369,16 @@ impl Frame {
             },
             kind::ROUND_MARK => Frame::RoundMark { round: c.u64()? },
             kind::SHUTDOWN => Frame::Shutdown,
+            kind::REPORT => Frame::Report {
+                generation: c.u64()?,
+                report: ServerReport::wire_decode(&mut c)?,
+            },
+            kind::QUERY => Frame::Query {
+                query: ControlQuery::wire_decode(&mut c)?,
+            },
+            kind::DECISION => Frame::Decision {
+                decision: ControlDecision::wire_decode(&mut c)?,
+            },
             kind::SERVER_RETIRED => Frame::ServerRetired {
                 server: c.u32()?,
                 counters: WindowCounters::decode(&mut c)?,
@@ -293,6 +388,9 @@ impl Frame {
                 counters: WindowCounters::decode(&mut c)?,
             },
             kind::ROUND_ACK => Frame::RoundAck { round: c.u64()? },
+            kind::QREPLY => Frame::QReply {
+                reply: ControlReply::wire_decode(&mut c)?,
+            },
             other => return Err(DecodeError::BadKind(other)),
         };
         if c.consumed() != body.len() {
@@ -364,7 +462,10 @@ mod tests {
 
     fn samples() -> Vec<Frame> {
         vec![
-            Frame::Hello { group: 1 },
+            Frame::Hello {
+                group: 1,
+                wire_version: WIRE_VERSION,
+            },
             Frame::ServerUp {
                 server: 4,
                 vcpus: 2,
@@ -385,6 +486,62 @@ mod tests {
                     service_ns: 42_000,
                 },
             },
+            Frame::Report {
+                generation: 7,
+                report: ServerReport {
+                    server: 4,
+                    vcpus: 2,
+                    actor_count: 9,
+                    mem_bytes: 1 << 31,
+                    total_speed_bits: 1500.0_f64.to_bits(),
+                    net_bps_bits: 1e9_f64.to_bits(),
+                    cpu_bits: 0.625_f64.to_bits(),
+                    mem_bits: 0.25_f64.to_bits(),
+                    net_bits: 0.125_f64.to_bits(),
+                },
+            },
+            Frame::Query {
+                query: ControlQuery {
+                    gem: 0,
+                    round: 3,
+                    generation: 7,
+                    upper_bits: 0.8_f64.to_bits(),
+                    lower_bits: 0.2_f64.to_bits(),
+                    scope: vec![4, 6],
+                },
+            },
+            Frame::QReply {
+                reply: ControlReply {
+                    gem: 0,
+                    round: 3,
+                    generation: 7,
+                    vote_out: false,
+                    vote_in: true,
+                    candidates: vec![ServerReport {
+                        server: 4,
+                        vcpus: 2,
+                        actor_count: 9,
+                        mem_bytes: 1 << 31,
+                        total_speed_bits: 1500.0_f64.to_bits(),
+                        net_bps_bits: 1e9_f64.to_bits(),
+                        cpu_bits: 0.125_f64.to_bits(),
+                        mem_bits: 0.25_f64.to_bits(),
+                        net_bits: 0.0_f64.to_bits(),
+                    }],
+                },
+            },
+            Frame::Decision {
+                decision: ControlDecision {
+                    round: 3,
+                    grow: 1,
+                    shrink: 0,
+                    migrations: vec![plasma_backend::MigrationOrder {
+                        actor: 99,
+                        src: 4,
+                        dst: 6,
+                    }],
+                },
+            },
             Frame::WindowMark { generation: 7 },
             Frame::WindowAck {
                 generation: 7,
@@ -395,6 +552,10 @@ mod tests {
                     delay_ns_total: 1_500_000,
                     delay_ns_max: 1_500_000,
                     delayed: 1,
+                    reports: 1,
+                    queries: 1,
+                    replies: 1,
+                    decisions: 1,
                 },
             },
             Frame::RoundMark { round: 3 },
@@ -433,7 +594,7 @@ mod tests {
                 if i + 1 < bytes.len() {
                     assert!(got.is_none(), "{f:?}: premature frame at byte {i}");
                 } else {
-                    assert_eq!(got, Some(f));
+                    assert_eq!(got.as_ref(), Some(&f));
                 }
             }
         }
@@ -460,6 +621,42 @@ mod tests {
             Frame::decode_prefix(&bytes).unwrap_err(),
             DecodeError::BadVersion(9)
         );
+    }
+
+    /// A v1 worker's Hello (header version 1, no payload version byte)
+    /// fails at the version check — before the kind or payload is touched
+    /// — so a coordinator can turn it into a clean handshake error.
+    #[test]
+    fn old_version_hello_fails_before_payload_parse() {
+        let mut v1_hello = Vec::new();
+        put_u32(&mut v1_hello, 6); // version + kind + group:u32
+        v1_hello.push(1); // wire version 1
+        v1_hello.push(kind::HELLO);
+        put_u32(&mut v1_hello, 3);
+        assert_eq!(
+            Frame::decode_prefix(&v1_hello).unwrap_err(),
+            DecodeError::BadVersion(1)
+        );
+    }
+
+    /// The Hello payload carries the version explicitly, so a decoded
+    /// handshake exposes what the peer speaks.
+    #[test]
+    fn hello_carries_the_wire_version() {
+        let bytes = Frame::Hello {
+            group: 2,
+            wire_version: WIRE_VERSION,
+        }
+        .encode_vec();
+        match Frame::decode_prefix(&bytes).unwrap().unwrap().0 {
+            Frame::Hello {
+                group,
+                wire_version,
+            } => {
+                assert_eq!((group, wire_version), (2, WIRE_VERSION));
+            }
+            other => panic!("expected Hello, got {other:?}"),
+        }
     }
 
     #[test]

@@ -19,7 +19,10 @@ use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 
-use crate::frame::{Frame, FrameBuffer, WindowCounters};
+use plasma_backend::control::{answer_query, ServerReport};
+use plasma_backend::wire::DecodeError;
+
+use crate::frame::{Frame, FrameBuffer, WindowCounters, WIRE_VERSION};
 
 /// How the worker loop ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,14 +34,34 @@ pub enum WorkerExit {
     Disconnected,
 }
 
+/// Maps a stream decode failure to an `io::Error`, turning a version
+/// mismatch into a clean handshake-style failure that names both versions
+/// instead of a bare mid-stream decode error.
+pub(crate) fn decode_failure(e: DecodeError) -> std::io::Error {
+    let msg = match e {
+        DecodeError::BadVersion(v) => format!(
+            "wire version mismatch: peer speaks v{v}, this side speaks v{WIRE_VERSION}; \
+             closing the connection"
+        ),
+        other => other.to_string(),
+    };
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
 /// Runs the worker loop to completion: connect, hello, serve frames.
 ///
 /// Returns how the loop ended, or an `io::Error` on connect/protocol
-/// failures (malformed frames surface as `InvalidData`).
+/// failures (malformed frames surface as `InvalidData`; a coordinator
+/// speaking a different wire version surfaces as a clean version-mismatch
+/// error naming both versions).
 pub fn run(addr: &str, group: u32) -> std::io::Result<WorkerExit> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
-    let hello = Frame::Hello { group }.encode_vec();
+    let hello = Frame::Hello {
+        group,
+        wire_version: WIRE_VERSION,
+    }
+    .encode_vec();
     stream.write_all(&hello)?;
 
     let mut fb = FrameBuffer::new();
@@ -47,13 +70,16 @@ pub fn run(addr: &str, group: u32) -> std::io::Result<WorkerExit> {
     // order (the sums are commutative anyway, but determinism is the house
     // style).
     let mut servers: BTreeMap<u32, WindowCounters> = BTreeMap::new();
+    // Group-level control accounting (queries are per-group, not
+    // per-server), folded into every window ack alongside the buckets.
+    let mut ctrl = WindowCounters::default();
+    // Held LEM report rows for `held_generation`, answered on Query.
+    let mut held: BTreeMap<u32, ServerReport> = BTreeMap::new();
+    let mut held_generation = 0u64;
     let mut reply = Vec::with_capacity(64);
 
     loop {
-        while let Some(frame) = fb
-            .next()
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
-        {
+        while let Some(frame) = fb.next().map_err(decode_failure)? {
             reply.clear();
             match frame {
                 Frame::ServerUp { server, vcpus } => {
@@ -62,6 +88,7 @@ pub fn run(addr: &str, group: u32) -> std::io::Result<WorkerExit> {
                 }
                 Frame::ServerDown { server } => {
                     let counters = servers.remove(&server).unwrap_or_default();
+                    held.remove(&server);
                     Frame::ServerRetired { server, counters }.encode(&mut reply);
                 }
                 Frame::Deliver { delivery, delay_ns } => {
@@ -84,6 +111,8 @@ pub fn run(addr: &str, group: u32) -> std::io::Result<WorkerExit> {
                         sum.fold(w);
                         *w = WindowCounters::default();
                     }
+                    sum.fold(&ctrl);
+                    ctrl = WindowCounters::default();
                     Frame::WindowAck {
                         generation,
                         counters: sum,
@@ -93,13 +122,34 @@ pub fn run(addr: &str, group: u32) -> std::io::Result<WorkerExit> {
                 Frame::RoundMark { round } => {
                     Frame::RoundAck { round }.encode(&mut reply);
                 }
+                Frame::Report { generation, report } => {
+                    if generation != held_generation {
+                        held.clear();
+                        held_generation = generation;
+                    }
+                    servers.entry(report.server).or_default().reports += 1;
+                    held.insert(report.server, report);
+                }
+                Frame::Query { query } => {
+                    ctrl.queries += 1;
+                    ctrl.replies += 1;
+                    Frame::QReply {
+                        reply: answer_query(held_generation, &held, &query),
+                    }
+                    .encode(&mut reply);
+                }
+                Frame::Decision { decision } => {
+                    let _ = decision;
+                    ctrl.decisions += 1;
+                }
                 Frame::Shutdown => return Ok(WorkerExit::Shutdown),
                 // Coordinator never sends worker->coordinator kinds or a
                 // second Hello; receiving one means the peer is confused.
                 Frame::Hello { .. }
                 | Frame::ServerRetired { .. }
                 | Frame::WindowAck { .. }
-                | Frame::RoundAck { .. } => {
+                | Frame::RoundAck { .. }
+                | Frame::QReply { .. } => {
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::InvalidData,
                         format!("unexpected frame from coordinator: {frame:?}"),
@@ -152,6 +202,24 @@ mod tests {
             .map(|a| a.to_string())
             .collect::<Vec<_>>()
             .into_iter()
+    }
+
+    #[test]
+    fn version_mismatch_is_a_named_handshake_failure() {
+        let err = decode_failure(DecodeError::BadVersion(1));
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("wire version mismatch")
+                && msg.contains("v1")
+                && msg.contains(&format!("v{WIRE_VERSION}")),
+            "both versions must be named: {msg}"
+        );
+        // Other decode failures keep their plain rendering.
+        assert_eq!(
+            decode_failure(DecodeError::Truncated).to_string(),
+            DecodeError::Truncated.to_string()
+        );
     }
 
     #[test]

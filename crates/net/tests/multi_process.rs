@@ -111,6 +111,79 @@ fn retired_server_carriage_folds_into_next_window() {
     b.shutdown();
 }
 
+/// GEM control traffic rides the same per-group TCP connections: reports
+/// published to workers come back bit-for-bit as query candidates, the
+/// decision broadcast reaches every group, and the window barrier still
+/// balances with control frames in flight.
+#[test]
+fn control_queries_cross_processes_and_balance_windows() {
+    use plasma_backend::{ControlDecision, ControlMsg, ControlQuery, MigrationOrder, ServerReport};
+    let mut b = NetBackend::launch(config(2)).expect("launch workers");
+    b.server_up(0, 2);
+    b.server_up(1, 2);
+    let mk = |server: u32, cpu: f64| ServerReport {
+        server,
+        vcpus: 2,
+        actor_count: 3,
+        mem_bytes: 1 << 30,
+        total_speed_bits: 2.0f64.to_bits(),
+        net_bps_bits: 1e9f64.to_bits(),
+        cpu_bits: cpu.to_bits(),
+        mem_bits: 0.25f64.to_bits(),
+        net_bits: 0.1f64.to_bits(),
+    };
+    let r0 = mk(0, 0.9);
+    let r1 = mk(1, 0.2);
+    b.publish_report(7, &r0);
+    b.publish_report(7, &r1);
+    let q = ControlQuery {
+        gem: 0,
+        round: 1,
+        generation: 7,
+        upper_bits: 0.8f64.to_bits(),
+        lower_bits: 0.3f64.to_bits(),
+        scope: vec![1, 0],
+    };
+    let replies = b.control(&ControlMsg::Query(q.clone()));
+    assert_eq!(replies.len(), 2, "one reply per group with in-scope servers");
+    // Group 0 holds the hot server, group 1 the idle one; each votes from
+    // its own holdings.
+    assert!(replies[0].vote_out && !replies[0].vote_in);
+    assert!(!replies[1].vote_out && replies[1].vote_in);
+    // Reassembling candidates in scope order across the per-group replies
+    // recovers exactly what was published — the bit-parity property the
+    // EMR's merge step relies on.
+    let mut merged = Vec::new();
+    for &s in &q.scope {
+        for rep in &replies {
+            if let Some(c) = rep.candidates.iter().find(|c| c.server == s) {
+                merged.push(*c);
+            }
+        }
+    }
+    assert_eq!(merged, vec![r1, r0]);
+    let out = b.control(&ControlMsg::Decision(ControlDecision {
+        round: 1,
+        grow: 1,
+        shrink: 0,
+        migrations: vec![MigrationOrder {
+            actor: 5,
+            src: 0,
+            dst: 1,
+        }],
+    }));
+    assert!(out.is_empty());
+    let w = b.window_close(1);
+    assert!(w.matched, "control carriage must balance the window barrier");
+    let s = b.stats();
+    assert_eq!(s.control_reports, 2);
+    assert_eq!(s.control_queries, 1);
+    assert_eq!(s.control_replies, 2);
+    assert_eq!(s.control_decisions, 1);
+    assert!(s.control_wire_bytes > 0, "control frames must be accounted");
+    b.shutdown();
+}
+
 /// Injected link delay is stamped onto remote deliveries and accounted as
 /// deterministic transport latency — same numbers every run.
 #[test]

@@ -18,11 +18,16 @@ fn ensure_worker_bin() {
     });
 }
 
-/// The `plasma-eval parity` normalization: backend-clock `*_ns` counters
-/// and `backend_*` transport counters are carrier-dependent by design.
+/// The `plasma-eval parity` normalization: backend-clock `*_ns` counters,
+/// `backend_*` transport counters, and `control_*` reply/byte tallies are
+/// carrier-dependent by design (net answers one `QReply` per worker group
+/// and counts real wire bytes; sim answers each query with one reply).
 fn normalized(mut r: ScenarioResult) -> String {
     for (metric, v) in &mut r.metrics {
-        if metric.ends_with("_ns") || metric.starts_with("backend_") {
+        if metric.ends_with("_ns")
+            || metric.starts_with("backend_")
+            || metric.starts_with("control_")
+        {
             v.value = 0.0;
         }
     }
@@ -51,6 +56,16 @@ fn net_replays_sim_and_live_byte_for_byte() {
             net.metric("decision_digest").expect("present").value,
             digest,
             "`{name}`: net decision sequence diverged from sim"
+        );
+        // Digest parity must hold *while* the control plane actually rode
+        // the wire — a net run that answered no queries proves nothing.
+        assert!(
+            net.metric("control_queries").expect("present").value > 0.0,
+            "`{name}`: net run carried no control queries"
+        );
+        assert!(
+            net.metric("control_wire_bytes").expect("present").value > 0.0,
+            "`{name}`: net run carried no control bytes"
         );
         let live = run(name, BackendKind::Live);
 

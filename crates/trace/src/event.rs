@@ -279,6 +279,44 @@ pub enum TraceEventKind {
         /// Evaluation consumers served by the shared frame this round.
         consumers: u32,
     },
+    /// A GEM queried its managed LEMs over the control carriage (the
+    /// cluster-level QUERY of Alg. 2, carried as backend message traffic).
+    ControlQuerySent {
+        /// Elasticity round (tick count).
+        round: u64,
+        /// Querying GEM index.
+        gem: u32,
+        /// Snapshot generation the query was stamped with.
+        generation: u64,
+        /// Servers in the query's scope.
+        servers: u32,
+    },
+    /// The carrier's aggregated QREPLY for one GEM query: how many
+    /// candidate report rows came back and the advisory scale votes
+    /// computed from them.
+    ControlQueryReply {
+        /// Elasticity round (tick count).
+        round: u64,
+        /// Querying GEM index.
+        gem: u32,
+        /// Candidate report rows carried back.
+        candidates: u32,
+        /// Advisory scale-out vote over the carried candidates.
+        scale_out: bool,
+        /// Advisory scale-in vote over the carried candidates.
+        scale_in: bool,
+    },
+    /// The round's decision was broadcast over the control carriage.
+    ControlDecisionIssued {
+        /// Elasticity round (tick count).
+        round: u64,
+        /// Servers requested this round.
+        grow: u32,
+        /// Servers put into draining this round.
+        shrink: u32,
+        /// Migrations admitted and issued.
+        migrations: u32,
+    },
     /// One GEM's scale vote for this round (§4.2 majority voting).
     ScaleVote {
         /// Voting GEM index.
@@ -425,9 +463,11 @@ impl TraceEventKind {
             TraceEventKind::PlanProposed { .. } | TraceEventKind::SnapshotShared { .. } => {
                 Category::Plan
             }
-            TraceEventKind::QuerySent { .. } | TraceEventKind::QueryReply { .. } => {
-                Category::Admission
-            }
+            TraceEventKind::QuerySent { .. }
+            | TraceEventKind::QueryReply { .. }
+            | TraceEventKind::ControlQuerySent { .. }
+            | TraceEventKind::ControlQueryReply { .. }
+            | TraceEventKind::ControlDecisionIssued { .. } => Category::Admission,
             TraceEventKind::ScaleVote { .. } => Category::Scale,
             TraceEventKind::ServerBoot { .. } | TraceEventKind::ServerDrain { .. } => {
                 Category::Server
@@ -464,6 +504,9 @@ impl TraceEventKind {
             TraceEventKind::SnapshotShared { .. } => "SnapshotShared",
             TraceEventKind::QuerySent { .. } => "QuerySent",
             TraceEventKind::QueryReply { .. } => "QueryReply",
+            TraceEventKind::ControlQuerySent { .. } => "ControlQuerySent",
+            TraceEventKind::ControlQueryReply { .. } => "ControlQueryReply",
+            TraceEventKind::ControlDecisionIssued { .. } => "ControlDecisionIssued",
             TraceEventKind::ScaleVote { .. } => "ScaleVote",
             TraceEventKind::ServerBoot { .. } => "ServerBoot",
             TraceEventKind::ServerDrain { .. } => "ServerDrain",

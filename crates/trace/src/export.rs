@@ -175,6 +175,42 @@ fn push_kind_fields(out: &mut String, kind: &TraceEventKind) {
                 "\"gem\":{gem},\"scale_out\":{scale_out},\"scale_in\":{scale_in}"
             );
         }
+        TraceEventKind::ControlQuerySent {
+            round,
+            gem,
+            generation,
+            servers,
+        } => {
+            let _ = write!(
+                out,
+                "\"round\":{round},\"gem\":{gem},\"generation\":{generation},\"servers\":{servers}"
+            );
+        }
+        TraceEventKind::ControlQueryReply {
+            round,
+            gem,
+            candidates,
+            scale_out,
+            scale_in,
+        } => {
+            let _ = write!(
+                out,
+                "\"round\":{round},\"gem\":{gem},\"candidates\":{candidates},\
+                 \"scale_out\":{scale_out},\"scale_in\":{scale_in}"
+            );
+        }
+        TraceEventKind::ControlDecisionIssued {
+            round,
+            grow,
+            shrink,
+            migrations,
+        } => {
+            let _ = write!(
+                out,
+                "\"round\":{round},\"grow\":{grow},\"shrink\":{shrink},\
+                 \"migrations\":{migrations}"
+            );
+        }
         TraceEventKind::ServerBoot {
             server,
             instance,
@@ -321,6 +357,9 @@ fn chrome_tid(kind: &TraceEventKind) -> u64 {
             }
         }
         TraceEventKind::ScaleVote { gem, .. } => u64::from(*gem),
+        TraceEventKind::ControlQuerySent { gem, .. }
+        | TraceEventKind::ControlQueryReply { gem, .. } => u64::from(*gem),
+        TraceEventKind::ControlDecisionIssued { round, .. } => *round,
         TraceEventKind::SnapshotShared { round, .. } => *round,
         other => other.subject_actor().unwrap_or(0),
     }

@@ -29,8 +29,10 @@
 
 use std::path::PathBuf;
 
-use plasma_backend::{Delivery, Execution};
-use plasma_net::{Frame, FrameBuffer, WindowCounters};
+use plasma_backend::{
+    ControlDecision, ControlQuery, ControlReply, Delivery, Execution, MigrationOrder, ServerReport,
+};
+use plasma_net::{Frame, FrameBuffer, WindowCounters, WIRE_VERSION};
 
 /// Decodes `bytes` as a whole-buffer frame stream: the exact frames, then
 /// whether the stream ended in an error (vs. an incomplete tail).
@@ -93,9 +95,27 @@ fn gen_corpus(dir: &PathBuf) {
         delay_ns_total: 10_000,
         delay_ns_max: 5_000,
         delayed: 2,
+        reports: 2,
+        queries: 1,
+        replies: 1,
+        decisions: 1,
+    };
+    let report = ServerReport {
+        server: 1,
+        vcpus: 4,
+        actor_count: 12,
+        mem_bytes: 1 << 30,
+        total_speed_bits: 4.0f64.to_bits(),
+        net_bps_bits: 1e9f64.to_bits(),
+        cpu_bits: 0.85f64.to_bits(),
+        mem_bits: 0.4f64.to_bits(),
+        net_bits: 0.1f64.to_bits(),
     };
     let conversation = [
-        Frame::Hello { group: 1 },
+        Frame::Hello {
+            group: 1,
+            wire_version: WIRE_VERSION,
+        },
         Frame::ServerUp {
             server: 0,
             vcpus: 2,
@@ -129,10 +149,46 @@ fn gen_corpus(dir: &PathBuf) {
                 service_ns: 1_000,
             },
         },
+        Frame::Report {
+            generation: 3,
+            report,
+        },
         Frame::WindowMark { generation: 3 },
         Frame::WindowAck {
             generation: 3,
             counters,
+        },
+        Frame::Query {
+            query: ControlQuery {
+                gem: 0,
+                round: 2,
+                generation: 3,
+                upper_bits: 0.8f64.to_bits(),
+                lower_bits: 0.3f64.to_bits(),
+                scope: vec![0, 1],
+            },
+        },
+        Frame::QReply {
+            reply: ControlReply {
+                gem: 0,
+                round: 2,
+                generation: 3,
+                vote_out: true,
+                vote_in: false,
+                candidates: vec![report],
+            },
+        },
+        Frame::Decision {
+            decision: ControlDecision {
+                round: 2,
+                grow: 1,
+                shrink: 0,
+                migrations: vec![MigrationOrder {
+                    actor: 7,
+                    src: 0,
+                    dst: 1,
+                }],
+            },
         },
         Frame::ServerDown { server: 1 },
         Frame::ServerRetired {
@@ -154,9 +210,9 @@ fn gen_corpus(dir: &PathBuf) {
     std::fs::write(dir.join("torn.bin"), &deliver[..deliver.len() - 3]).expect("write seed");
 
     // A bad version byte, then a valid frame that must never be reached.
-    let mut bad_version = conversation[6].encode_vec();
+    let mut bad_version = conversation[7].encode_vec();
     bad_version[4] = 0x7F;
-    bad_version.extend_from_slice(&conversation[12].encode_vec());
+    bad_version.extend_from_slice(&conversation[16].encode_vec());
     std::fs::write(dir.join("bad-version.bin"), &bad_version).expect("write seed");
 
     // An oversize length prefix.
@@ -166,10 +222,19 @@ fn gen_corpus(dir: &PathBuf) {
     std::fs::write(dir.join("oversize.bin"), &oversize).expect("write seed");
 
     // A length prefix announcing more payload than the kind carries.
-    let mut trailing = conversation[12].encode_vec(); // Shutdown: len=2
+    let mut trailing = conversation[16].encode_vec(); // Shutdown: len=2
     trailing[3] = 6; // claim 4 extra payload bytes
     trailing.extend_from_slice(&[0, 0, 0, 0]);
     std::fs::write(dir.join("trailing.bin"), &trailing).expect("write seed");
+
+    // A Hello whose header version is current but whose negotiated
+    // `wire_version` field disagrees — exercises the handshake-mismatch
+    // path without tripping the frame decoder itself.
+    let stale_hello = Frame::Hello {
+        group: 0,
+        wire_version: WIRE_VERSION.wrapping_sub(1),
+    };
+    std::fs::write(dir.join("stale-hello.bin"), stale_hello.encode_vec()).expect("write seed");
 
     println!("net_frame: corpus written to {}", dir.display());
 }
